@@ -1,0 +1,417 @@
+(* Bechamel micro-benchmarks — one group per experiment of DESIGN.md §3
+   that makes a performance claim:
+
+   - scheduler/* (E4): AIR Partition Scheduler + Dispatcher tick cost; the
+     paper argues the best (and most frequent) case performs only two
+     computations and that mode-based schedules only add MTF-boundary work.
+   - deadline/*  (E5): the PAL deadline-store ablation — AIR's sorted
+     linked list against an AVL tree and a pairing heap, on the ISR path
+     (earliest retrieval) and the APEX path (registration).
+   - pal/*       (E5): Algorithm 3 end to end (announce + verify).
+   - ipc/*       (E9): sampling and queuing transfers through the router.
+   - mmu/*       (E10): page-table walk vs TLB-served access checks.
+   - system/*    : a full prototype tick (all layers compounded).
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+let satellite_schedules () =
+  [ Air_workload.Satellite.schedule_1; Air_workload.Satellite.schedule_2 ]
+
+(* --- scheduler (E4) ------------------------------------------------------ *)
+
+let scheduler_tests =
+  let tick_fresh () =
+    let pmk = Air.Pmk.create ~partition_count:4 (satellite_schedules ()) in
+    Staged.stage (fun () -> ignore (Air.Pmk.tick pmk))
+  in
+  let tick_with_pending_switch () =
+    let pmk = Air.Pmk.create ~partition_count:4 (satellite_schedules ()) in
+    let flip = ref false in
+    Staged.stage (fun () ->
+        ignore (Air.Pmk.tick pmk);
+        if Air.Pmk.mtf_position pmk = 1299 then begin
+          flip := not !flip;
+          ignore
+            (Air.Pmk.request_schedule_switch pmk
+               (if !flip then Air_workload.Satellite.chi2
+                else Air_workload.Satellite.chi1))
+        end)
+  in
+  let tick_single_window () =
+    (* Degenerate PST (one full-MTF window): every tick is the best case
+       except one preemption point per MTF. *)
+    let p0 = Air_model.Ident.Partition_id.make 0 in
+    let s =
+      Air_model.Schedule.make
+        ~id:(Air_model.Ident.Schedule_id.make 0)
+        ~name:"solo" ~mtf:1000
+        ~requirements:
+          [ { Air_model.Schedule.partition = p0; cycle = 1000; duration = 1000 } ]
+        [ { Air_model.Schedule.partition = p0; offset = 0; duration = 1000 } ]
+    in
+    let pmk = Air.Pmk.create ~partition_count:1 [ s ] in
+    Staged.stage (fun () -> ignore (Air.Pmk.tick pmk))
+  in
+  Test.make_grouped ~name:"scheduler"
+    [ Test.make ~name:"tick(best case)" (tick_single_window ());
+      Test.make ~name:"tick(fig8 tables)" (tick_fresh ());
+      Test.make ~name:"tick(switch every MTF)" (tick_with_pending_switch ()) ]
+
+(* --- deadline stores (E5) ------------------------------------------------ *)
+
+let store_tests =
+  let sizes = [ 8; 64; 256 ] in
+  let with_store impl n f =
+    let rng = Air_sim.Rng.create 42 in
+    let store = Air.Deadline_store.create impl in
+    for p = 0 to n - 1 do
+      Air.Deadline_store.register store ~process:p
+        (Air_sim.Rng.int rng 1_000_000)
+    done;
+    f store rng
+  in
+  let register impl n =
+    with_store impl n (fun store rng ->
+        let p = ref 0 in
+        Staged.stage (fun () ->
+            Air.Deadline_store.register store ~process:!p
+              (Air_sim.Rng.int rng 1_000_000);
+            p := (!p + 1) mod n))
+  in
+  let earliest impl n =
+    with_store impl n (fun store _ ->
+        Staged.stage (fun () -> ignore (Air.Deadline_store.earliest store)))
+  in
+  let churn impl n =
+    with_store impl n (fun store _ ->
+        Staged.stage (fun () ->
+            match Air.Deadline_store.earliest store with
+            | Some (proc, d) ->
+              Air.Deadline_store.remove_earliest store;
+              Air.Deadline_store.register store ~process:proc (d + 1009)
+            | None -> ()))
+  in
+  let name op impl n =
+    Format.asprintf "%s(%a,n=%d)" op Air.Deadline_store.pp_impl impl n
+  in
+  Test.make_grouped ~name:"deadline"
+    (List.concat_map
+       (fun impl ->
+         List.concat_map
+           (fun n ->
+             [ Test.make ~name:(name "register" impl n) (register impl n);
+               Test.make ~name:(name "earliest" impl n) (earliest impl n);
+               Test.make ~name:(name "churn" impl n) (churn impl n) ])
+           sizes)
+       Air.Deadline_store.all_impls)
+
+(* --- PAL (E5 / Algorithm 3) ---------------------------------------------- *)
+
+let pal_tests =
+  let announce_clean () =
+    let pal =
+      Air.Pal.create ~partition:(Air_model.Ident.Partition_id.make 0) ()
+    in
+    for p = 0 to 15 do
+      Air.Pal.register_deadline pal ~process:p ((p * 1000) + 100_000_000)
+    done;
+    let now = ref 0 in
+    Staged.stage (fun () ->
+        incr now;
+        ignore
+          (Air.Pal.announce_ticks pal ~now:!now ~elapsed:1
+             ~announce_to_pos:(fun ~elapsed:_ -> ())))
+  in
+  let announce_with_violation () =
+    let pal =
+      Air.Pal.create ~partition:(Air_model.Ident.Partition_id.make 0) ()
+    in
+    let now = ref 1_000 in
+    Staged.stage (fun () ->
+        incr now;
+        (* One expired deadline per call: detect, remove, re-arm. *)
+        Air.Pal.register_deadline pal ~process:0 (!now - 1);
+        ignore
+          (Air.Pal.announce_ticks pal ~now:!now ~elapsed:1
+             ~announce_to_pos:(fun ~elapsed:_ -> ())))
+  in
+  Test.make_grouped ~name:"pal"
+    [ Test.make ~name:"announce(no violation)" (announce_clean ());
+      Test.make ~name:"announce(one violation)" (announce_with_violation ()) ]
+
+(* --- IPC (E9) ------------------------------------------------------------- *)
+
+let ipc_tests =
+  let p0 = Air_model.Ident.Partition_id.make 0
+  and p1 = Air_model.Ident.Partition_id.make 1 in
+  let network =
+    { Air_ipc.Port.ports =
+        [ Air_ipc.Port.sampling_port ~name:"S_OUT" ~partition:p0
+            ~direction:Air_ipc.Port.Source ~refresh:1000 ~max_message_size:64;
+          Air_ipc.Port.sampling_port ~name:"S_IN" ~partition:p1
+            ~direction:Air_ipc.Port.Destination ~refresh:1000
+            ~max_message_size:64;
+          Air_ipc.Port.queuing_port ~name:"Q_OUT" ~partition:p0
+            ~direction:Air_ipc.Port.Source ~depth:64 ~max_message_size:64;
+          Air_ipc.Port.queuing_port ~name:"Q_IN" ~partition:p1
+            ~direction:Air_ipc.Port.Destination ~depth:64 ~max_message_size:64 ];
+      channels =
+        [ { Air_ipc.Port.source = "S_OUT"; destinations = [ "S_IN" ] };
+          { Air_ipc.Port.source = "Q_OUT"; destinations = [ "Q_IN" ] } ] }
+  in
+  let sampling_roundtrip () =
+    let r = Air_ipc.Router.create network in
+    let msg = Bytes.make 32 'x' in
+    Staged.stage (fun () ->
+        ignore
+          (Air_ipc.Router.write_sampling r ~caller:p0 ~port:"S_OUT" ~now:0 msg);
+        ignore (Air_ipc.Router.read_sampling r ~caller:p1 ~port:"S_IN" ~now:1))
+  in
+  let queuing_roundtrip () =
+    let r = Air_ipc.Router.create network in
+    let msg = Bytes.make 32 'x' in
+    Staged.stage (fun () ->
+        ignore
+          (Air_ipc.Router.send_queuing r ~caller:p0 ~port:"Q_OUT" ~now:0 msg);
+        ignore (Air_ipc.Router.receive_queuing r ~caller:p1 ~port:"Q_IN"))
+  in
+  Test.make_grouped ~name:"ipc"
+    [ Test.make ~name:"sampling write+read (32B)" (sampling_roundtrip ());
+      Test.make ~name:"queuing send+receive (32B)" (queuing_roundtrip ()) ]
+
+(* --- MMU / TLB (E10) ------------------------------------------------------ *)
+
+let mmu_tests =
+  let p0 = Air_model.Ident.Partition_id.make 0 in
+  let maps =
+    Air_spatial.Memory.allocate
+      [ (p0,
+         [ { Air_spatial.Memory.req_section = Air_spatial.Memory.Data;
+             req_size = 256 * 1024 } ]) ]
+  in
+  let base =
+    match maps with
+    | [ { Air_spatial.Memory.regions = r :: _; _ } ] ->
+      r.Air_spatial.Memory.base
+    | _ -> assert false
+  in
+  let walk () =
+    let prot = Air_spatial.Protection.create maps in
+    let mmu = Air_spatial.Protection.mmu prot in
+    Staged.stage (fun () ->
+        ignore
+          (Air_spatial.Mmu.translate mmu ~context:1
+             ~level:Air_spatial.Memory.Application
+             ~access:Air_spatial.Mmu.Read (base + 0x2000)))
+  in
+  let tlb_hit () =
+    let prot = Air_spatial.Protection.create maps in
+    ignore
+      (Air_spatial.Protection.access prot ~partition:p0
+         ~level:Air_spatial.Memory.Application ~access:Air_spatial.Mmu.Read
+         (base + 0x2000));
+    Staged.stage (fun () ->
+        ignore
+          (Air_spatial.Protection.access prot ~partition:p0
+             ~level:Air_spatial.Memory.Application
+             ~access:Air_spatial.Mmu.Read (base + 0x2000)))
+  in
+  let fault () =
+    let prot = Air_spatial.Protection.create maps in
+    Staged.stage (fun () ->
+        ignore
+          (Air_spatial.Protection.access prot ~partition:p0
+             ~level:Air_spatial.Memory.Application
+             ~access:Air_spatial.Mmu.Read 0x7f00_0000))
+  in
+  Test.make_grouped ~name:"mmu"
+    [ Test.make ~name:"page-table walk" (walk ());
+      Test.make ~name:"tlb-served access" (tlb_hit ());
+      Test.make ~name:"fault (unmapped)" (fault ()) ]
+
+(* --- analysis (E1/E11 tooling) --------------------------------------------- *)
+
+let analysis_tests =
+  let validate_fig8 () =
+    Staged.stage (fun () ->
+        ignore (Air_model.Validate.validate Air_workload.Satellite.schedule_1))
+  in
+  let synthesize_paper () =
+    let requirements =
+      Air_workload.Satellite.schedule_1.Air_model.Schedule.requirements
+    in
+    Staged.stage (fun () ->
+        ignore (Air_analysis.Synthesis.synthesize requirements))
+  in
+  let rta_partition () =
+    let specs =
+      [| Air_model.Process.spec
+           ~periodicity:(Air_model.Process.Periodic 1300)
+           ~time_capacity:1300 ~wcet:70 ~base_priority:5 "attitude";
+         Air_model.Process.spec
+           ~periodicity:(Air_model.Process.Periodic 650) ~time_capacity:650
+           ~wcet:30 ~base_priority:9 "aux" |]
+    in
+    Staged.stage (fun () ->
+        ignore
+          (Air_analysis.Rta.analyze Air_workload.Satellite.schedule_1
+             Air_workload.Satellite.p1 specs))
+  in
+  let sbf_sweep () =
+    Staged.stage (fun () ->
+        ignore
+          (Air_analysis.Supply.sbf Air_workload.Satellite.schedule_1
+             Air_workload.Satellite.p2 1300))
+  in
+  Test.make_grouped ~name:"analysis"
+    [ Test.make ~name:"validate fig8 table" (validate_fig8 ());
+      Test.make ~name:"synthesize paper requirements" (synthesize_paper ());
+      Test.make ~name:"rta (2-process partition)" (rta_partition ());
+      Test.make ~name:"sbf (delta = MTF)" (sbf_sweep ()) ]
+
+(* --- full system ----------------------------------------------------------- *)
+
+let system_tests =
+  let prototype_tick () =
+    let s = Air_workload.Satellite.make () in
+    Staged.stage (fun () -> Air.System.step s)
+  in
+  let prototype_tick_faulty () =
+    let s = Air_workload.Satellite.make () in
+    Air.System.run s ~ticks:1;
+    Air_workload.Satellite.inject_fault s;
+    Staged.stage (fun () -> Air.System.step s)
+  in
+  Test.make_grouped ~name:"system"
+    [ Test.make ~name:"prototype tick" (prototype_tick ());
+      Test.make ~name:"prototype tick (fault active)" (prototype_tick_faulty ()) ]
+
+(* --- multicore + cluster ----------------------------------------------------- *)
+
+let extension_tests =
+  let pmk_mc_tick () =
+    let pid = Air_model.Ident.Partition_id.make in
+    let sid = Air_model.Ident.Schedule_id.make in
+    let w partition offset duration =
+      { Air_model.Schedule.partition; offset; duration }
+    in
+    let q partition cycle duration =
+      { Air_model.Schedule.partition; cycle; duration }
+    in
+    let table =
+      Air_model.Multicore.make ~id:(sid 0) ~name:"dual" ~mtf:1000
+        ~requirements:[ q (pid 0) 1000 1000; q (pid 1) 1000 1000 ]
+        [ [ w (pid 0) 0 1000 ]; [ w (pid 1) 0 1000 ] ]
+    in
+    let pmk = Air.Pmk_mc.create ~partition_count:2 [ table ] in
+    Staged.stage (fun () -> ignore (Air.Pmk_mc.tick pmk))
+  in
+  let cluster_tick () =
+    (* Two single-partition modules exchanging one frame per 100 ticks. *)
+    let pid = Air_model.Ident.Partition_id.make in
+    let sid = Air_model.Ident.Schedule_id.make in
+    let mk_module name ports channels scripts specs =
+      let p = Air_model.Partition.make ~id:(pid 0) ~name specs in
+      let schedule =
+        Air_model.Schedule.make ~id:(sid 0) ~name:"solo" ~mtf:100
+          ~requirements:
+            [ { Air_model.Schedule.partition = pid 0; cycle = 100;
+                duration = 100 } ]
+          [ { Air_model.Schedule.partition = pid 0; offset = 0;
+              duration = 100 } ]
+      in
+      Air.System.create
+        (Air.System.config
+           ~network:{ Air_ipc.Port.ports; channels }
+           ~partitions:[ Air.System.partition_setup p scripts ]
+           ~schedules:[ schedule ] ())
+    in
+    let sender =
+      mk_module "TX"
+        [ Air_ipc.Port.queuing_port ~name:"SRC" ~partition:(pid 0)
+            ~direction:Air_ipc.Port.Source ~depth:8 ~max_message_size:32;
+          Air_ipc.Port.queuing_port ~name:"GW" ~partition:(pid 0)
+            ~direction:Air_ipc.Port.Destination ~depth:8 ~max_message_size:32 ]
+        [ { Air_ipc.Port.source = "SRC"; destinations = [ "GW" ] } ]
+        [ Air_pos.Script.periodic_body
+            [ Air_pos.Script.Compute 2;
+              Air_pos.Script.Send_queuing ("SRC", "x") ] ]
+        [ Air_model.Process.spec
+            ~periodicity:(Air_model.Process.Periodic 100) ~time_capacity:100
+            ~wcet:2 ~base_priority:5 "tx" ]
+    in
+    let receiver =
+      mk_module "RX"
+        [ Air_ipc.Port.queuing_port ~name:"IN" ~partition:(pid 0)
+            ~direction:Air_ipc.Port.Destination ~depth:8 ~max_message_size:32 ]
+        []
+        [ Air_pos.Script.make
+            [ Air_pos.Script.Receive_queuing ("IN", Air_sim.Time.infinity) ] ]
+        [ Air_model.Process.spec ~base_priority:5 "rx" ]
+    in
+    let cluster =
+      Air.Cluster.create
+        ~links:
+          [ { Air.Cluster.from_module = 0; from_port = "GW"; to_module = 1;
+              to_port = "IN" } ]
+        [ sender; receiver ]
+    in
+    Staged.stage (fun () -> Air.Cluster.step cluster)
+  in
+  Test.make_grouped ~name:"extensions"
+    [ Test.make ~name:"pmk_mc tick (2 cores)" (pmk_mc_tick ());
+      Test.make ~name:"cluster tick (2 modules + bus)" (cluster_tick ()) ]
+
+(* --- harness ---------------------------------------------------------------- *)
+
+let benchmark tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true
+      ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  Analyze.merge ols instances results
+
+let print_results results =
+  (* One line per test: the OLS estimate of monotonic-clock time per run. *)
+  Hashtbl.iter
+    (fun measure per_test ->
+      if String.equal measure (Measure.label Instance.monotonic_clock) then begin
+        let rows =
+          Hashtbl.fold
+            (fun name ols acc ->
+              let estimate =
+                match Analyze.OLS.estimates ols with
+                | Some (e :: _) -> e
+                | Some [] | None -> nan
+              in
+              (name, estimate) :: acc)
+            per_test []
+        in
+        List.iter
+          (fun (name, est) ->
+            Format.printf "%-52s %12.1f ns/run@." name est)
+          (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+      end)
+    results
+
+let () =
+  let groups =
+    [ scheduler_tests; store_tests; pal_tests; ipc_tests; mmu_tests;
+      analysis_tests; system_tests; extension_tests ]
+  in
+  List.iter
+    (fun tests ->
+      Format.printf "@.-- %s --@." (Test.name tests);
+      print_results (benchmark tests))
+    groups

@@ -1,0 +1,1 @@
+bin/air_run.ml: Air Air_config Air_model Air_sim Air_vitral Arg Array Cmd Cmdliner Event Format Ident List Out_channel Printf Term

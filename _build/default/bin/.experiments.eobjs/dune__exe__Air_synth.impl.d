@@ -1,0 +1,1 @@
+bin/air_synth.ml: Air_analysis Air_model Air_vitral Arg Cmd Cmdliner Format Ident List Printf Schedule String Term Validate

@@ -1,0 +1,1 @@
+bin/air_validate.ml: Air Air_analysis Air_config Air_ipc Air_model Air_vitral Arg Cmd Cmdliner Format List Schedule Term Validate

@@ -1,0 +1,1 @@
+bin/air_validate.mli:

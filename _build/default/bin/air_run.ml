@@ -1,0 +1,143 @@
+(* air_run — run a configured AIR module and report what happened.
+
+   Loads a configuration document, simulates it for the requested number of
+   clock ticks, and prints the summary an integrator cares about: deadline
+   violations, health-monitoring events, schedule switches, processor
+   occupation, and (optionally) the tail of the event trace. *)
+
+open Cmdliner
+open Air_model
+
+let export_trace trace path =
+  Out_channel.with_open_text path (fun oc ->
+      let ppf = Format.formatter_of_out_channel oc in
+      Air_sim.Trace.iter
+        (fun t ev -> Format.fprintf ppf "%d\t%a@." t Event.pp ev)
+        trace;
+      Format.pp_print_flush ppf ())
+
+let run_cluster path ticks =
+  match Air_config.Loader.load_cluster_file path with
+  | Error e ->
+    Format.eprintf "%s: %s@." path e;
+    1
+  | Ok cluster ->
+    Air.Cluster.run cluster ~ticks;
+    let stats = Air.Cluster.stats cluster in
+    Format.printf
+      "cluster ran %d ticks: %d messages transferred, %d dropped, %d in        flight@."
+      ticks stats.Air.Cluster.transferred stats.Air.Cluster.dropped
+      stats.Air.Cluster.in_flight;
+    Array.iteri
+      (fun i system ->
+        Format.printf "module %d: %d deadline violations%s@." i
+          (List.length (Air.System.violations system))
+          (match Air.System.halted system with
+          | Some reason -> Printf.sprintf " (HALTED: %s)" reason
+          | None -> ""))
+      (Air.Cluster.systems cluster);
+    0
+
+let is_cluster_document path =
+  match Air_config.Sexp.parse_file path with
+  | Ok (Air_config.Sexp.List (Air_config.Sexp.Atom "air-cluster" :: _) :: _) ->
+    true
+  | Ok _ | Error _ -> false
+
+let run_file path ticks show_trace show_gantt export =
+  if is_cluster_document path then run_cluster path ticks
+  else
+  match Air_config.Loader.load_file path with
+  | Error e ->
+    Format.eprintf "%s: %s@." path e;
+    1
+  | Ok cfg ->
+    let system = Air.System.create cfg in
+    Air.System.run system ~ticks;
+    let trace = Air.System.trace system in
+    Format.printf "ran %d ticks%s@." ticks
+      (match Air.System.halted system with
+      | Some reason -> Printf.sprintf " (HALTED: %s)" reason
+      | None -> "");
+    let violations = Air.System.violations system in
+    Format.printf "deadline violations: %d@." (List.length violations);
+    List.iter
+      (fun (t, p, d) ->
+        Format.printf "  [%d] %a missed deadline %d@." t Ident.Process_id.pp p
+          d)
+      violations;
+    let hm_errors =
+      Air_sim.Trace.filter (fun _ -> Event.is_hm_error) trace
+    in
+    Format.printf "health-monitor errors: %d@." (List.length hm_errors);
+    List.iter
+      (fun (t, ev) -> Format.printf "  [%d] %a@." t Event.pp ev)
+      hm_errors;
+    Air_sim.Trace.iter
+      (fun t ev ->
+        if Event.is_schedule_switch ev then
+          Format.printf "  [%d] %a@." t Event.pp ev)
+      trace;
+    let partitions = Air.System.partition_ids system in
+    Format.printf "processor occupation (whole run):@.";
+    List.iter
+      (fun (owner, n) ->
+        Format.printf "  %-8s %8d ticks (%.1f%%)@."
+          (match owner with
+          | None -> "idle"
+          | Some p -> Format.asprintf "%a" Ident.Partition_id.pp p)
+          n
+          (float_of_int n /. float_of_int ticks *. 100.0))
+      (Air_vitral.Gantt.occupancy ~partitions ~from:0 ~until:ticks
+         (Air.System.activity system));
+    if show_gantt then begin
+      let upto = min ticks 2000 in
+      print_string
+        (Air_vitral.Gantt.of_activity ~partitions ~from:0 ~until:upto
+           (Air.System.activity system))
+    end;
+    if show_trace then begin
+      Format.printf "@.trace tail:@.";
+      let events = Air_sim.Trace.to_list trace in
+      let n = List.length events in
+      List.iteri
+        (fun i (t, ev) ->
+          if i >= n - 30 then Format.printf "  [%d] %a@." t Event.pp ev)
+        events
+    end;
+    (match export with
+    | None -> ()
+    | Some file ->
+      export_trace trace file;
+      Format.printf "trace exported to %s (%d events)@." file
+        (Air_sim.Trace.length trace));
+    if Air.System.halted system = None then 0 else 2
+
+let path_arg =
+  let doc = "Configuration document (.air) to run." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"CONFIG" ~doc)
+
+let ticks_arg =
+  let doc = "Number of system clock ticks to simulate." in
+  Arg.(value & opt int 10_000 & info [ "t"; "ticks" ] ~doc)
+
+let trace_flag =
+  let doc = "Print the last 30 trace events." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let gantt_flag =
+  let doc = "Print a Gantt chart of the first 2000 ticks." in
+  Arg.(value & flag & info [ "g"; "gantt" ] ~doc)
+
+let export_arg =
+  let doc = "Write the full event trace (tab-separated) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "export" ] ~docv:"FILE" ~doc)
+
+let cmd =
+  let doc = "run an AIR module from its integration configuration" in
+  Cmd.v
+    (Cmd.info "air_run" ~doc)
+    Term.(const run_file $ path_arg $ ticks_arg $ trace_flag $ gantt_flag
+          $ export_arg)
+
+let () = exit (Cmd.eval' cmd)

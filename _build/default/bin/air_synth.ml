@@ -1,0 +1,94 @@
+(* air_synth — automated generation of a partition scheduling table from
+   per-partition timing requirements (paper Sect. 1: "automated aids to the
+   definition of system parameters").
+
+   Each requirement is NAME:CYCLE:DURATION; the tool builds an
+   earliest-fit PST over the lcm of the cycles (or a requested MTF),
+   validates it against eqs. (21)–(23), and prints the table, its Gantt
+   chart and the per-cycle derivations. *)
+
+open Cmdliner
+open Air_model
+
+let parse_requirement index spec =
+  match String.split_on_char ':' spec with
+  | [ name; cycle; duration ] -> (
+    match (int_of_string_opt cycle, int_of_string_opt duration) with
+    | Some cycle, Some duration ->
+      Ok
+        ( name,
+          { Schedule.partition = Ident.Partition_id.make index;
+            cycle;
+            duration } )
+    | _ -> Error (Printf.sprintf "bad numbers in %S" spec))
+  | _ -> Error (Printf.sprintf "expected NAME:CYCLE:DURATION, got %S" spec)
+
+let synth specs mtf explain =
+  let parsed = List.mapi parse_requirement specs in
+  match
+    List.fold_right
+      (fun r acc ->
+        match (r, acc) with
+        | Ok x, Ok xs -> Ok (x :: xs)
+        | Error e, _ -> Error e
+        | _, (Error _ as e) -> e)
+      parsed (Ok [])
+  with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok named ->
+    let requirements = List.map snd named in
+    (match Air_analysis.Synthesis.synthesize ?mtf requirements with
+    | Error f ->
+      Format.eprintf "synthesis failed: %a@." Air_analysis.Synthesis.pp_failure f;
+      1
+    | Ok schedule ->
+      Format.printf "legend:@.";
+      List.iteri
+        (fun i (name, _) ->
+          Format.printf "  %a = %s@." Ident.Partition_id.pp
+            (Ident.Partition_id.make i) name)
+        named;
+      Format.printf "%a@." Schedule.pp schedule;
+      print_string (Air_vitral.Gantt.of_schedule schedule);
+      (match Validate.validate schedule with
+      | [] -> Format.printf "validation: eqs. (21)-(23) hold@."
+      | ds ->
+        List.iter
+          (fun d -> Format.printf "DIAGNOSTIC: %a@." Validate.pp_diagnostic d)
+          ds);
+      if explain then
+        List.iter
+          (fun (r : Schedule.requirement) ->
+            if r.Schedule.duration > 0 then
+              for k = 0 to (schedule.Schedule.mtf / r.Schedule.cycle) - 1 do
+                Format.printf "%t@." (fun ppf ->
+                    Validate.explain_requirement ppf schedule
+                      r.Schedule.partition ~k)
+              done)
+          requirements;
+      0)
+
+let specs_arg =
+  let doc = "Requirements, each NAME:CYCLE:DURATION (ticks)." in
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"REQ" ~doc)
+
+let mtf_arg =
+  let doc =
+    "Major time frame (rounded up to a multiple of the cycles' lcm); \
+     defaults to the lcm itself."
+  in
+  Arg.(value & opt (some int) None & info [ "m"; "mtf" ] ~doc)
+
+let explain_flag =
+  let doc = "Print the eq. (23) derivation for every cycle." in
+  Arg.(value & flag & info [ "e"; "explain" ] ~doc)
+
+let cmd =
+  let doc = "synthesize a partition scheduling table from requirements" in
+  Cmd.v
+    (Cmd.info "air_synth" ~doc)
+    Term.(const synth $ specs_arg $ mtf_arg $ explain_flag)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/config_driven.ml: Air Air_config Air_model Air_sim Air_vitral Array Event Format List Sys Validate

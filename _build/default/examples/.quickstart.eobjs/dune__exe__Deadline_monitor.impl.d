@@ -1,0 +1,1 @@
+examples/deadline_monitor.ml: Air Air_analysis Air_model Air_pos Air_sim Array Error Event Format Hm Ident Kernel List Partition Partition_id Pmk Process Process_id Schedule Schedule_id Script System

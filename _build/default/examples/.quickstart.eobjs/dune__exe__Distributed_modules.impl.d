@@ -1,0 +1,1 @@
+examples/distributed_modules.ml: Air Air_ipc Air_model Air_pos Air_sim Array Cluster Event Format Ident List Partition Partition_id Process Schedule Schedule_id Script System

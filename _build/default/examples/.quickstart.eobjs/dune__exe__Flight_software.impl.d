@@ -1,0 +1,1 @@
+examples/flight_software.ml: Air Air_model Air_pos Air_sim Event Format Ident Intra Partition Partition_id Process Result Schedule Schedule_id Script String System

@@ -1,0 +1,1 @@
+examples/mixed_criticality.ml: Air Air_model Air_pos Air_sim Air_vitral Error Event Format Ident Kernel List Partition Partition_id Process Schedule Schedule_id Script System

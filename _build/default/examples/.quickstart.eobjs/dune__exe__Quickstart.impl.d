@@ -1,0 +1,1 @@
+examples/quickstart.ml: Air Air_model Air_pos Air_sim Air_vitral Event Format Ident List Partition Partition_id Process Schedule Schedule_id Script System Validate

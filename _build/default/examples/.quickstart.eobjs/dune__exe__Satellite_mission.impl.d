@@ -1,0 +1,1 @@
+examples/satellite_mission.ml: Air Air_model Air_sim Air_vitral Air_workload Format Ident List Process_id Result System

@@ -1,0 +1,125 @@
+(* Two physically separated AIR modules — a platform computer and a payload
+   computer — exchanging messages over a simulated onboard bus
+   (paper Sect. 2.1: interpartition communication is agnostic of whether
+   partitions are local or remote; remote partitions imply "data
+   transmission through a communication infrastructure").
+
+   The platform's AOCS partition broadcasts attitude data; the payload
+   computer's instrument partition blocks on the remote port and stamps
+   each frame. The application scripts are exactly what they would be for
+   a local channel.
+
+   Run with: dune exec examples/distributed_modules.exe *)
+
+open Air_model
+open Air_pos
+open Air
+open Ident
+
+let pid = Partition_id.make
+let sid = Schedule_id.make
+
+let platform () =
+  let aocs = pid 0 in
+  let network =
+    { Air_ipc.Port.ports =
+        [ Air_ipc.Port.queuing_port ~name:"ATT_SRC" ~partition:aocs
+            ~direction:Air_ipc.Port.Source ~depth:8 ~max_message_size:64;
+          (* Gateway towards the bus: an ordinary local channel ends here;
+             the communication infrastructure picks frames up. *)
+          Air_ipc.Port.queuing_port ~name:"ATT_GW" ~partition:aocs
+            ~direction:Air_ipc.Port.Destination ~depth:8 ~max_message_size:64 ];
+      channels =
+        [ { Air_ipc.Port.source = "ATT_SRC"; destinations = [ "ATT_GW" ] } ] }
+  in
+  let partition =
+    Partition.make ~id:aocs ~name:"AOCS"
+      [ Process.spec ~periodicity:(Process.Periodic 250) ~time_capacity:250
+          ~wcet:40 ~base_priority:5 "attitude" ]
+  in
+  let schedule =
+    Schedule.make ~id:(sid 0) ~name:"platform" ~mtf:250
+      ~requirements:[ { Schedule.partition = aocs; cycle = 250; duration = 250 } ]
+      [ { Schedule.partition = aocs; offset = 0; duration = 250 } ]
+  in
+  System.create
+    (System.config ~network
+       ~partitions:
+         [ System.partition_setup partition
+             [ Script.periodic_body
+                 [ Script.Compute 40;
+                   Script.Send_queuing ("ATT_SRC", "q=[0.1 0.2 0.3 0.9]");
+                   Script.Log "attitude broadcast" ] ] ]
+       ~schedules:[ schedule ] ())
+
+let payload () =
+  let instrument = pid 0 in
+  let network =
+    { Air_ipc.Port.ports =
+        [ Air_ipc.Port.queuing_port ~name:"ATT_IN" ~partition:instrument
+            ~direction:Air_ipc.Port.Destination ~depth:8 ~max_message_size:64 ];
+      channels = [] }
+  in
+  let partition =
+    Partition.make ~id:instrument ~name:"INSTR"
+      [ Process.spec ~base_priority:5 "pointing" ]
+  in
+  let schedule =
+    Schedule.make ~id:(sid 0) ~name:"payload" ~mtf:250
+      ~requirements:
+        [ { Schedule.partition = instrument; cycle = 250; duration = 250 } ]
+      [ { Schedule.partition = instrument; offset = 0; duration = 250 } ]
+  in
+  System.create
+    (System.config ~network
+       ~partitions:
+         [ System.partition_setup partition
+             [ Script.make
+                 [ Script.Receive_queuing ("ATT_IN", Air_sim.Time.infinity);
+                   Script.Compute 10;
+                   Script.Log "pointing updated from remote attitude" ] ] ]
+       ~schedules:[ schedule ] ())
+
+let () =
+  let cluster =
+    Cluster.create
+      ~bus:{ Cluster.latency = 12; bytes_per_tick = 4 }
+      ~links:
+        [ { Cluster.from_module = 0; from_port = "ATT_GW"; to_module = 1;
+            to_port = "ATT_IN" } ]
+      [ platform (); payload () ]
+  in
+  Cluster.run cluster ~ticks:2000;
+  let stats = Cluster.stats cluster in
+  Format.printf "bus: %d frames transferred, %d dropped, %d in flight@."
+    stats.Cluster.transferred stats.Cluster.dropped stats.Cluster.in_flight;
+  let plat = (Cluster.systems cluster).(0)
+  and pay = (Cluster.systems cluster).(1) in
+  let sends =
+    Air_sim.Trace.filter
+      (fun _ -> function
+        | Event.Port_send { port = "ATT_SRC"; _ } -> true
+        | _ -> false)
+      (System.trace plat)
+  in
+  let updates =
+    Air_sim.Trace.filter
+      (fun _ -> function
+        | Event.Application_output
+            { line = "pointing updated from remote attitude"; _ } ->
+          true
+        | _ -> false)
+      (System.trace pay)
+  in
+  Format.printf "end-to-end (send at platform -> update at payload):@.";
+  List.iteri
+    (fun i ((ts, _), (tu, _)) ->
+      if i < 5 then
+        Format.printf "  frame %d: sent t=%d, applied t=%d (delay %d)@."
+          (i + 1) ts tu (tu - ts))
+    (List.combine
+       (List.filteri (fun i _ -> i < List.length updates) sends)
+       updates);
+  Format.printf
+    "@.the instrument script is identical to the local-channel case — \
+     location transparency through the PMK (paper Sect. 2.1)@."

@@ -1,0 +1,155 @@
+(* Intrapartition cooperation inside one AIR partition: a data-acquisition
+   process produces samples into a bounded buffer; a filtering process
+   consumes them; both serialize access to a shared calibration blackboard
+   with a mutex semaphore; a watchdog raises an application error when its
+   health event stays down, and the partition's error handler — started by
+   the Health Monitor — recovers.
+
+   Also shown: LOCK_PREEMPTION around the producer's critical section (the
+   filter cannot preempt mid-update), and a warm restart preserving the
+   intrapartition objects while a cold restart rebuilds them.
+
+   Run with: dune exec examples/flight_software.exe *)
+
+open Air_model
+open Air_pos
+open Air
+open Ident
+
+let pid = Partition_id.make
+
+let flight =
+  Partition.make ~id:(pid 0) ~name:"FSW"
+    [ Process.spec ~periodicity:(Process.Periodic 100) ~time_capacity:100
+        ~wcet:12 ~base_priority:4 "acquire";
+      Process.spec ~base_priority:6 "filter";
+      Process.spec ~periodicity:(Process.Periodic 400) ~time_capacity:400
+        ~wcet:6 ~base_priority:2 "watchdog";
+      Process.spec ~base_priority:0 "error-handler" ]
+
+let scripts =
+  [ (* Producer: sample, update calibration under the mutex (with
+       preemption locked), push into the buffer. *)
+    Script.periodic_body
+      [ Script.Compute 6;
+        Script.Wait_semaphore ("cal-mutex", Air_sim.Time.infinity);
+        Script.Lock_preemption;
+        Script.Compute 3;
+        Script.Display_blackboard ("calibration", "gain=1.02");
+        Script.Unlock_preemption;
+        Script.Signal_semaphore "cal-mutex";
+        Script.Send_buffer ("samples", "sample", Air_sim.Time.infinity);
+        Script.Set_event "health" ];
+    (* Consumer: block on the buffer, read calibration, process. *)
+    Script.make
+      [ Script.Receive_buffer ("samples", Air_sim.Time.infinity);
+        Script.Read_blackboard ("calibration", 0);
+        Script.Compute 8;
+        Script.Log "sample filtered" ];
+    (* Watchdog: if the health event was not set since last kick, raise an
+       application error; then rearm. *)
+    Script.periodic_body
+      [ Script.Compute 2;
+        Script.Wait_event ("health", 0);
+        Script.Reset_event "health" ];
+    (* The error handler, started by the HM on process-level errors. *)
+    Script.make
+      [ Script.Compute 1;
+        Script.Log "error handler: restarting acquisition chain";
+        Script.Start_other "acquire";
+        Script.Stop_self ] ]
+
+let schedule =
+  Schedule.make
+    ~id:(Schedule_id.make 0)
+    ~name:"fsw" ~mtf:100
+    ~requirements:[ { Schedule.partition = pid 0; cycle = 100; duration = 100 } ]
+    [ { Schedule.partition = pid 0; offset = 0; duration = 100 } ]
+
+let () =
+  let system =
+    System.create
+      (System.config
+         ~partitions:
+           [ System.partition_setup flight scripts
+               ~autostart:[ ("error-handler", false) ]
+               ~error_handler:"error-handler"
+               ~intra_objects:
+                 [ System.Semaphore_object
+                     { name = "cal-mutex"; initial = 1; maximum = 1;
+                       discipline = Intra.Priority };
+                   System.Event_object { name = "health" };
+                   System.Blackboard_object
+                     { name = "calibration"; max_message_size = 32 };
+                   System.Buffer_object
+                     { name = "samples"; depth = 8; max_message_size = 32;
+                       discipline = Intra.Fifo } ] ]
+         ~schedules:[ schedule ] ())
+  in
+  System.run system ~ticks:1000;
+  let filtered =
+    Air_sim.Trace.count
+      (function
+        | Event.Application_output { line = "sample filtered"; _ } -> true
+        | _ -> false)
+      (System.trace system)
+  in
+  Format.printf "samples filtered in 1000 ticks: %d@." filtered;
+
+  (* Sabotage: stop the producer; the watchdog's next kick finds the health
+     event down and raises an application error; the error handler restarts
+     the chain. *)
+  Format.printf "@.>>> stopping the producer mid-flight@.";
+  Result.get_ok (System.stop_process system (pid 0) ~name:"acquire");
+  let intra = System.intra_of system (pid 0) in
+  ignore (Air_pos.Intra.reset_event intra ~name:"health");
+  (* Make the watchdog raise the error through the APEX when starving: in
+     this compact example we inject it directly. *)
+  System.run system ~ticks:150;
+  (match
+     Air_pos.Intra.event_is_up intra ~name:"health"
+   with
+  | Some false ->
+    Format.printf "watchdog: health event down — raising application error@.";
+    (* The faulty condition is reported against the acquire process. *)
+    let _ = System.start_process system (pid 0) ~name:"error-handler" in
+    ()
+  | _ -> ());
+  System.run system ~ticks:300;
+  Format.printf "@.recovery trace:@.";
+  Air_sim.Trace.iter
+    (fun t ev ->
+      match ev with
+      | Event.Application_output { line; _ }
+        when String.length line >= 13
+             && String.equal (String.sub line 0 13) "error handler" ->
+        Format.printf "  [%a] %s@." Air_sim.Time.pp t line
+      | _ -> ())
+    (System.trace system);
+  let filtered_after =
+    Air_sim.Trace.count
+      (function
+        | Event.Application_output { line = "sample filtered"; _ } -> true
+        | _ -> false)
+      (System.trace system)
+  in
+  Format.printf "samples filtered after recovery: %d (chain running again)@."
+    (filtered_after - filtered);
+
+  (* Warm vs cold restart: queried right after the restart, before the
+     watchdog gets a chance to reset the event again. *)
+  let show label =
+    Format.printf "health event after %s: %s@." label
+      (match Air_pos.Intra.event_is_up intra ~name:"health" with
+      | Some true -> "up (context preserved)"
+      | Some false -> "down"
+      | None -> "object gone (context wiped, rebuilt at initialization)")
+  in
+  ignore (Air_pos.Intra.set_event intra ~now:(System.now system) ~name:"health");
+  Result.get_ok (System.restart_partition system (pid 0) Partition.Warm_start);
+  Format.printf "@.";
+  show "WARM restart";
+  System.run system ~ticks:1;
+  ignore (Air_pos.Intra.set_event intra ~now:(System.now system) ~name:"health");
+  Result.get_ok (System.restart_partition system (pid 0) Partition.Cold_start);
+  show "COLD restart"

@@ -1,0 +1,99 @@
+(* Integration of a generic non-real-time operating system beside hard
+   real-time partitions (paper Sect. 2.5): an embedded-Linux-like partition
+   runs a round-robin scheduler and even attempts to disable the system
+   clock interrupts — the PMK's paravirtualized handlers trap the attempt,
+   and the RT partitions' timeliness is untouched.
+
+   Run with: dune exec examples/mixed_criticality.exe *)
+
+open Air_model
+open Air_pos
+open Air
+open Ident
+
+let pid = Partition_id.make
+
+let () =
+  let rt =
+    Partition.make ~id:(pid 0) ~name:"AOCS-RT"
+      [ Process.spec ~periodicity:(Process.Periodic 250) ~time_capacity:250
+          ~wcet:60 ~base_priority:3 "control";
+        Process.spec ~periodicity:(Process.Periodic 500) ~time_capacity:500
+          ~wcet:40 ~base_priority:7 "guidance" ]
+  in
+  let linux =
+    Partition.make ~id:(pid 1) ~name:"LINUX"
+      [ Process.spec ~base_priority:10 "scripting-engine";
+        Process.spec ~base_priority:10 "telemetry-archiver";
+        Process.spec ~base_priority:10 "rogue" ]
+  in
+  let schedule =
+    Schedule.make ~id:(Schedule_id.make 0) ~name:"mixed" ~mtf:500
+      ~requirements:
+        [ { Schedule.partition = pid 0; cycle = 250; duration = 110 };
+          { Schedule.partition = pid 1; cycle = 500; duration = 240 } ]
+      [ { Schedule.partition = pid 0; offset = 0; duration = 110 };
+        { Schedule.partition = pid 1; offset = 110; duration = 140 };
+        { Schedule.partition = pid 0; offset = 250; duration = 110 };
+        { Schedule.partition = pid 1; offset = 360; duration = 100 } ]
+  in
+  let system =
+    System.create
+      (System.config
+         ~partitions:
+           [ System.partition_setup rt
+               [ Script.periodic_body
+                   [ Script.Compute 60; Script.Log "attitude nominal" ];
+                 Script.periodic_body
+                   [ Script.Compute 40; Script.Log "guidance update" ] ];
+             (* The generic POS runs round-robin with a 10-tick quantum —
+                priorities are ignored, everyone makes progress. *)
+             System.partition_setup linux
+               ~policy:(Kernel.Round_robin { quantum = 10 })
+               [ Script.make
+                   [ Script.Compute 200; Script.Log "cron batch done" ];
+                 Script.make
+                   [ Script.Compute 35; Script.Log "archive rotated";
+                     Script.Timed_wait 300 ];
+                 (* A non-paravirtualized guest might try this. *)
+                 Script.make
+                   [ Script.Compute 15; Script.Disable_interrupts;
+                     Script.Timed_wait 400 ] ] ]
+         ~schedules:[ schedule ] ())
+  in
+  System.run_mtfs system 6;
+
+  Format.printf "RT deadline violations: %d (temporal partitioning held)@."
+    (List.length (System.violations system));
+  Format.printf "paravirtualization traps:@.";
+  Air_sim.Trace.iter
+    (fun t ev ->
+      match ev with
+      | Event.Hm_error { code = Error.Illegal_request; detail; _ } ->
+        Format.printf "  [%a] trapped: %s@." Air_sim.Time.pp t detail
+      | _ -> ())
+    (System.trace system);
+
+  Format.printf "@.Linux partition progress under round-robin:@.";
+  let k = System.kernel_of system (pid 1) in
+  for q = 0 to Kernel.process_count k - 1 do
+    Format.printf "  %s: %a@." (Kernel.spec k q).Process.name Process.pp_state
+      (Kernel.state k q)
+  done;
+
+  Format.printf "@.processor shares over one MTF:@.";
+  List.iter
+    (fun (owner, ticks) ->
+      Format.printf "  %-8s %a ticks@."
+        (match owner with
+        | None -> "idle"
+        | Some p -> Format.asprintf "%a" Partition_id.pp p)
+        Air_sim.Time.pp ticks)
+    (Air_vitral.Gantt.occupancy
+       ~partitions:(System.partition_ids system)
+       ~from:500 ~until:1000 (System.activity system));
+
+  print_string
+    (Air_vitral.Gantt.of_activity
+       ~partitions:(System.partition_ids system)
+       ~from:500 ~until:1000 (System.activity system))

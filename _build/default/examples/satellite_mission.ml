@@ -1,0 +1,72 @@
+(* The paper's Sect. 6 prototype, end to end: four partitions (AOCS, OBDH,
+   TTC, Payload) under the two PSTs of Fig. 8, with the faulty process
+   injected on P1 and mode-based schedule switches — rendered through
+   VITRAL-style text windows (Fig. 9).
+
+   Run with: dune exec examples/satellite_mission.exe *)
+
+open Air_model
+open Air
+open Ident
+
+let () =
+  let system = Air_workload.Satellite.make () in
+
+  (* VITRAL: one window per partition plus two windows observing AIR
+     components (paper Fig. 9). *)
+  let console =
+    Air_vitral.Console.create
+      ~partitions:
+        [ (Air_workload.Satellite.p1, "AOCS (P1)");
+          (Air_workload.Satellite.p2, "OBDH (P2)");
+          (Air_workload.Satellite.p3, "TTC (P3)");
+          (Air_workload.Satellite.p4, "Payload (P4)") ]
+      ()
+  in
+
+  print_endline "=== Partition scheduling tables (paper Fig. 8) ===";
+  print_string (Air_vitral.Gantt.of_schedule Air_workload.Satellite.schedule_1);
+  print_string (Air_vitral.Gantt.of_schedule Air_workload.Satellite.schedule_2);
+
+  (* Phase 1: one clean MTF under χ1. *)
+  System.run_mtfs system 1;
+
+  (* Phase 2: inject the faulty process on P1 (the prototype's keyboard
+     action) and run two more MTFs. *)
+  print_endline "\n>>> injecting faulty process on P1";
+  Air_workload.Satellite.inject_fault system;
+  System.run_mtfs system 2;
+
+  (* Phase 3: request χ2; the switch is honoured at the end of the MTF. *)
+  print_endline ">>> requesting switch to χ2";
+  Result.get_ok (System.request_schedule system Air_workload.Satellite.chi2);
+  System.run_mtfs system 2;
+
+  (* Phase 4: back to χ1. *)
+  print_endline ">>> requesting switch back to χ1";
+  Result.get_ok (System.request_schedule system Air_workload.Satellite.chi1);
+  System.run_mtfs system 2;
+
+  Air_vitral.Console.feed_trace console (System.trace system);
+  print_endline "\n=== VITRAL (paper Fig. 9) ===";
+  print_endline (Air_vitral.Console.render console);
+
+  print_endline "\n=== Observed processor occupation, first MTF of each phase ===";
+  let partitions = System.partition_ids system in
+  List.iteri
+    (fun i from ->
+      Format.printf "phase %d (ticks %d..%d):@." (i + 1) from (from + 1300);
+      print_string
+        (Air_vitral.Gantt.of_activity ~partitions ~from ~until:(from + 1300)
+           (System.activity system)))
+    [ 0; 1300; 3900; 6500 ];
+
+  let violations = System.violations system in
+  Format.printf "@.%d deadline violations detected, all on %s:@."
+    (List.length violations)
+    Air_workload.Satellite.faulty_process_name;
+  List.iter
+    (fun (t, process, deadline) ->
+      Format.printf "  detected t=%a: %a missed deadline %a@." Air_sim.Time.pp
+        t Process_id.pp process Air_sim.Time.pp deadline)
+    violations

@@ -1,0 +1,1 @@
+lib/analysis/report.ml: Air_model Air_sim Array Format Ident List Partition Partition_id Process Rta Schedule Schedule_id Supply Validate

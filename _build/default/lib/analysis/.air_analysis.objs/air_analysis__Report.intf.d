@@ -1,0 +1,1 @@
+lib/analysis/report.mli: Air_model Air_sim Format Partition Rta Schedule Validate

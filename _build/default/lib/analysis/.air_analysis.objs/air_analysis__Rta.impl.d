@@ -1,0 +1,1 @@
+lib/analysis/rta.ml: Air_model Air_sim Array Format List Process Schedule Supply Time

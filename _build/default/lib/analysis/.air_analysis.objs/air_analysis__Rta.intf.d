@@ -1,0 +1,1 @@
+lib/analysis/rta.mli: Air_model Air_sim Format Ident Partition_id Process Schedule Time

@@ -1,0 +1,1 @@
+lib/analysis/single_level.ml: Air_model Air_sim Array Format Ident List Partition_id Process Stdlib Time

@@ -1,0 +1,1 @@
+lib/analysis/single_level.mli: Air_model Air_sim Format Ident Partition_id Process Time

@@ -1,0 +1,1 @@
+lib/analysis/supply.ml: Air_model Air_sim Ident Int List Partition_id Schedule Stdlib Time

@@ -1,0 +1,1 @@
+lib/analysis/synthesis.ml: Air_model Air_sim Array Format Ident List Partition_id Result Schedule Schedule_id Time

@@ -1,0 +1,111 @@
+open Air_model
+open Ident
+
+type partition_report = {
+  partition : Partition.t;
+  utilization : float;
+  longest_blackout : Air_sim.Time.t;
+  verdicts : Rta.verdict list;
+}
+
+type schedule_report = {
+  schedule : Schedule.t;
+  diagnostics : Validate.diagnostic list;
+  partitions : partition_report list;
+}
+
+type t = {
+  schedules : schedule_report list;
+  set_diagnostics : Validate.diagnostic list;
+  all_valid : bool;
+  all_schedulable : bool;
+}
+
+let build partitions schedules =
+  let set_diagnostics =
+    (* Keep only the set-level entries; per-schedule ones are attributed
+       below. *)
+    List.filter
+      (function
+        | Validate.Duplicate_schedule_id _ | Validate.Empty_schedule_set ->
+          true
+        | _ -> false)
+      (Validate.validate_set schedules)
+  in
+  let report_schedule (s : Schedule.t) =
+    let diagnostics = Validate.validate s in
+    let partition_reports =
+      List.filter_map
+        (fun (p : Partition.t) ->
+          match Schedule.requirement_for s p.Partition.id with
+          | None -> None
+          | Some _ ->
+            let verdicts =
+              if diagnostics = [] then
+                Rta.analyze s p.Partition.id p.Partition.processes
+              else []
+            in
+            Some
+              { partition = p;
+                utilization = Supply.utilization s p.Partition.id;
+                longest_blackout = Supply.longest_blackout s p.Partition.id;
+                verdicts })
+        partitions
+    in
+    { schedule = s; diagnostics; partitions = partition_reports }
+  in
+  let schedule_reports = List.map report_schedule schedules in
+  let all_valid =
+    set_diagnostics = []
+    && List.for_all (fun r -> r.diagnostics = []) schedule_reports
+  in
+  let all_schedulable =
+    all_valid
+    && List.for_all
+         (fun r ->
+           List.for_all
+             (fun pr ->
+               List.for_all (fun v -> v.Rta.schedulable) pr.verdicts)
+             r.partitions)
+         schedule_reports
+  in
+  { schedules = schedule_reports;
+    set_diagnostics;
+    all_valid;
+    all_schedulable }
+
+let pp ppf t =
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "SET DIAGNOSTIC: %a@." Validate.pp_diagnostic d)
+    t.set_diagnostics;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "@.schedule %a %s (MTF %a):@." Schedule_id.pp
+        r.schedule.Schedule.id r.schedule.Schedule.name Air_sim.Time.pp
+        r.schedule.Schedule.mtf;
+      (match r.diagnostics with
+      | [] -> Format.fprintf ppf "  eqs. (21)-(23): hold@."
+      | ds ->
+        List.iter
+          (fun d -> Format.fprintf ppf "  DIAGNOSTIC: %a@." Validate.pp_diagnostic d)
+          ds);
+      List.iter
+        (fun pr ->
+          Format.fprintf ppf
+            "  %a %s: utilization %.1f%%, longest blackout %a@."
+            Partition_id.pp pr.partition.Partition.id
+            pr.partition.Partition.name (pr.utilization *. 100.0)
+            Air_sim.Time.pp pr.longest_blackout;
+          List.iter
+            (fun (v : Rta.verdict) ->
+              Format.fprintf ppf "    %s %a@."
+                pr.partition.Partition.processes.(v.Rta.process).Process.name
+                Rta.pp_verdict v)
+            pr.verdicts)
+        r.partitions)
+    t.schedules;
+  Format.fprintf ppf "@.verdict: tables %s, processes %s@."
+    (if t.all_valid then "valid" else "INVALID")
+    (if t.all_schedulable then "all schedulable"
+     else "NOT all schedulable (or tables invalid)")

@@ -1,0 +1,40 @@
+(** Integration reports.
+
+    The offline verification workflow the paper motivates (Sect. 1, 5):
+    given the model-level description of a system — schedules and
+    partitions with their task sets — produce the full report an
+    integrator reviews before deployment: table validation against
+    eqs. (21)–(23), per-partition supply characteristics (utilization,
+    longest blackout — the deadline-detection latency bound), and
+    per-process response-time verdicts under every schedule. *)
+
+open Air_model
+
+type partition_report = {
+  partition : Partition.t;
+  utilization : float;
+  longest_blackout : Air_sim.Time.t;
+  verdicts : Rta.verdict list;
+}
+
+type schedule_report = {
+  schedule : Schedule.t;
+  diagnostics : Validate.diagnostic list;
+  partitions : partition_report list;
+      (** One entry per partition with a requirement in the schedule. *)
+}
+
+type t = {
+  schedules : schedule_report list;
+  set_diagnostics : Validate.diagnostic list;
+      (** Set-level diagnostics (duplicate ids, empty set). *)
+  all_valid : bool;
+  all_schedulable : bool;
+}
+
+val build : Partition.t list -> Schedule.t list -> t
+(** Partitions absent from a schedule's requirements are skipped for that
+    schedule. *)
+
+val pp : Format.formatter -> t -> unit
+(** The human-readable report. *)

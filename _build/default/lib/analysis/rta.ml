@@ -1,0 +1,117 @@
+open Air_sim
+open Air_model
+
+type verdict = {
+  process : int;
+  response_time : Time.t option;
+  deadline : Time.t;
+  schedulable : bool;
+}
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "τ%d: R=%s D=%a %s" (v.process + 1)
+    (match v.response_time with
+    | None -> "∞"
+    | Some r -> string_of_int r)
+    Time.pp v.deadline
+    (if v.schedulable then "schedulable" else "NOT schedulable")
+
+let min_interarrival (spec : Process.spec) =
+  match spec.Process.periodicity with
+  | Process.Periodic t | Process.Sporadic t -> Some t
+  | Process.Aperiodic -> None
+
+(* Demand of process i plus interference over an interval of length r.
+   Equal priorities interfere symmetrically: under the FIFO-among-equals
+   rule of eq. (14) an equal-priority peer's unfinished older activation
+   runs first regardless of task index, so both directions must be
+   counted for a sound bound. *)
+let demand specs i r =
+  let own = specs.(i).Process.wcet in
+  Array.to_list specs
+  |> List.mapi (fun j (spec : Process.spec) -> (j, spec))
+  |> List.fold_left
+       (fun acc (j, (spec : Process.spec)) ->
+         if j = i then acc
+         else if spec.Process.wcet = 0 then acc
+         else if
+           spec.Process.base_priority <= specs.(i).Process.base_priority
+         then
+           match min_interarrival spec with
+           | Some t ->
+             let jobs = ((r + t - 1) / t) in
+             acc + (jobs * spec.Process.wcet)
+           | None ->
+             (* One-shot aperiodic interference: a single job. *)
+             acc + spec.Process.wcet
+         else acc)
+       own
+
+let response_time schedule pid specs i =
+  if specs.(i).Process.wcet <= 0 then Some 0
+  else begin
+    let horizon =
+      (* Give up beyond a generous horizon: divergence means unschedulable. *)
+      16 * schedule.Schedule.mtf
+    in
+    let rec iterate r guard =
+      if guard = 0 then None
+      else begin
+        let d = demand specs i r in
+        match Supply.inverse_sbf schedule pid d with
+        | None -> None
+        | Some r' ->
+          if r' > horizon then None
+          else if r' <= r then Some r
+          else iterate r' (guard - 1)
+      end
+    in
+    iterate 1 1000
+  end
+
+let analyze schedule pid specs =
+  (match Schedule.requirement_for schedule pid with
+  | Some _ -> ()
+  | None -> invalid_arg "Rta.analyze: partition not in schedule");
+  Array.to_list
+    (Array.mapi
+       (fun i (spec : Process.spec) ->
+         let deadline = spec.Process.time_capacity in
+         let r = response_time schedule pid specs i in
+         let schedulable =
+           match r with
+           | None -> false
+           | Some r -> Time.is_infinite deadline || Time.(r <= deadline)
+         in
+         { process = i; response_time = r; deadline; schedulable })
+       specs)
+
+let all_schedulable schedule pid specs =
+  List.for_all (fun v -> v.schedulable) (analyze schedule pid specs)
+
+let scale_specs specs factor =
+  Array.map
+    (fun (spec : Process.spec) ->
+      { spec with
+        Process.wcet =
+          int_of_float (ceil (float_of_int spec.Process.wcet *. factor)) })
+    specs
+
+let breakdown_utilization schedule pid specs =
+  if not (all_schedulable schedule pid specs) then 0.0
+  else begin
+    let lo = ref 1.0 and hi = ref 1.0 in
+    while all_schedulable schedule pid (scale_specs specs !hi) && !hi < 64.0 do
+      lo := !hi;
+      hi := !hi *. 2.0
+    done;
+    if !hi >= 64.0 then !hi
+    else begin
+      while !hi -. !lo > 0.01 do
+        let mid = (!lo +. !hi) /. 2.0 in
+        if all_schedulable schedule pid (scale_specs specs mid) then lo := mid
+        else hi := mid
+      done;
+      !lo
+    end
+  end

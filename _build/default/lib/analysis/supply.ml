@@ -1,0 +1,107 @@
+open Air_sim
+open Air_model
+open Ident
+
+(* Service in one MTF-relative interval [a, b) with 0 <= a <= b <= MTF. *)
+let service_within_mtf (s : Schedule.t) pid a b =
+  List.fold_left
+    (fun acc (w : Schedule.window) ->
+      if Partition_id.equal w.partition pid then begin
+        let lo = Stdlib.max a w.offset in
+        let hi = Stdlib.min b (Time.add w.offset w.duration) in
+        if lo < hi then acc + (hi - lo) else acc
+      end
+      else acc)
+    0 s.Schedule.windows
+
+let service_in (s : Schedule.t) pid ~from ~until =
+  if until <= from then 0
+  else begin
+    let mtf = s.Schedule.mtf in
+    let per_mtf = service_within_mtf s pid 0 mtf in
+    let first_frame = from / mtf and last_frame = (until - 1) / mtf in
+    if first_frame = last_frame then
+      service_within_mtf s pid (from mod mtf) (((until - 1) mod mtf) + 1)
+    else begin
+      let head = service_within_mtf s pid (from mod mtf) mtf in
+      let tail = service_within_mtf s pid 0 (((until - 1) mod mtf) + 1) in
+      let whole_frames = last_frame - first_frame - 1 in
+      head + tail + (whole_frames * per_mtf)
+    end
+  end
+
+let sbf (s : Schedule.t) pid delta =
+  if delta <= 0 then 0
+  else begin
+    (* Worst case over all alignments: the interval may start at any offset
+       within the MTF; candidate worst starts are window boundaries (start
+       and end of each window of the partition, plus 0). *)
+    let mtf = s.Schedule.mtf in
+    let candidates =
+      0
+      :: List.concat_map
+           (fun (w : Schedule.window) ->
+             if Partition_id.equal w.partition pid then
+               [ w.offset; Time.add w.offset w.duration ]
+             else [])
+           s.Schedule.windows
+    in
+    let candidates = List.sort_uniq Int.compare candidates in
+    let candidates = List.filter (fun c -> c < mtf) candidates in
+    List.fold_left
+      (fun acc start ->
+        Stdlib.min acc (service_in s pid ~from:start ~until:(start + delta)))
+      max_int candidates
+  end
+
+let inverse_sbf (s : Schedule.t) pid c =
+  if c <= 0 then Some 0
+  else begin
+    let per_mtf = service_within_mtf s pid 0 s.Schedule.mtf in
+    if per_mtf = 0 then None
+    else begin
+      (* Binary search on the monotone sbf. Upper bound: enough whole MTFs
+         to accumulate c plus one frame of alignment slack. *)
+      let hi = ref s.Schedule.mtf in
+      while sbf s pid !hi < c do
+        hi := !hi * 2
+      done;
+      let lo = ref 0 and hi = ref !hi in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if sbf s pid mid >= c then hi := mid else lo := mid
+      done;
+      Some !hi
+    end
+  end
+
+let utilization (s : Schedule.t) pid =
+  float_of_int (service_within_mtf s pid 0 s.Schedule.mtf)
+  /. float_of_int s.Schedule.mtf
+
+let longest_blackout (s : Schedule.t) pid =
+  let mtf = s.Schedule.mtf in
+  let windows =
+    List.filter
+      (fun (w : Schedule.window) -> Partition_id.equal w.partition pid)
+      s.Schedule.windows
+  in
+  match windows with
+  | [] -> mtf
+  | _ ->
+    (* Gaps between consecutive service windows, wrapping around the MTF. *)
+    let sorted =
+      List.sort
+        (fun (a : Schedule.window) (b : Schedule.window) ->
+          Time.compare a.offset b.offset)
+        windows
+    in
+    let rec gaps acc = function
+      | (a : Schedule.window) :: ((b : Schedule.window) :: _ as rest) ->
+        gaps ((b.offset - (a.offset + a.duration)) :: acc) rest
+      | [ (last : Schedule.window) ] ->
+        let first = List.hd sorted in
+        (mtf - (last.offset + last.duration) + first.offset) :: acc
+      | [] -> acc
+    in
+    List.fold_left Stdlib.max 0 (gaps [] sorted)

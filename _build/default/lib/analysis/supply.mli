@@ -1,0 +1,35 @@
+(** Processor supply delivered to a partition by a scheduling table.
+
+    The paper's system model "lays the ground for schedulability analysis"
+    (Sect. 3); this module provides the supply side: how much processor time
+    a partition's windows guarantee over any interval — the standard
+    supply-bound function of hierarchical scheduling analysis, computed
+    exactly from the PST rather than from an abstraction. *)
+
+open Air_sim
+open Air_model
+open Ident
+
+val service_in :
+  Schedule.t -> Partition_id.t -> from:Time.t -> until:Time.t -> Time.t
+(** Exact number of ticks the partition's windows grant in [\[from, until)],
+    with the table repeating cyclically from time 0. *)
+
+val sbf : Schedule.t -> Partition_id.t -> Time.t -> Time.t
+(** [sbf s p delta]: the {e minimum} service the partition receives in any
+    interval of length [delta] — the worst case over all alignments of the
+    interval with the MTF. Monotone and superadditive-ish; [sbf s p 0 = 0]. *)
+
+val inverse_sbf : Schedule.t -> Partition_id.t -> Time.t -> Time.t option
+(** [inverse_sbf s p c]: the smallest interval length guaranteed to contain
+    [c] ticks of service; [None] if the partition never accumulates [c]
+    ticks (zero-duration partitions). *)
+
+val utilization : Schedule.t -> Partition_id.t -> float
+(** Window time over MTF. *)
+
+val longest_blackout : Schedule.t -> Partition_id.t -> Time.t
+(** Longest gap with no service for the partition — an upper bound on the
+    detection latency of a deadline that expires while the partition is
+    inactive (experiment E6). Zero when the partition has no windows never
+    happens: returns the MTF in that degenerate case. *)

@@ -1,0 +1,1 @@
+lib/config/decode.ml: Air_sim Format List Option Result Sexp String

@@ -1,0 +1,1 @@
+lib/config/decode.mli: Air_sim Format Sexp

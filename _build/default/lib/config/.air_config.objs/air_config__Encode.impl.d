@@ -1,0 +1,1 @@
+lib/config/encode.ml: Air Air_ipc Air_model Air_pos Air_sim Array Error Format Ident Intra Kernel List Partition Port Process Schedule Script Sexp Time

@@ -1,0 +1,1 @@
+lib/config/encode.mli: Air Sexp

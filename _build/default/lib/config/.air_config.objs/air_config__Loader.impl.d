@@ -1,0 +1,1 @@
+lib/config/loader.ml: Air Air_ipc Air_model Air_pos Air_sim Decode Error Filename Format Ident Kernel List Partition Port Process Schedule Script Sexp String Time

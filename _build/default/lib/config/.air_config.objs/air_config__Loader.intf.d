@@ -1,0 +1,1 @@
+lib/config/loader.mli: Air Sexp

@@ -1,0 +1,1 @@
+lib/config/sexp.ml: Buffer Format In_channel List Printf String

@@ -1,0 +1,1 @@
+lib/config/sexp.mli: Format

@@ -1,0 +1,622 @@
+open Air_sim
+open Air_model
+open Air_pos
+open Air_ipc
+open Decode
+
+(* Name → index environments built from declaration order. *)
+type env = {
+  partition_names : string list;
+  schedule_names : string list;
+}
+
+let index_of env_list kind name =
+  let rec go i = function
+    | [] -> error "unknown %s %s" kind name
+    | n :: rest -> if String.equal n name then Ok i else go (i + 1) rest
+  in
+  go 0 env_list
+
+let partition_id env name =
+  let* i = index_of env.partition_names "partition" name in
+  Ok (Ident.Partition_id.make i)
+
+(* --- Scripts ------------------------------------------------------------ *)
+
+let decode_action env s : Script.action t =
+  let* tag, args = tag_of s in
+  let str x = atom x in
+  match (tag, args) with
+  | "compute", [ n ] ->
+    let* n = int n in
+    Ok (Script.Compute n)
+  | "periodic-wait", [] -> Ok Script.Periodic_wait
+  | "timed-wait", [ d ] ->
+    let* d = time d in
+    Ok (Script.Timed_wait d)
+  | "replenish", [ b ] ->
+    let* b = time b in
+    Ok (Script.Replenish b)
+  | "write-sampling", [ port; msg ] ->
+    let* port = str port in
+    let* msg = str msg in
+    Ok (Script.Write_sampling (port, msg))
+  | "read-sampling", [ port ] ->
+    let* port = str port in
+    Ok (Script.Read_sampling port)
+  | "send-queuing", [ port; msg ] ->
+    let* port = str port in
+    let* msg = str msg in
+    Ok (Script.Send_queuing (port, msg))
+  | "receive-queuing", [ port; tmo ] ->
+    let* port = str port in
+    let* tmo = timeout tmo in
+    Ok (Script.Receive_queuing (port, tmo))
+  | "wait-semaphore", [ name; tmo ] ->
+    let* name = str name in
+    let* tmo = timeout tmo in
+    Ok (Script.Wait_semaphore (name, tmo))
+  | "signal-semaphore", [ name ] ->
+    let* name = str name in
+    Ok (Script.Signal_semaphore name)
+  | "wait-event", [ name; tmo ] ->
+    let* name = str name in
+    let* tmo = timeout tmo in
+    Ok (Script.Wait_event (name, tmo))
+  | "set-event", [ name ] ->
+    let* name = str name in
+    Ok (Script.Set_event name)
+  | "reset-event", [ name ] ->
+    let* name = str name in
+    Ok (Script.Reset_event name)
+  | "display-blackboard", [ name; msg ] ->
+    let* name = str name in
+    let* msg = str msg in
+    Ok (Script.Display_blackboard (name, msg))
+  | "clear-blackboard", [ name ] ->
+    let* name = str name in
+    Ok (Script.Clear_blackboard name)
+  | "read-blackboard", [ name; tmo ] ->
+    let* name = str name in
+    let* tmo = timeout tmo in
+    Ok (Script.Read_blackboard (name, tmo))
+  | "send-buffer", [ name; msg; tmo ] ->
+    let* name = str name in
+    let* msg = str msg in
+    let* tmo = timeout tmo in
+    Ok (Script.Send_buffer (name, msg, tmo))
+  | "receive-buffer", [ name; tmo ] ->
+    let* name = str name in
+    let* tmo = timeout tmo in
+    Ok (Script.Receive_buffer (name, tmo))
+  | "read-memory", [ addr ] ->
+    let* addr = int addr in
+    Ok (Script.Read_memory addr)
+  | "write-memory", [ addr ] ->
+    let* addr = int addr in
+    Ok (Script.Write_memory addr)
+  | "log", [ msg ] ->
+    let* msg = str msg in
+    Ok (Script.Log msg)
+  | "raise-error", [ msg ] ->
+    let* msg = str msg in
+    Ok (Script.Raise_application_error msg)
+  | "request-schedule", [ name ] ->
+    let* name = str name in
+    let* i = index_of env.schedule_names "schedule" name in
+    Ok (Script.Request_schedule i)
+  | "log-schedule-status", [] -> Ok Script.Log_schedule_status
+  | "suspend-self", [ tmo ] ->
+    let* tmo = timeout tmo in
+    Ok (Script.Suspend_self tmo)
+  | "resume", [ name ] ->
+    let* name = str name in
+    Ok (Script.Resume_process name)
+  | "start", [ name ] ->
+    let* name = str name in
+    Ok (Script.Start_other name)
+  | "stop", [ name ] ->
+    let* name = str name in
+    Ok (Script.Stop_other name)
+  | "stop-self", [] -> Ok Script.Stop_self
+  | "disable-interrupts", [] -> Ok Script.Disable_interrupts
+  | "lock-preemption", [] -> Ok Script.Lock_preemption
+  | "unlock-preemption", [] -> Ok Script.Unlock_preemption
+  | tag, _ -> error "unknown or malformed action (%s …)" tag
+
+(* --- Processes ---------------------------------------------------------- *)
+
+type process_decl = {
+  spec : Process.spec;
+  script : Script.t;
+  autostart : bool;
+}
+
+let decode_periodicity args =
+  match args with
+  | [ Sexp.Atom "aperiodic" ] -> Ok Process.Aperiodic
+  | [ Sexp.List [ Sexp.Atom "sporadic"; bound ] ] ->
+    let* bound = time bound in
+    Ok (Process.Sporadic bound)
+  | [ n ] ->
+    let* n = time n in
+    Ok (Process.Periodic n)
+  | _ -> error "expected a period, aperiodic, or (sporadic n)"
+
+let decode_process env s =
+  let* body = tagged "process" s in
+  let* f = fields_of ~context:"process" body in
+  let* name = required f "name" (one atom) in
+  let* periodicity =
+    with_default f "period" decode_periodicity Process.Aperiodic
+  in
+  let* time_capacity = with_default f "capacity" (one time) Time.infinity in
+  let* wcet = with_default f "wcet" (one time) 0 in
+  let* base_priority = with_default f "priority" (one int) 10 in
+  let* autostart = with_default f "autostart" (one bool) true in
+  let* actions = map_all (decode_action env) (rest_of f "script") in
+  let* on_end =
+    with_default f "on-end"
+      (one (fun s ->
+           let* a = atom s in
+           match a with
+           | "repeat" -> Ok Script.Repeat
+           | "stop" -> Ok Script.Stop
+           | _ -> error "expected repeat or stop, got %s" a))
+      Script.Repeat
+  in
+  let* () =
+    assert_no_extra f
+      ~known:
+        [ "name"; "period"; "capacity"; "wcet"; "priority"; "autostart";
+          "script"; "on-end" ]
+  in
+  Ok
+    { spec =
+        { Process.name; periodicity; time_capacity; wcet; base_priority };
+      script = Script.make ~on_end actions;
+      autostart }
+
+(* --- Intrapartition objects ---------------------------------------------- *)
+
+let decode_discipline = function
+  | Sexp.Atom "fifo" -> Ok Air_pos.Intra.Fifo
+  | Sexp.Atom "priority" -> Ok Air_pos.Intra.Priority
+  | s -> error "expected fifo or priority, got %s" (Sexp.to_string s)
+
+let decode_intra_object s =
+  let* tag, args = tag_of s in
+  match (tag, args) with
+  | "semaphore", name :: initial :: maximum :: rest ->
+    let* name = atom name in
+    let* initial = int initial in
+    let* maximum = int maximum in
+    let* discipline =
+      match rest with
+      | [] -> Ok Air_pos.Intra.Fifo
+      | [ d ] -> decode_discipline d
+      | _ -> error "too many arguments to semaphore"
+    in
+    Ok (Air.System.Semaphore_object { name; initial; maximum; discipline })
+  | "event", [ name ] ->
+    let* name = atom name in
+    Ok (Air.System.Event_object { name })
+  | "blackboard", [ name; size ] ->
+    let* name = atom name in
+    let* max_message_size = int size in
+    Ok (Air.System.Blackboard_object { name; max_message_size })
+  | "buffer", name :: depth :: size :: rest ->
+    let* name = atom name in
+    let* depth = int depth in
+    let* max_message_size = int size in
+    let* discipline =
+      match rest with
+      | [] -> Ok Air_pos.Intra.Fifo
+      | [ d ] -> decode_discipline d
+      | _ -> error "too many arguments to buffer"
+    in
+    Ok (Air.System.Buffer_object { name; depth; max_message_size; discipline })
+  | tag, _ -> error "unknown or malformed object (%s …)" tag
+
+(* --- Partitions --------------------------------------------------------- *)
+
+let decode_partition env index s =
+  let* body = tagged "partition" s in
+  let* f = fields_of ~context:"partition" body in
+  let* name = required f "name" (one atom) in
+  let* kind =
+    with_default f "kind"
+      (one (fun s ->
+           let* a = atom s in
+           match a with
+           | "application" -> Ok Partition.Application
+           | "system" -> Ok Partition.System
+           | _ -> error "expected application or system, got %s" a))
+      Partition.Application
+  in
+  let* policy =
+    with_default f "policy"
+      (fun args ->
+        match args with
+        | [ Sexp.Atom "priority" ] -> Ok Kernel.Priority_preemptive
+        | [ Sexp.List [ Sexp.Atom "round-robin"; q ] ] ->
+          let* quantum = int q in
+          Ok (Kernel.Round_robin { quantum })
+        | _ -> error "expected priority or (round-robin quantum)")
+      Kernel.Priority_preemptive
+  in
+  let* store =
+    with_default f "deadline-store"
+      (one (fun s ->
+           let* a = atom s in
+           match a with
+           | "linked-list" -> Ok Air.Deadline_store.Linked_list_impl
+           | "avl-tree" -> Ok Air.Deadline_store.Avl_impl
+           | "pairing-heap" -> Ok Air.Deadline_store.Pairing_impl
+           | _ -> error "unknown deadline store %s" a))
+      Air.Deadline_store.Linked_list_impl
+  in
+  let* processes =
+    map_all (decode_process env) (rest_of f "processes")
+  in
+  let* intra_objects = map_all decode_intra_object (rest_of f "objects") in
+  let* error_handler = optional f "error-handler" (one atom) in
+  let* () =
+    assert_no_extra f
+      ~known:
+        [ "name"; "kind"; "policy"; "deadline-store"; "processes"; "objects";
+          "error-handler" ]
+  in
+  let partition =
+    Partition.make ~kind
+      ~id:(Ident.Partition_id.make index)
+      ~name
+      (List.map (fun p -> p.spec) processes)
+  in
+  let setup =
+    Air.System.partition_setup ~policy ~store ~intra_objects ?error_handler
+      ~autostart:
+        (List.map
+           (fun p -> (p.spec.Process.name, p.autostart))
+           processes)
+      partition
+      (List.map (fun p -> p.script) processes)
+  in
+  Ok setup
+
+(* --- Schedules ---------------------------------------------------------- *)
+
+let decode_requirement env s =
+  let* body = tagged "req" s in
+  let* f = fields_of ~context:"req" body in
+  let* pname = required f "partition" (one atom) in
+  let* partition = partition_id env pname in
+  let* cycle = required f "cycle" (one time) in
+  let* duration = required f "duration" (one time) in
+  Ok { Schedule.partition; cycle; duration }
+
+let decode_window env s =
+  let* body = tagged "window" s in
+  let* f = fields_of ~context:"window" body in
+  let* pname = required f "partition" (one atom) in
+  let* partition = partition_id env pname in
+  let* offset = required f "offset" (one time) in
+  let* duration = required f "duration" (one time) in
+  Ok { Schedule.partition; offset; duration }
+
+let decode_change_action env s =
+  match s with
+  | Sexp.List [ Sexp.Atom pname; Sexp.Atom action ] ->
+    let* partition = partition_id env pname in
+    let* action =
+      match action with
+      | "no-action" -> Ok Schedule.No_action
+      | "warm-restart" -> Ok Schedule.Warm_restart_partition
+      | "cold-restart" -> Ok Schedule.Cold_restart_partition
+      | _ -> error "unknown change action %s" action
+    in
+    Ok (partition, action)
+  | _ -> error "expected (PARTITION ACTION)"
+
+let decode_schedule env index s =
+  let* body = tagged "schedule" s in
+  let* f = fields_of ~context:"schedule" body in
+  let* name = required f "name" (one atom) in
+  let* mtf = required f "mtf" (one time) in
+  let* requirements =
+    map_all (decode_requirement env) (rest_of f "requirements")
+  in
+  let* windows = map_all (decode_window env) (rest_of f "windows") in
+  let* change_actions =
+    map_all (decode_change_action env) (rest_of f "change-actions")
+  in
+  let* () =
+    assert_no_extra f
+      ~known:[ "name"; "mtf"; "requirements"; "windows"; "change-actions" ]
+  in
+  Ok
+    (Schedule.make ~change_actions
+       ~id:(Ident.Schedule_id.make index)
+       ~name ~mtf ~requirements windows)
+
+(* --- Ports and channels ------------------------------------------------- *)
+
+let decode_direction s =
+  let* a = atom s in
+  match a with
+  | "source" -> Ok Port.Source
+  | "destination" -> Ok Port.Destination
+  | _ -> error "expected source or destination, got %s" a
+
+let decode_port env s =
+  let* tag, body = tag_of s in
+  let* f = fields_of ~context:tag body in
+  let* name = required f "name" (one atom) in
+  let* pname = required f "partition" (one atom) in
+  let* partition = partition_id env pname in
+  let* direction = required f "direction" (one decode_direction) in
+  let* max_message_size = with_default f "max-size" (one int) 64 in
+  match tag with
+  | "sampling-port" ->
+    let* refresh = required f "refresh" (one time) in
+    Ok
+      (Port.sampling_port ~name ~partition ~direction ~refresh
+         ~max_message_size)
+  | "queuing-port" ->
+    let* depth = with_default f "depth" (one int) 8 in
+    Ok (Port.queuing_port ~name ~partition ~direction ~depth ~max_message_size)
+  | _ -> error "expected sampling-port or queuing-port, got %s" tag
+
+let decode_channel s =
+  let* body = tagged "channel" s in
+  let* f = fields_of ~context:"channel" body in
+  let* source = required f "source" (one atom) in
+  let* destinations = required f "destinations" (many atom) in
+  Ok { Port.source; destinations }
+
+(* --- Health monitoring tables ------------------------------------------- *)
+
+let decode_error_code s =
+  let* a = atom s in
+  match a with
+  | "deadline-missed" -> Ok Error.Deadline_missed
+  | "application-error" -> Ok Error.Application_error
+  | "numeric-error" -> Ok Error.Numeric_error
+  | "illegal-request" -> Ok Error.Illegal_request
+  | "stack-overflow" -> Ok Error.Stack_overflow
+  | "memory-violation" -> Ok Error.Memory_violation
+  | "hardware-fault" -> Ok Error.Hardware_fault
+  | "power-failure" -> Ok Error.Power_failure
+  | "configuration-error" -> Ok Error.Configuration_error
+  | _ -> error "unknown error code %s" a
+
+let rec decode_process_action s =
+  match s with
+  | Sexp.Atom "ignore" -> Ok Error.Ignore_error
+  | Sexp.Atom "restart-process" -> Ok Error.Restart_process
+  | Sexp.Atom "stop-process" -> Ok Error.Stop_process
+  | Sexp.Atom "stop-partition" -> Ok Error.Stop_partition_of_process
+  | Sexp.List [ Sexp.Atom "restart-partition"; Sexp.Atom mode ] ->
+    let* mode =
+      match mode with
+      | "warm" -> Ok Partition.Warm_start
+      | "cold" -> Ok Partition.Cold_start
+      | _ -> error "expected warm or cold, got %s" mode
+    in
+    Ok (Error.Restart_partition_of_process mode)
+  | Sexp.List [ Sexp.Atom "log-then"; n; inner ] ->
+    let* n = int n in
+    let* inner = decode_process_action inner in
+    Ok (Error.Log_then (n, inner))
+  | s -> error "unknown process recovery action %s" (Sexp.to_string s)
+
+let decode_partition_action s =
+  let* a = atom s in
+  match a with
+  | "ignore" -> Ok Error.Partition_ignore
+  | "idle" -> Ok Error.Partition_idle
+  | "warm-restart" -> Ok Error.Partition_warm_restart
+  | "cold-restart" -> Ok Error.Partition_cold_restart
+  | _ -> error "unknown partition recovery action %s" a
+
+let decode_module_action s =
+  let* a = atom s in
+  match a with
+  | "ignore" -> Ok Error.Module_ignore
+  | "shutdown" -> Ok Error.Module_shutdown
+  | "reset" -> Ok Error.Module_reset
+  | _ -> error "unknown module recovery action %s" a
+
+let decode_hm env args =
+  let* f = fields_of ~context:"hm" args in
+  let* process_actions =
+    map_all
+      (fun s ->
+        match s with
+        | Sexp.List [ Sexp.Atom pname; code; action ] ->
+          let* partition = partition_id env pname in
+          let* code = decode_error_code code in
+          let* action = decode_process_action action in
+          Ok (partition, code, action)
+        | _ -> error "expected (PARTITION CODE ACTION)")
+      (rest_of f "process-errors")
+  in
+  let* partition_actions =
+    map_all
+      (fun s ->
+        match s with
+        | Sexp.List [ Sexp.Atom pname; code; action ] ->
+          let* partition = partition_id env pname in
+          let* code = decode_error_code code in
+          let* action = decode_partition_action action in
+          Ok (partition, code, action)
+        | _ -> error "expected (PARTITION CODE ACTION)")
+      (rest_of f "partition-errors")
+  in
+  let* module_actions =
+    map_all
+      (fun s ->
+        match s with
+        | Sexp.List [ code; action ] ->
+          let* code = decode_error_code code in
+          let* action = decode_module_action action in
+          Ok (code, action)
+        | _ -> error "expected (CODE ACTION)")
+      (rest_of f "module-errors")
+  in
+  let* () =
+    assert_no_extra f
+      ~known:[ "process-errors"; "partition-errors"; "module-errors" ]
+  in
+  Ok { Air.Hm.process_actions; partition_actions; module_actions }
+
+(* --- Toplevel ------------------------------------------------------------ *)
+
+let name_field context s =
+  let* body = tag_of s in
+  let tag, args = body in
+  ignore tag;
+  let* f = fields_of ~context args in
+  required f "name" (one atom)
+
+let decode_system s =
+  let* body = tagged "air-system" s in
+  let* f = fields_of ~context:"air-system" body in
+  let partition_forms = rest_of f "partitions" in
+  let schedule_forms = rest_of f "schedules" in
+  let* partition_names =
+    map_all (name_field "partition") partition_forms
+  in
+  let* schedule_names = map_all (name_field "schedule") schedule_forms in
+  let env = { partition_names; schedule_names } in
+  let* partitions =
+    map_all
+      (fun (i, s) -> decode_partition env i s)
+      (List.mapi (fun i s -> (i, s)) partition_forms)
+  in
+  let* schedules =
+    map_all
+      (fun (i, s) -> decode_schedule env i s)
+      (List.mapi (fun i s -> (i, s)) schedule_forms)
+  in
+  let* ports = map_all (decode_port env) (rest_of f "ports") in
+  let* channels = map_all decode_channel (rest_of f "channels") in
+  let* initial_schedule =
+    optional f "initial-schedule"
+      (one (fun s ->
+           let* name = atom s in
+           let* i = index_of schedule_names "schedule" name in
+           Ok (Ident.Schedule_id.make i)))
+  in
+  let* hm_tables =
+    match List.assoc_opt "hm" [ ("hm", rest_of f "hm") ] with
+    | Some [] -> Ok Air.Hm.default_tables
+    | Some args -> decode_hm env args
+    | None -> Ok Air.Hm.default_tables
+  in
+  let* () =
+    assert_no_extra f
+      ~known:
+        [ "partitions"; "schedules"; "ports"; "channels"; "initial-schedule";
+          "hm" ]
+  in
+  Ok
+    (Air.System.config ?initial_schedule
+       ~network:{ Port.ports; channels }
+       ~hm_tables ~partitions ~schedules ())
+
+let load input =
+  match Sexp.parse_one input with
+  | Error e -> Error (Format.asprintf "%a" Sexp.pp_error e)
+  | Ok s -> decode_system s
+
+let load_file path =
+  match Sexp.parse_file path with
+  | Error e -> Error (Format.asprintf "%a" Sexp.pp_error e)
+  | Ok [ s ] -> decode_system s
+  | Ok _ -> Error "expected exactly one (air-system …) form"
+
+(* --- Clusters ------------------------------------------------------------ *)
+
+let decode_bus args =
+  let* f = fields_of ~context:"bus" args in
+  let* latency = with_default f "latency" (one time) Air.Cluster.default_bus.Air.Cluster.latency in
+  let* bytes_per_tick =
+    with_default f "bytes-per-tick" (one int)
+      Air.Cluster.default_bus.Air.Cluster.bytes_per_tick
+  in
+  let* () = assert_no_extra f ~known:[ "latency"; "bytes-per-tick" ] in
+  Ok { Air.Cluster.latency; bytes_per_tick }
+
+let decode_module_decl s =
+  let* body = tagged "module" s in
+  let* f = fields_of ~context:"module" body in
+  let* name = required f "name" (one atom) in
+  let* config = required f "config" (one atom) in
+  let* () = assert_no_extra f ~known:[ "name"; "config" ] in
+  Ok (name, config)
+
+let decode_link module_names s =
+  let* body = tagged "link" s in
+  let* f = fields_of ~context:"link" body in
+  let endpoint field_name =
+    match rest_of f field_name with
+    | [ Sexp.Atom m; Sexp.Atom port ] ->
+      let* i = index_of module_names "module" m in
+      Ok (i, port)
+    | _ -> error "link.%s: expected MODULE PORT" field_name
+  in
+  let* from_module, from_port = endpoint "from" in
+  let* to_module, to_port = endpoint "to" in
+  let* () = assert_no_extra f ~known:[ "from"; "to" ] in
+  Ok { Air.Cluster.from_module; from_port; to_module; to_port }
+
+let load_cluster_file path =
+  let dir = Filename.dirname path in
+  match Sexp.parse_file path with
+  | Error e -> Error (Format.asprintf "%a" Sexp.pp_error e)
+  | Ok [ doc ] -> (
+    let build =
+      let* body = tagged "air-cluster" doc in
+      let* f = fields_of ~context:"air-cluster" body in
+      let* bus =
+        match rest_of f "bus" with
+        | [] -> Ok Air.Cluster.default_bus
+        | args -> decode_bus args
+      in
+      let* modules = map_all decode_module_decl (rest_of f "modules") in
+      let* () =
+        if modules = [] then error "air-cluster: no modules" else Ok ()
+      in
+      let module_names = List.map fst modules in
+      let* links = map_all (decode_link module_names) (rest_of f "links") in
+      let* () =
+        assert_no_extra f ~known:[ "bus"; "modules"; "links" ]
+      in
+      let* systems =
+        map_all
+          (fun (name, config) ->
+            let resolved =
+              if Filename.is_relative config then Filename.concat dir config
+              else config
+            in
+            match load_file resolved with
+            | Ok cfg -> Ok (Air.System.create cfg)
+            | Error e -> error "module %s (%s): %s" name resolved e)
+          modules
+      in
+      Ok (bus, links, systems)
+    in
+    match build with
+    | Error e -> Error e
+    | Ok (bus, links, systems) -> (
+      match Air.Cluster.create ~bus ~links systems with
+      | cluster -> Ok cluster
+      | exception Invalid_argument m -> Error m))
+  | Ok _ -> Error "expected exactly one (air-cluster …) form"
+
+let schedule_index name s =
+  let* body = tagged "air-system" s in
+  let* f = fields_of ~context:"air-system" body in
+  let* names = map_all (name_field "schedule") (rest_of f "schedules") in
+  index_of names "schedule" name

@@ -1,0 +1,37 @@
+(** Loading a complete AIR module configuration from its integration file.
+
+    The textual equivalent of the ARINC 653 configuration tables: one
+    [(air-system …)] form declaring partitions (with their processes and
+    behaviour scripts), partition scheduling tables, interpartition ports
+    and channels, and health-monitoring tables. Names are resolved to dense
+    identifiers in declaration order.
+
+    See [examples/configs/] for complete documents; the grammar is
+    documented field by field in the README. *)
+
+val load : string -> (Air.System.config, string) result
+(** Parse and decode a configuration document from a string. *)
+
+val load_file : string -> (Air.System.config, string) result
+
+(** {1 Clusters}
+
+    A cluster document wires several module configurations over a bus:
+
+    {v
+(air-cluster
+  (bus (latency 12) (bytes-per-tick 4))
+  (modules (module (name platform) (config "platform.air"))
+           (module (name payload)  (config "payload.air")))
+  (links (link (from platform ATT_GW) (to payload ATT_IN))))
+    v}
+
+    Module config paths are resolved relative to the cluster document. *)
+
+val load_cluster_file : string -> (Air.Cluster.t, string) result
+(** Parses the cluster document, loads every referenced module
+    configuration, builds the systems and wires the bus links. *)
+
+val schedule_index : string -> Sexp.t -> (int, string) result
+(** Resolve a schedule name to its index within a parsed [(air-system …)]
+    form — used by tools that take a schedule by name. *)

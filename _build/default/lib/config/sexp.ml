@@ -1,0 +1,177 @@
+type t = Atom of string | List of t list
+
+type position = { line : int; column : int }
+
+type error = { message : string; position : position }
+
+let pp_error ppf e =
+  Format.fprintf ppf "line %d, column %d: %s" e.position.line
+    e.position.column e.message
+
+exception Parse_error of error
+
+type lexer = {
+  input : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable column : int;
+}
+
+let make_lexer input = { input; pos = 0; line = 1; column = 1 }
+
+let position lx = { line = lx.line; column = lx.column }
+
+let fail lx message = raise (Parse_error { message; position = position lx })
+
+let peek lx =
+  if lx.pos >= String.length lx.input then None else Some lx.input.[lx.pos]
+
+let advance lx =
+  (match peek lx with
+  | Some '\n' ->
+    lx.line <- lx.line + 1;
+    lx.column <- 1
+  | Some _ -> lx.column <- lx.column + 1
+  | None -> ());
+  lx.pos <- lx.pos + 1
+
+let rec skip_blanks lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance lx;
+    skip_blanks lx
+  | Some ';' ->
+    let rec to_eol () =
+      match peek lx with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance lx;
+        to_eol ()
+    in
+    to_eol ();
+    skip_blanks lx
+  | Some _ | None -> ()
+
+let is_atom_char = function
+  | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';' -> false
+  | _ -> true
+
+let lex_quoted lx =
+  advance lx (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek lx with
+    | None -> fail lx "unterminated string"
+    | Some '"' -> advance lx
+    | Some '\\' -> (
+      advance lx;
+      match peek lx with
+      | Some 'n' -> Buffer.add_char buf '\n'; advance lx; go ()
+      | Some 't' -> Buffer.add_char buf '\t'; advance lx; go ()
+      | Some '"' -> Buffer.add_char buf '"'; advance lx; go ()
+      | Some '\\' -> Buffer.add_char buf '\\'; advance lx; go ()
+      | Some c -> fail lx (Printf.sprintf "bad escape \\%c" c)
+      | None -> fail lx "unterminated escape")
+    | Some c ->
+      Buffer.add_char buf c;
+      advance lx;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let lex_bare lx =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek lx with
+    | Some c when is_atom_char c ->
+      Buffer.add_char buf c;
+      advance lx;
+      go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  Buffer.contents buf
+
+let rec parse_expr lx =
+  skip_blanks lx;
+  match peek lx with
+  | None -> fail lx "unexpected end of input"
+  | Some '(' ->
+    advance lx;
+    let rec elements acc =
+      skip_blanks lx;
+      match peek lx with
+      | Some ')' ->
+        advance lx;
+        List (List.rev acc)
+      | None -> fail lx "unclosed parenthesis"
+      | Some _ -> elements (parse_expr lx :: acc)
+    in
+    elements []
+  | Some ')' -> fail lx "unexpected closing parenthesis"
+  | Some '"' -> Atom (lex_quoted lx)
+  | Some _ ->
+    let a = lex_bare lx in
+    if String.equal a "" then fail lx "empty atom" else Atom a
+
+let parse input =
+  let lx = make_lexer input in
+  let rec all acc =
+    skip_blanks lx;
+    match peek lx with
+    | None -> List.rev acc
+    | Some _ -> all (parse_expr lx :: acc)
+  in
+  match all [] with
+  | exprs -> Ok exprs
+  | exception Parse_error e -> Error e
+
+let parse_one input =
+  let lx = make_lexer input in
+  match
+    let e = parse_expr lx in
+    skip_blanks lx;
+    match peek lx with
+    | None -> e
+    | Some _ -> fail lx "trailing input after expression"
+  with
+  | e -> Ok e
+  | exception Parse_error e -> Error e
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> parse contents
+  | exception Sys_error message ->
+    Error { message; position = { line = 0; column = 0 } }
+
+let needs_quoting s =
+  String.equal s "" || String.exists (fun c -> not (is_atom_char c)) s
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let rec pp ppf = function
+  | Atom a ->
+    Format.pp_print_string ppf (if needs_quoting a then quote a else a)
+  | List items ->
+    Format.fprintf ppf "@[<hov 1>(%a)@]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space pp)
+      items
+
+let to_string t = Format.asprintf "%a" pp t
+
+let atom = function Atom a -> Some a | List _ -> None
+let list = function List l -> Some l | Atom _ -> None

@@ -1,0 +1,33 @@
+(** S-expressions — the configuration syntax.
+
+    ARINC 653 systems are configured through integration-time documents
+    (XML in the standard); this repository uses s-expressions to stay free
+    of external dependencies. Atoms are bare words or double-quoted strings
+    with backslash escapes for quote, backslash, newline and tab; comments
+    run from [;] to end of line. *)
+
+type t = Atom of string | List of t list
+
+type position = { line : int; column : int }
+
+type error = { message : string; position : position }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (t list, error) result
+(** All toplevel expressions in the input. *)
+
+val parse_one : string -> (t, error) result
+(** Exactly one toplevel expression (surrounding whitespace allowed). *)
+
+val parse_file : string -> (t list, error) result
+(** Reads and parses a file; I/O failures are reported as a parse error at
+    line 0. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints a parseable rendering (atoms are quoted when needed). *)
+
+val to_string : t -> string
+
+val atom : t -> string option
+val list : t -> t list option

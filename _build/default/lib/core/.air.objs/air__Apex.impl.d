@@ -1,0 +1,1 @@
+lib/core/apex.ml: Air_ipc Air_model Air_pos Air_sim Bytes Error Event Format Ident Intra Kernel List Partition Pmk Router Time

@@ -1,0 +1,1 @@
+lib/core/apex.mli: Air_ipc Air_model Air_pos Air_sim Error Event Format Ident Intra Kernel Partition Pmk Process Router Time

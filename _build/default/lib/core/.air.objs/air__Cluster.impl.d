@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Air_sim Array Bytes Hashtbl Heap List System Time

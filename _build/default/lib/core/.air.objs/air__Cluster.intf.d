@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Air_sim System Time

@@ -1,0 +1,1 @@
+lib/core/deadline_store.ml: Air_sim Format Hashtbl Int List Option Stdlib Time

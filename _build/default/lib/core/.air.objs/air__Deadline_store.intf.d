@@ -1,0 +1,1 @@
+lib/core/deadline_store.mli: Air_sim Format Time

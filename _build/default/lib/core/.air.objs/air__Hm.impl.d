@@ -1,0 +1,1 @@
+lib/core/hm.ml: Air_model Error Hashtbl Ident List Option Partition_id

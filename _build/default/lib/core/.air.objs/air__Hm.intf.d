@@ -1,0 +1,1 @@
+lib/core/hm.mli: Air_model Error Ident Partition_id

@@ -1,0 +1,1 @@
+lib/core/pal.ml: Air_model Air_sim Deadline_store Ident List Time

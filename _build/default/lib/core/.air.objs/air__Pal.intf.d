@@ -1,0 +1,1 @@
+lib/core/pal.mli: Air_model Air_sim Deadline_store Ident Time

@@ -1,0 +1,1 @@
+lib/core/pmk.ml: Air_model Air_sim Array Format Ident List Partition_id Schedule Schedule_id Stdlib Time Validate

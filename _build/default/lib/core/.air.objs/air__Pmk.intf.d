@@ -1,0 +1,1 @@
+lib/core/pmk.mli: Air_model Air_sim Format Ident Partition_id Schedule Schedule_id Time

@@ -1,0 +1,1 @@
+lib/core/pmk_mc.ml: Air_model Array Format List Multicore Pmk

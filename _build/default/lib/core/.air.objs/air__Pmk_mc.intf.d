@@ -1,0 +1,1 @@
+lib/core/pmk_mc.mli: Air_model Air_sim Ident Multicore Partition_id Pmk Schedule_id

@@ -1,0 +1,137 @@
+open Air_sim
+
+type link = {
+  from_module : int;
+  from_port : string;
+  to_module : int;
+  to_port : string;
+}
+
+type bus = { latency : Time.t; bytes_per_tick : int }
+
+let default_bus = { latency = 4; bytes_per_tick = 16 }
+
+type transfer = {
+  arrival : Time.t;
+  target_module : int;
+  target_port : string;
+  payload : bytes;
+}
+
+type t = {
+  modules : System.t array;
+  links : link list;
+  bus : bus;
+  in_flight : transfer Heap.t;
+  mutable clock : Time.t;
+  mutable bus_busy_until : Time.t;
+  mutable transferred : int;
+  mutable dropped : int;
+}
+
+let create ?(bus = default_bus) ~links modules =
+  if modules = [] then invalid_arg "Cluster.create: no modules";
+  if bus.latency < 0 || bus.bytes_per_tick <= 0 then
+    invalid_arg "Cluster.create: bad bus parameters";
+  let n = List.length modules in
+  List.iter
+    (fun l ->
+      if
+        l.from_module < 0 || l.from_module >= n || l.to_module < 0
+        || l.to_module >= n
+      then invalid_arg "Cluster.create: link module index out of range")
+    links;
+  (* A gateway feeds exactly one link: the drain is destructive, so two
+     links sharing a gateway would race for its messages. *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun l ->
+      let key = (l.from_module, l.from_port) in
+      if Hashtbl.mem seen key then
+        invalid_arg "Cluster.create: gateway port used by more than one link"
+      else Hashtbl.add seen key ())
+    links;
+  { modules = Array.of_list modules;
+    links;
+    bus;
+    in_flight =
+      Heap.create ~cmp:(fun a b -> Time.compare a.arrival b.arrival);
+    clock = 0;
+    bus_busy_until = 0;
+    transferred = 0;
+    dropped = 0 }
+
+(* Serialize a message onto the bus: it occupies the medium for its
+   transmission time after any transfer already under way, and arrives a
+   propagation delay later. *)
+let send_on_bus t ~target_module ~target_port payload =
+  let transmission =
+    (Bytes.length payload + t.bus.bytes_per_tick - 1) / t.bus.bytes_per_tick
+  in
+  let start = Time.max t.clock t.bus_busy_until in
+  let done_transmitting = Time.add start transmission in
+  t.bus_busy_until <- done_transmitting;
+  Heap.push t.in_flight
+    { arrival = Time.add done_transmitting t.bus.latency;
+      target_module;
+      target_port;
+      payload }
+
+let drain_gateways t =
+  List.iter
+    (fun l ->
+      let source = t.modules.(l.from_module) in
+      let rec pump () =
+        match System.drain_remote source ~port:l.from_port with
+        | None -> ()
+        | Some payload ->
+          send_on_bus t ~target_module:l.to_module ~target_port:l.to_port
+            payload;
+          pump ()
+      in
+      pump ())
+    t.links
+
+let deliver_arrivals t =
+  let rec go () =
+    match Heap.peek t.in_flight with
+    | Some tr when Time.(tr.arrival <= t.clock) ->
+      ignore (Heap.pop t.in_flight);
+      (match
+         System.deliver_remote t.modules.(tr.target_module)
+           ~port:tr.target_port tr.payload
+       with
+      | Ok () -> t.transferred <- t.transferred + 1
+      | Error _ -> t.dropped <- t.dropped + 1);
+      go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+let step t =
+  Array.iter System.step t.modules;
+  t.clock <- t.clock + 1;
+  drain_gateways t;
+  deliver_arrivals t
+
+let run t ~ticks =
+  for _ = 1 to ticks do
+    step t
+  done
+
+let now t = t.clock
+
+let systems t = t.modules
+
+type stats = {
+  transferred : int;
+  dropped : int;
+  in_flight : int;
+  bus_busy_until : Time.t;
+}
+
+let stats (t : t) =
+  { transferred = t.transferred;
+    dropped = t.dropped;
+    in_flight = Heap.length t.in_flight;
+    bus_busy_until = t.bus_busy_until }

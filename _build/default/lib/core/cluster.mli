@@ -1,0 +1,59 @@
+(** Multi-module co-simulation over a communication infrastructure.
+
+    The paper's interpartition communication is location-agnostic: "for
+    physically separated partitions, this implies data transmission through
+    a communication infrastructure" (Sect. 2.1). A [Cluster.t] steps several
+    AIR modules in lockstep on a shared clock and carries messages between
+    them over a simulated bus with configurable latency and bandwidth —
+    the shape of an onboard SpaceWire or MIL-STD-1553 link.
+
+    Wiring: a remote link names a queuing {e destination} port in the
+    source module (the outbound gateway the application sends into through
+    an ordinary local channel) and a destination port in the target module.
+    Each tick the cluster drains every gateway, serializes the messages on
+    the bus (latency + size/bandwidth, one transfer at a time), and injects
+    arrivals into the target module's port, waking blocked receivers. *)
+
+open Air_sim
+
+type link = {
+  from_module : int;
+  from_port : string;   (** Queuing destination port acting as gateway. *)
+  to_module : int;
+  to_port : string;     (** Destination port in the target module. *)
+}
+
+type bus = {
+  latency : Time.t;        (** Propagation delay, ticks. *)
+  bytes_per_tick : int;    (** Bandwidth; transfers serialize. *)
+}
+
+val default_bus : bus
+(** 4 ticks latency, 16 bytes/tick. *)
+
+type t
+
+val create : ?bus:bus -> links:link list -> System.t list -> t
+(** Raises [Invalid_argument] on module indices out of range, an empty
+    module list, or two links draining the same gateway port. Port names
+    are checked lazily (a missing gateway simply never yields traffic; a
+    missing target port counts as a drop). *)
+
+val step : t -> unit
+(** One global clock tick: every module steps, gateways drain onto the
+    bus, due arrivals are delivered. *)
+
+val run : t -> ticks:int -> unit
+
+val now : t -> Time.t
+
+val systems : t -> System.t array
+
+type stats = {
+  transferred : int;       (** Messages delivered to target ports. *)
+  dropped : int;           (** Lost to target-port overflow or bad port. *)
+  in_flight : int;
+  bus_busy_until : Time.t; (** Bus occupancy horizon. *)
+}
+
+val stats : t -> stats

@@ -1,0 +1,101 @@
+open Air_model
+open Ident
+
+type tables = {
+  process_actions :
+    (Partition_id.t * Error.code * Error.process_action) list;
+  partition_actions :
+    (Partition_id.t * Error.code * Error.partition_action) list;
+  module_actions : (Error.code * Error.module_action) list;
+}
+
+let default_tables =
+  { process_actions = []; partition_actions = []; module_actions = [] }
+
+let strict_tables =
+  let every_partition make =
+    (* Strict defaults are expressed for the first 16 partitions — enough
+       for any configuration in this repository. *)
+    List.init 16 (fun i -> make (Partition_id.make i))
+  in
+  { process_actions =
+      every_partition (fun p -> (p, Error.Deadline_missed, Error.Stop_process));
+    partition_actions =
+      every_partition (fun p ->
+          (p, Error.Memory_violation, Error.Partition_warm_restart));
+    module_actions =
+      [ (Error.Hardware_fault, Error.Module_reset);
+        (Error.Power_failure, Error.Module_shutdown) ] }
+
+type t = {
+  tables : tables;
+  occurrence : (int * int option * Error.code, int) Hashtbl.t;
+      (* (partition index or -1, process, code) → count. *)
+  mutable total : int;
+}
+
+let create ?(tables = default_tables) () =
+  { tables; occurrence = Hashtbl.create 32; total = 0 }
+
+let bump t key =
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.occurrence key) + 1 in
+  Hashtbl.replace t.occurrence key n;
+  t.total <- t.total + 1;
+  n
+
+let resolve_process_error t ~partition ~process ~code =
+  let occurrences =
+    bump t (Partition_id.index partition, Some process, code)
+  in
+  let configured =
+    List.find_map
+      (fun (p, c, a) ->
+        if Partition_id.equal p partition && Error.code_equal c code then
+          Some a
+        else None)
+      t.tables.process_actions
+  in
+  match configured with
+  | None -> Error.Ignore_error
+  | Some (Error.Log_then (threshold, action)) ->
+    if occurrences <= threshold then Error.Ignore_error else action
+  | Some action -> action
+
+let resolve_partition_error t ~partition ~code =
+  ignore (bump t (Partition_id.index partition, None, code));
+  let configured =
+    List.find_map
+      (fun (p, c, a) ->
+        if Partition_id.equal p partition && Error.code_equal c code then
+          Some a
+        else None)
+      t.tables.partition_actions
+  in
+  Option.value ~default:Error.Partition_ignore configured
+
+let resolve_module_error t ~code =
+  ignore (bump t (-1, None, code));
+  let configured =
+    List.find_map
+      (fun (c, a) -> if Error.code_equal c code then Some a else None)
+      t.tables.module_actions
+  in
+  Option.value ~default:Error.Module_ignore configured
+
+let error_count t = t.total
+
+let count_for t ~partition ~code =
+  let matches (p, _, c) =
+    Error.code_equal c code
+    &&
+    match partition with
+    | None -> true
+    | Some pid -> p = Partition_id.index pid
+  in
+  Hashtbl.fold
+    (fun key n acc -> if matches key then acc + n else acc)
+    t.occurrence 0
+
+let reset_counts t =
+  Hashtbl.reset t.occurrence;
+  t.total <- 0

@@ -1,0 +1,52 @@
+open Air_sim
+open Air_model
+
+type t = {
+  partition : Ident.Partition_id.t;
+  store : Deadline_store.t;
+}
+
+let create ?(store = Deadline_store.Linked_list_impl) ~partition () =
+  { partition; store = Deadline_store.create store }
+
+let partition t = t.partition
+
+let register_deadline t ~process deadline =
+  Deadline_store.register t.store ~process deadline
+
+let unregister_deadline t ~process =
+  Deadline_store.unregister t.store ~process
+
+let earliest_deadline t = Deadline_store.earliest t.store
+
+let deadline_of t ~process = Deadline_store.find t.store ~process
+
+let deadline_count t = Deadline_store.size t.store
+
+let clear_deadlines t = Deadline_store.clear t.store
+
+type violation = { process : int; deadline : Time.t }
+
+let announce_ticks t ~now ~elapsed ~announce_to_pos =
+  (* Algorithm 3, line 1: native POS clock tick announcement, invoked with
+     the number of ticks elapsed since the partition last held the
+     processing resources. *)
+  announce_to_pos ~elapsed;
+  (* Lines 2–8: verify the earliest deadline(s); only in the presence of a
+     violation are further deadlines checked. *)
+  let rec verify acc =
+    match Deadline_store.earliest t.store with
+    | Some (process, deadline) when Time.(deadline < now) ->
+      Deadline_store.remove_earliest t.store;
+      verify ({ process; deadline } :: acc)
+    | Some _ | None -> List.rev acc
+  in
+  verify []
+
+let violations_now t ~now =
+  List.filter_map
+    (fun (process, deadline) ->
+      if Time.(deadline < now) then Some { process; deadline } else None)
+    (Deadline_store.to_sorted_list t.store)
+
+let store_impl t = Deadline_store.impl t.store

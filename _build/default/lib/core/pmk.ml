@@ -1,0 +1,214 @@
+open Air_sim
+open Air_model
+open Ident
+
+type t = {
+  schedules : Schedule.t array;
+  tables : Schedule.preemption_point array array;
+  partition_count : int;
+  mutable ticks : Time.t;
+  mutable current_schedule : int;
+  mutable next_schedule : int;
+  mutable last_schedule_switch : Time.t;
+  mutable table_iterator : int;
+  mutable heir_partition : Partition_id.t option;
+  mutable active_partition : Partition_id.t option;
+  last_tick : Time.t array;
+      (* Per partition: last tick at which it held the processing
+         resources (Algorithm 2 bookkeeping). *)
+  pending_action : Schedule.change_action option array;
+      (* Per partition: ScheduleChangeAction awaiting the first dispatch
+         after a schedule switch. *)
+}
+
+let create ?initial_schedule ~partition_count schedules_list =
+  (match Validate.validate_set schedules_list with
+  | [] -> ()
+  | d :: _ ->
+    invalid_arg
+      (Format.asprintf "Pmk.create: invalid schedules: %a"
+         Validate.pp_diagnostic d));
+  let n = List.length schedules_list in
+  let schedules = Array.make n (List.hd schedules_list) in
+  List.iter
+    (fun (s : Schedule.t) ->
+      let i = Schedule_id.index s.id in
+      if i >= n then
+        invalid_arg "Pmk.create: schedule identifiers must be dense";
+      schedules.(i) <- s)
+    schedules_list;
+  Array.iteri
+    (fun i (s : Schedule.t) ->
+      if Schedule_id.index s.id <> i then
+        invalid_arg "Pmk.create: duplicate or non-dense schedule identifiers";
+      List.iter
+        (fun (r : Schedule.requirement) ->
+          if Partition_id.index r.partition >= partition_count then
+            invalid_arg "Pmk.create: schedule references unknown partition")
+        s.requirements)
+    schedules;
+  let initial =
+    match initial_schedule with
+    | None -> 0
+    | Some id ->
+      let i = Schedule_id.index id in
+      if i >= n then invalid_arg "Pmk.create: initial schedule out of range";
+      i
+  in
+  let tables = Array.map Schedule.preemption_table schedules in
+  { schedules;
+    tables;
+    partition_count;
+    ticks = -1;
+    current_schedule = initial;
+    next_schedule = initial;
+    last_schedule_switch = Time.zero;
+    table_iterator = 0;
+    heir_partition = None;
+    active_partition = None;
+    last_tick = Array.make (Stdlib.max 1 partition_count) Time.zero;
+    pending_action = Array.make (Stdlib.max 1 partition_count) None }
+
+let schedule_count t = Array.length t.schedules
+let schedules t = Array.copy t.schedules
+
+let schedule t id =
+  let i = Schedule_id.index id in
+  if i >= Array.length t.schedules then
+    invalid_arg "Pmk.schedule: no such schedule";
+  t.schedules.(i)
+
+let current_schedule t = t.schedules.(t.current_schedule).Schedule.id
+let next_schedule t = t.schedules.(t.next_schedule).Schedule.id
+let last_schedule_switch t = t.last_schedule_switch
+let ticks t = t.ticks
+let active_partition t = t.active_partition
+let heir_partition t = t.heir_partition
+
+type switch_error = No_such_schedule of int | Same_schedule
+
+let request_schedule_switch t id =
+  let i = Schedule_id.index id in
+  if i >= Array.length t.schedules then Error (No_such_schedule i)
+  else begin
+    let no_action = i = t.current_schedule && t.next_schedule = t.current_schedule in
+    t.next_schedule <- i;
+    if no_action then Error Same_schedule else Ok ()
+  end
+
+type tick_outcome = {
+  schedule_switched : (Schedule_id.t * Schedule_id.t) option;
+  context_switch : (Partition_id.t option * Partition_id.t option) option;
+  elapsed : Time.t;
+  change_action : (Partition_id.t * Schedule.change_action) option;
+}
+
+let mtf_position t =
+  let mtf = t.schedules.(t.current_schedule).Schedule.mtf in
+  let pos = (Stdlib.max 0 t.ticks - t.last_schedule_switch) mod mtf in
+  pos
+
+(* Algorithm 1 — AIR Partition Scheduler featuring mode-based schedules. *)
+let partition_scheduler t =
+  t.ticks <- t.ticks + 1;
+  let mtf = t.schedules.(t.current_schedule).Schedule.mtf in
+  let offset = (t.ticks - t.last_schedule_switch) mod mtf in
+  let table = t.tables.(t.current_schedule) in
+  let switched = ref None in
+  if Time.equal table.(t.table_iterator).Schedule.tick offset then begin
+    (* Lines 3–7: a pending schedule switch becomes effective only at the
+       start of a major time frame. *)
+    if t.current_schedule <> t.next_schedule && offset = 0 then begin
+      let from = t.schedules.(t.current_schedule).Schedule.id in
+      t.current_schedule <- t.next_schedule;
+      t.last_schedule_switch <- t.ticks;
+      t.table_iterator <- 0;
+      switched := Some (from, t.schedules.(t.current_schedule).Schedule.id);
+      (* Arm each partition's ScheduleChangeAction, applied at its first
+         dispatch under the new schedule (Sect. 4.3). *)
+      let s = t.schedules.(t.current_schedule) in
+      List.iter
+        (fun pid ->
+          match Schedule.change_action_for s pid with
+          | Schedule.No_action -> ()
+          | action ->
+            t.pending_action.(Partition_id.index pid) <- Some action)
+        (Schedule.partitions s)
+    end;
+    (* Lines 8–9: select the heir partition and advance the iterator. *)
+    let table = t.tables.(t.current_schedule) in
+    t.heir_partition <- table.(t.table_iterator).Schedule.heir;
+    t.table_iterator <- (t.table_iterator + 1) mod Array.length table
+  end;
+  !switched
+
+(* Algorithm 2 — AIR Partition Dispatcher featuring mode-based schedules. *)
+let partition_dispatcher t =
+  let same =
+    match (t.heir_partition, t.active_partition) with
+    | None, None -> true
+    | Some h, Some a -> Partition_id.equal h a
+    | None, Some _ | Some _, None -> false
+  in
+  if same then begin
+    let elapsed =
+      match t.active_partition with None -> Time.zero | Some _ -> 1
+    in
+    (* Keep lastTick current while the partition runs, so that elapsed
+       accounting restarts cleanly after idle gaps. *)
+    (match t.active_partition with
+    | Some p -> t.last_tick.(Partition_id.index p) <- t.ticks
+    | None -> ());
+    { schedule_switched = None;
+      context_switch = None;
+      elapsed;
+      change_action = None }
+  end
+  else begin
+    let previous = t.active_partition in
+    (* SAVECONTEXT / lastTick bookkeeping for the outgoing partition. *)
+    (match previous with
+    | Some p -> t.last_tick.(Partition_id.index p) <- t.ticks - 1
+    | None -> ());
+    let elapsed, change_action =
+      match t.heir_partition with
+      | None -> (Time.zero, None)
+      | Some h ->
+        let hi = Partition_id.index h in
+        let elapsed = t.ticks - t.last_tick.(hi) in
+        t.last_tick.(hi) <- t.ticks;
+        (* PENDINGSCHEDULECHANGEACTION(heirPartition). *)
+        let action =
+          match t.pending_action.(hi) with
+          | Some a ->
+            t.pending_action.(hi) <- None;
+            Some (h, a)
+          | None -> None
+        in
+        (elapsed, action)
+    in
+    t.active_partition <- t.heir_partition;
+    { schedule_switched = None;
+      context_switch = Some (previous, t.active_partition);
+      elapsed;
+      change_action }
+  end
+
+let tick t =
+  let switched = partition_scheduler t in
+  let outcome = partition_dispatcher t in
+  { outcome with schedule_switched = switched }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "PMK: ticks=%a schedule=%a next=%a lastSwitch=%a active=%a heir=%a"
+    Time.pp t.ticks Schedule_id.pp (current_schedule t) Schedule_id.pp
+    (next_schedule t) Time.pp t.last_schedule_switch
+    (fun ppf -> function
+      | None -> Format.pp_print_string ppf "idle"
+      | Some p -> Partition_id.pp ppf p)
+    t.active_partition
+    (fun ppf -> function
+      | None -> Format.pp_print_string ppf "idle"
+      | Some p -> Partition_id.pp ppf p)
+    t.heir_partition

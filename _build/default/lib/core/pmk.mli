@@ -1,0 +1,78 @@
+(** AIR Partition Management Kernel (paper Sect. 2.1, 4).
+
+    First level of the two-level hierarchical scheduling scheme: the
+    Partition Scheduler (Algorithm 1) runs at every system clock tick,
+    consults the current partition scheduling table's preemption points and
+    selects the heir partition; the Partition Dispatcher (Algorithm 2)
+    performs the context switch, accounts the ticks elapsed since the heir
+    last ran, and applies any pending schedule-change action.
+
+    Mode-based schedules: multiple PSTs are installed at integration time;
+    {!request_schedule_switch} (APEX SET_MODULE_SCHEDULE) stores the
+    identifier of the next schedule, and the switch becomes effective at the
+    start of the next major time frame (Algorithm 1, lines 3–7). *)
+
+open Air_sim
+open Air_model
+open Ident
+
+type t
+
+val create :
+  ?initial_schedule:Schedule_id.t ->
+  partition_count:int ->
+  Schedule.t list ->
+  t
+(** Schedules are indexed by their {!Schedule_id}; ids must be dense
+    ([0 .. n-1]) and tables valid per {!Validate.validate_set} — raises
+    [Invalid_argument] otherwise. [initial_schedule] defaults to id 0. *)
+
+val schedule_count : t -> int
+val schedules : t -> Schedule.t array
+val schedule : t -> Schedule_id.t -> Schedule.t
+val current_schedule : t -> Schedule_id.t
+val next_schedule : t -> Schedule_id.t
+val last_schedule_switch : t -> Time.t
+(** Time of the last schedule switch; 0 if none ever occurred. *)
+
+val ticks : t -> Time.t
+(** The global system clock tick counter. *)
+
+val active_partition : t -> Partition_id.t option
+val heir_partition : t -> Partition_id.t option
+
+type switch_error =
+  | No_such_schedule of int
+  | Same_schedule  (** Requested schedule is already current and no switch is pending — ARINC 653 still accepts this (NO_ACTION). *)
+
+val request_schedule_switch :
+  t -> Schedule_id.t -> (unit, switch_error) result
+(** Stores the identifier; the switch happens at the top of the next MTF.
+    [Error Same_schedule] is informational — the request is remembered
+    (it cancels a pending switch back to the current schedule). *)
+
+(** Outcome of one clock tick, for the system layer to act upon. *)
+type tick_outcome = {
+  schedule_switched : (Schedule_id.t * Schedule_id.t) option;
+      (** (from, to) when this tick's MTF boundary made a pending switch
+          effective. *)
+  context_switch : (Partition_id.t option * Partition_id.t option) option;
+      (** (previous active, new active) when the dispatcher switched. *)
+  elapsed : Time.t;
+      (** Ticks elapsed since the (new) active partition last held the
+          processing resources — what the PAL announces to the POS. Zero
+          when the tick left the processor idle. *)
+  change_action : (Partition_id.t * Schedule.change_action) option;
+      (** Pending ScheduleChangeAction to apply to the dispatched partition
+          (first dispatch after a switch; [No_action] entries are not
+          reported). *)
+}
+
+val tick : t -> tick_outcome
+(** Advance the clock one tick and run Scheduler + Dispatcher. *)
+
+val mtf_position : t -> Time.t
+(** Offset of the current tick within the running MTF:
+    [(ticks - last_schedule_switch) mod MTF]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+open Air_model
+
+type t = { cores : Pmk.t array }
+
+let create ?initial_schedule ~partition_count tables =
+  if tables = [] then invalid_arg "Pmk_mc.create: no schedules";
+  List.iter
+    (fun (mc : Multicore.t) ->
+      match Multicore.validate mc with
+      | [] -> ()
+      | d :: _ ->
+        invalid_arg
+          (Format.asprintf "Pmk_mc.create: invalid table: %a"
+             Multicore.pp_diagnostic d))
+    tables;
+  let core_counts =
+    List.map (fun (mc : Multicore.t) -> Multicore.core_count mc) tables
+  in
+  let cores_n = List.hd core_counts in
+  if List.exists (fun n -> n <> cores_n) core_counts then
+    invalid_arg "Pmk_mc.create: tables disagree on core count";
+  let cores =
+    Array.init cores_n (fun core ->
+        Pmk.create ?initial_schedule ~partition_count
+          (List.map (fun mc -> Multicore.core_view mc ~core) tables))
+  in
+  { cores }
+
+let core_count t = Array.length t.cores
+let schedule_count t = Pmk.schedule_count t.cores.(0)
+let ticks t = Pmk.ticks t.cores.(0)
+let current_schedule t = Pmk.current_schedule t.cores.(0)
+let next_schedule t = Pmk.next_schedule t.cores.(0)
+
+let request_schedule_switch t id =
+  (* Broadcast; every core holds the same schedule set, so the outcomes
+     coincide — report the first core's. *)
+  let results =
+    Array.map (fun pmk -> Pmk.request_schedule_switch pmk id) t.cores
+  in
+  results.(0)
+
+let tick t = Array.map Pmk.tick t.cores
+
+let active_partitions t = Array.map Pmk.active_partition t.cores
+
+let core t i =
+  if i < 0 || i >= core_count t then invalid_arg "Pmk_mc.core: out of range";
+  t.cores.(i)

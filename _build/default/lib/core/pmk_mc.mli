@@ -1,0 +1,46 @@
+(** Multicore Partition Management Kernel — paper future-work item (iv).
+
+    One Partition Scheduler + Dispatcher pair (Algorithms 1 and 2) per
+    core, driven off the same global clock tick over a shared set of
+    multicore scheduling tables. Mode-based schedule switches are
+    broadcast: every core's scheduler stores the same next-schedule
+    identifier and, because all lanes of one table share its MTF, the
+    switch takes effect on every core at the same boundary.
+
+    Correctness relies on {!Air_model.Multicore.validate}: a partition's
+    windows never overlap across cores, so at any tick each partition is
+    active on at most one core and the per-partition POS/PAL state is only
+    ever driven from one lane. *)
+
+open Air_model
+open Ident
+
+type t
+
+val create :
+  ?initial_schedule:Schedule_id.t ->
+  partition_count:int ->
+  Multicore.t list ->
+  t
+(** Raises [Invalid_argument] if any table fails
+    {!Air_model.Multicore.validate}, the tables disagree on core count, or
+    identifiers are not dense. *)
+
+val core_count : t -> int
+val schedule_count : t -> int
+val ticks : t -> Air_sim.Time.t
+val current_schedule : t -> Schedule_id.t
+val next_schedule : t -> Schedule_id.t
+
+val request_schedule_switch :
+  t -> Schedule_id.t -> (unit, Pmk.switch_error) result
+(** Broadcast to every core's scheduler. *)
+
+val tick : t -> Pmk.tick_outcome array
+(** One outcome per core, in core order. *)
+
+val active_partitions : t -> Partition_id.t option array
+(** Who holds each core right now. *)
+
+val core : t -> int -> Pmk.t
+(** The underlying single-core scheduler (observation only). *)

@@ -1,0 +1,175 @@
+(** A complete simulated AIR module: PMK + per-partition (POS, PAL, APEX)
+    + Health Monitor + interpartition router + spatial protection.
+
+    [System] owns every component, advances the module one clock tick at a
+    time (first-level scheduling, dispatching, PAL surrogate tick
+    announcement with deadline verification, second-level process
+    scheduling, and one tick of the heir process' script), and records every
+    observable action in an event trace. *)
+
+open Air_sim
+open Air_model
+open Air_pos
+open Air_ipc
+open Air_spatial
+open Ident
+
+(** An intrapartition communication object created during partition
+    initialization (ARINC 653 objects are created before NORMAL mode). *)
+type intra_object =
+  | Semaphore_object of {
+      name : string;
+      initial : int;
+      maximum : int;
+      discipline : Intra.discipline;
+    }
+  | Event_object of { name : string }
+  | Blackboard_object of { name : string; max_message_size : int }
+  | Buffer_object of {
+      name : string;
+      depth : int;
+      max_message_size : int;
+      discipline : Intra.discipline;
+    }
+
+(** Static description of one partition: the model-level partition, one
+    behaviour script per process, POS policy and PAL store choice. *)
+type partition_setup = {
+  partition : Partition.t;
+  scripts : Script.t array;
+  policy : Kernel.policy;
+  store : Deadline_store.impl;
+  autostart : bool array;
+      (** Processes started by the partition's initialization; others wait
+          for an explicit START (e.g. the injected faulty process of the
+          paper's Sect. 6 prototype). *)
+  memory_requests : Memory.request list;
+  intra_objects : intra_object list;
+      (** Created at initialization, before the partition enters normal
+          mode. Surviving a warm restart, recreated on a cold restart. *)
+  error_handler : string option;
+      (** Name of the partition's error-handler process (ARINC 653: process
+          level errors "cause an application error handler to be invoked",
+          paper Sect. 2.4): started by the Health Monitor on any
+          process-level error of this partition, in addition to the
+          configured recovery action. The process should normally not be
+          autostarted. *)
+}
+
+val partition_setup :
+  ?policy:Kernel.policy ->
+  ?store:Deadline_store.impl ->
+  ?autostart:(string * bool) list ->
+  ?memory_requests:Memory.request list ->
+  ?intra_objects:intra_object list ->
+  ?error_handler:string ->
+  Partition.t ->
+  Script.t list ->
+  partition_setup
+(** [autostart] lists exceptions by process name (default: everything
+    autostarts). Default memory requests: one page-aligned 16 KiB region
+    each of code, data and stack. Raises [Invalid_argument] if the script
+    count differs from the partition's process count, or [error_handler]
+    names an unknown process. *)
+
+type config = {
+  partitions : partition_setup list;
+  schedules : Schedule.t list;
+  initial_schedule : Schedule_id.t option;
+  network : Port.network;
+  hm_tables : Hm.tables;
+  trace_capacity : int option;
+}
+
+val config :
+  ?initial_schedule:Schedule_id.t ->
+  ?network:Port.network ->
+  ?hm_tables:Hm.tables ->
+  ?trace_capacity:int ->
+  partitions:partition_setup list ->
+  schedules:Schedule.t list ->
+  unit ->
+  config
+
+type t
+
+val create : config -> t
+(** Validates schedules ({!Air_model.Validate.validate_set}), the port
+    network ({!Air_ipc.Port.validate}) and memory maps; raises
+    [Invalid_argument] with the first diagnostic otherwise. Partitions boot
+    in their configured initial mode (ARINC 653 default: cold start) and
+    complete initialization — starting autostart processes and entering
+    normal mode — the first time they are dispatched. *)
+
+(** {1 Advancing time} *)
+
+val step : t -> unit
+(** One system clock tick. No-op once the module is halted. *)
+
+val run : t -> ticks:int -> unit
+
+val run_mtfs : t -> int -> unit
+(** Run whole major time frames of the schedule current at each boundary. *)
+
+val now : t -> Time.t
+val halted : t -> string option
+
+(** {1 Observation} *)
+
+val trace : t -> Event.t Trace.t
+val pmk : t -> Pmk.t
+val hm : t -> Hm.t
+val router : t -> Router.t
+val protection : t -> Protection.t
+val partition_count : t -> int
+val partition_ids : t -> Partition_id.t list
+val partition_mode : t -> Partition_id.t -> Partition.mode
+val kernel_of : t -> Partition_id.t -> Kernel.t
+val pal_of : t -> Partition_id.t -> Pal.t
+val intra_of : t -> Partition_id.t -> Intra.t
+
+val region_of :
+  t -> Partition_id.t -> Memory.section -> Memory.region option
+(** The partition's allocated region for a section — scripts use it to
+    compute legitimate (or deliberately out-of-bounds) addresses. *)
+
+val violations : t -> (Time.t * Process_id.t * Time.t) list
+(** All deadline violations detected so far: (detection time, process,
+    violated deadline). *)
+
+val activity : t -> (Time.t * Partition_id.t option) list
+(** Context-switch history: (tick, partition granted the processor). *)
+
+(** {1 Operator interventions (the prototype's keyboard, Sect. 6)} *)
+
+val start_process :
+  t -> Partition_id.t -> name:string -> (unit, string) result
+(** Inject: start a (typically non-autostarted, faulty) process by name. *)
+
+val stop_process :
+  t -> Partition_id.t -> name:string -> (unit, string) result
+
+val request_schedule : t -> Schedule_id.t -> (unit, string) result
+(** Operator-requested mode-based schedule switch, honoured at the end of
+    the current major time frame. *)
+
+val restart_partition :
+  t -> Partition_id.t -> Partition.mode -> (unit, string) result
+(** Force a partition restart ([Cold_start] or [Warm_start]) or shutdown
+    ([Idle]); [Normal] is rejected. *)
+
+val deliver_remote : t -> port:string -> bytes -> (unit, string) result
+(** A message arriving from the inter-module communication infrastructure
+    (paper Sect. 2.1): injected into the named local destination port and,
+    for queuing ports, handed to a blocked receiver if one waits. Overflow
+    is reported as a port-overflow event and [Ok] — the sender cannot tell,
+    as over a real bus. *)
+
+val drain_remote : t -> port:string -> bytes option
+(** Pop one message from a local destination port acting as the gateway
+    towards the communication infrastructure. [None] when empty. *)
+
+val inject_module_error : t -> Error.code -> detail:string -> unit
+(** Report a module-level error (e.g. a simulated hardware fault or power
+    failure) to the Health Monitor; the configured module action is
+    applied — possibly stopping or reinitializing the whole system. *)

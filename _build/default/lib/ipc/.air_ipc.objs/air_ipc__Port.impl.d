@@ -1,0 +1,1 @@
+lib/ipc/port.ml: Air_model Air_sim Format Hashtbl List Partition_id Port_name Time

@@ -1,0 +1,1 @@
+lib/ipc/port.mli: Air_model Air_sim Format Partition_id Port_name Time

@@ -1,0 +1,1 @@
+lib/ipc/router.ml: Air_model Air_sim Bytes Format Hashtbl List Option Partition_id Port Port_name Queue Result Time

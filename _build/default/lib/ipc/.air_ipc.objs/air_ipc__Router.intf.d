@@ -1,0 +1,1 @@
+lib/ipc/router.mli: Air_model Air_sim Format Partition_id Port Port_name Time

@@ -1,0 +1,241 @@
+open Air_sim
+open Air_model.Ident
+
+type error =
+  | Unknown_port of Port_name.t
+  | Not_owner of { port : Port_name.t; caller : Partition_id.t }
+  | Wrong_direction of Port_name.t
+  | Wrong_mode of Port_name.t
+  | Message_too_large of { port : Port_name.t; size : int; max : int }
+  | Empty_message
+
+let pp_error ppf = function
+  | Unknown_port p -> Format.fprintf ppf "unknown port %s" p
+  | Not_owner { port; caller } ->
+    Format.fprintf ppf "port %s not owned by %a" port Partition_id.pp caller
+  | Wrong_direction p -> Format.fprintf ppf "wrong direction for port %s" p
+  | Wrong_mode p -> Format.fprintf ppf "wrong transfer mode for port %s" p
+  | Message_too_large { port; size; max } ->
+    Format.fprintf ppf "message of %d bytes exceeds %s limit %d" size port max
+  | Empty_message -> Format.pp_print_string ppf "empty message"
+
+type slot = { mutable content : (bytes * Time.t) option }
+
+type buffer =
+  | Sampling_slot of slot
+  | Queuing_buffer of { depth : int; queue : (bytes * Time.t) Queue.t }
+  | Source_end  (** Source ports buffer nothing; writes fan out. *)
+
+type endpoint = { config : Port.config; buffer : buffer }
+
+type t = {
+  endpoints : (Port_name.t, endpoint) Hashtbl.t;
+  routes : (Port_name.t, Port_name.t list) Hashtbl.t;
+      (** Source port → destination ports. *)
+  mutable messages_sent : int;
+  mutable messages_received : int;
+  mutable bytes_copied : int;
+  mutable overflows : int;
+}
+
+type validity = Valid | Invalid
+
+let pp_validity ppf v =
+  Format.pp_print_string ppf
+    (match v with Valid -> "valid" | Invalid -> "invalid")
+
+let create (net : Port.network) =
+  (match Port.validate net with
+  | [] -> ()
+  | d :: _ -> invalid_arg ("Router.create: " ^ d));
+  let endpoints = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Port.config) ->
+      let buffer =
+        match (c.direction, c.kind) with
+        | Port.Source, _ -> Source_end
+        | Port.Destination, Port.Sampling _ ->
+          Sampling_slot { content = None }
+        | Port.Destination, Port.Queuing { depth } ->
+          Queuing_buffer { depth; queue = Queue.create () }
+      in
+      Hashtbl.replace endpoints c.name { config = c; buffer })
+    net.ports;
+  let routes = Hashtbl.create 16 in
+  List.iter
+    (fun (ch : Port.channel) ->
+      Hashtbl.replace routes ch.source ch.destinations)
+    net.channels;
+  { endpoints; routes; messages_sent = 0; messages_received = 0;
+    bytes_copied = 0; overflows = 0 }
+
+let port_config t name =
+  Option.map (fun e -> e.config) (Hashtbl.find_opt t.endpoints name)
+
+let find t name =
+  match Hashtbl.find_opt t.endpoints name with
+  | None -> Error (Unknown_port name)
+  | Some e -> Ok e
+
+let check_owner caller (e : endpoint) =
+  if Partition_id.equal e.config.Port.partition caller then Ok e
+  else Error (Not_owner { port = e.config.Port.name; caller })
+
+let check_direction dir (e : endpoint) =
+  if Port.direction_equal e.config.Port.direction dir then Ok e
+  else Error (Wrong_direction e.config.Port.name)
+
+let check_payload (msg : bytes) (e : endpoint) =
+  let size = Bytes.length msg in
+  if size = 0 then Error Empty_message
+  else if size > e.config.Port.max_message_size then
+    Error
+      (Message_too_large
+         { port = e.config.Port.name;
+           size;
+           max = e.config.Port.max_message_size })
+  else Ok e
+
+let ( let* ) r f = Result.bind r f
+
+let destinations t source = Option.value ~default:[] (Hashtbl.find_opt t.routes source)
+
+let write_sampling t ~caller ~port ~now msg =
+  let* e = find t port in
+  let* e = check_owner caller e in
+  let* e = check_direction Port.Source e in
+  let* e = check_payload msg e in
+  match e.config.Port.kind with
+  | Port.Queuing _ -> Error (Wrong_mode port)
+  | Port.Sampling _ ->
+    List.iter
+      (fun dest ->
+        match Hashtbl.find_opt t.endpoints dest with
+        | Some { buffer = Sampling_slot slot; _ } ->
+          (* Memory-to-memory copy: the destination never aliases the
+             sender's buffer. *)
+          slot.content <- Some (Bytes.copy msg, now);
+          t.bytes_copied <- t.bytes_copied + Bytes.length msg
+        | Some _ | None -> ())
+      (destinations t port);
+    t.messages_sent <- t.messages_sent + 1;
+    Ok ()
+
+let read_sampling t ~caller ~port ~now =
+  let* e = find t port in
+  let* e = check_owner caller e in
+  let* e = check_direction Port.Destination e in
+  match (e.config.Port.kind, e.buffer) with
+  | Port.Sampling { refresh }, Sampling_slot slot -> (
+    match slot.content with
+    | None -> Ok (Bytes.create 0, Invalid)
+    | Some (msg, written) ->
+      let validity =
+        if Time.(now <= Time.add written refresh) then Valid else Invalid
+      in
+      t.messages_received <- t.messages_received + 1;
+      Ok (Bytes.copy msg, validity))
+  | (Port.Queuing _ | Port.Sampling _), _ -> Error (Wrong_mode port)
+
+type send_outcome = {
+  delivered : Port_name.t list;
+  overflowed : Port_name.t list;
+}
+
+let send_queuing t ~caller ~port ~now msg =
+  let* e = find t port in
+  let* e = check_owner caller e in
+  let* e = check_direction Port.Source e in
+  let* e = check_payload msg e in
+  match e.config.Port.kind with
+  | Port.Sampling _ -> Error (Wrong_mode port)
+  | Port.Queuing _ ->
+    let delivered = ref [] and overflowed = ref [] in
+    List.iter
+      (fun dest ->
+        match Hashtbl.find_opt t.endpoints dest with
+        | Some { buffer = Queuing_buffer { depth; queue }; _ } ->
+          if Queue.length queue >= depth then begin
+            t.overflows <- t.overflows + 1;
+            overflowed := dest :: !overflowed
+          end
+          else begin
+            Queue.push (Bytes.copy msg, now) queue;
+            t.bytes_copied <- t.bytes_copied + Bytes.length msg;
+            delivered := dest :: !delivered
+          end
+        | Some _ | None -> ())
+      (destinations t port);
+    t.messages_sent <- t.messages_sent + 1;
+    Ok { delivered = List.rev !delivered; overflowed = List.rev !overflowed }
+
+let receive_queuing t ~caller ~port =
+  let* e = find t port in
+  let* e = check_owner caller e in
+  let* e = check_direction Port.Destination e in
+  match e.buffer with
+  | Queuing_buffer { queue; _ } ->
+    if Queue.is_empty queue then Ok None
+    else begin
+      let msg, _ = Queue.pop queue in
+      t.messages_received <- t.messages_received + 1;
+      Ok (Some msg)
+    end
+  | Sampling_slot _ | Source_end -> Error (Wrong_mode port)
+
+let pending t ~port =
+  match Hashtbl.find_opt t.endpoints port with
+  | Some { buffer = Queuing_buffer { queue; _ }; _ } -> Queue.length queue
+  | Some _ | None -> 0
+
+let last_write_time t ~port =
+  match Hashtbl.find_opt t.endpoints port with
+  | Some { buffer = Sampling_slot { content = Some (_, time) }; _ } ->
+    Some time
+  | Some _ | None -> None
+
+type inject_outcome = Injected | Inject_overflow | Inject_bad_port
+
+let inject t ~port ~now msg =
+  match Hashtbl.find_opt t.endpoints port with
+  | None -> Inject_bad_port
+  | Some e ->
+    if
+      Bytes.length msg = 0
+      || Bytes.length msg > e.config.Port.max_message_size
+    then Inject_bad_port
+    else begin
+      match e.buffer with
+      | Sampling_slot slot ->
+        slot.content <- Some (Bytes.copy msg, now);
+        t.bytes_copied <- t.bytes_copied + Bytes.length msg;
+        Injected
+      | Queuing_buffer { depth; queue } ->
+        if Queue.length queue >= depth then begin
+          t.overflows <- t.overflows + 1;
+          Inject_overflow
+        end
+        else begin
+          Queue.push (Bytes.copy msg, now) queue;
+          t.bytes_copied <- t.bytes_copied + Bytes.length msg;
+          Injected
+        end
+      | Source_end -> Inject_bad_port
+    end
+
+type stats = {
+  messages_sent : int;
+  messages_received : int;
+  bytes_copied : int;
+  overflows : int;
+}
+
+let stats (t : t) =
+  { messages_sent = t.messages_sent;
+    messages_received = t.messages_received;
+    bytes_copied = t.bytes_copied;
+    overflows = t.overflows }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "sent=%d received=%d bytes=%d overflows=%d"
+    s.messages_sent s.messages_received s.bytes_copied s.overflows

@@ -1,0 +1,118 @@
+(** Runtime message transport between partitions.
+
+    The AIR PMK implements interpartition communication for co-located
+    partitions as memory-to-memory copies that do not violate spatial
+    separation (paper Sect. 2.1): a write through a source port is fanned
+    out, by copy, into the buffers of every destination port of the channel.
+    The router owns those buffers; partitions only ever see copies of their
+    own messages. *)
+
+open Air_sim
+open Air_model.Ident
+
+type t
+
+type error =
+  | Unknown_port of Port_name.t
+  | Not_owner of { port : Port_name.t; caller : Partition_id.t }
+      (** Port belongs to a different partition. *)
+  | Wrong_direction of Port_name.t
+  | Wrong_mode of Port_name.t  (** Sampling operation on a queuing port, etc. *)
+  | Message_too_large of { port : Port_name.t; size : int; max : int }
+  | Empty_message
+
+val pp_error : Format.formatter -> error -> unit
+
+val create : Port.network -> t
+(** Raises [Invalid_argument] when {!Port.validate} reports diagnostics. *)
+
+val port_config : t -> Port_name.t -> Port.config option
+
+(** {1 Sampling mode} *)
+
+type validity = Valid | Invalid
+
+val pp_validity : Format.formatter -> validity -> unit
+
+val write_sampling :
+  t ->
+  caller:Partition_id.t ->
+  port:Port_name.t ->
+  now:Time.t ->
+  bytes ->
+  (unit, error) result
+(** Copies the message into every destination slot of the port's channel
+    (no channel attached: the write succeeds and the message goes nowhere,
+    as with an unconnected physical link). *)
+
+val read_sampling :
+  t ->
+  caller:Partition_id.t ->
+  port:Port_name.t ->
+  now:Time.t ->
+  (bytes * validity, error) result
+(** Non-destructive read of the destination slot. An empty slot reads as an
+    empty message with [Invalid] validity; a stale message (older than the
+    port's refresh period) reads [Invalid]. The returned bytes are a fresh
+    copy. *)
+
+(** {1 Queuing mode} *)
+
+type send_outcome = {
+  delivered : Port_name.t list;
+  overflowed : Port_name.t list;
+      (** Destinations whose queue was full; the message was discarded
+          there and the overflow is reported to health monitoring. *)
+}
+
+val send_queuing :
+  t ->
+  caller:Partition_id.t ->
+  port:Port_name.t ->
+  now:Time.t ->
+  bytes ->
+  (send_outcome, error) result
+
+val receive_queuing :
+  t ->
+  caller:Partition_id.t ->
+  port:Port_name.t ->
+  (bytes option, error) result
+(** [Ok None] when the queue is empty (the APEX layer maps it to
+    NOT_AVAILABLE or blocks the caller). FIFO order. *)
+
+val pending : t -> port:Port_name.t -> int
+(** Messages currently queued at a destination port (0 for sampling and
+    source ports). *)
+
+val last_write_time : t -> port:Port_name.t -> Time.t option
+(** For a sampling destination: timestamp of the message in the slot. *)
+
+(** {1 Remote delivery}
+
+    For physically separated partitions, interpartition communication
+    "implies data transmission through a communication infrastructure"
+    (paper Sect. 2.1). The PMK-side entry point: a message arriving from
+    the infrastructure is injected directly into a local destination
+    port's buffer, as if a local channel had delivered it. *)
+
+type inject_outcome = Injected | Inject_overflow | Inject_bad_port
+
+val inject :
+  t -> port:Port_name.t -> now:Time.t -> bytes -> inject_outcome
+(** Write into a destination port: overwrite for sampling, enqueue for
+    queuing (bounded — [Inject_overflow] on a full queue). Size limits are
+    enforced as for local traffic ([Inject_bad_port] also covers oversized
+    or empty messages). *)
+
+(** {1 Accounting} *)
+
+type stats = {
+  messages_sent : int;
+  messages_received : int;
+  bytes_copied : int;
+  overflows : int;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,1 @@
+lib/model/error.ml: Format Partition

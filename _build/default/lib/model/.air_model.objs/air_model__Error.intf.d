@@ -1,0 +1,1 @@
+lib/model/error.mli: Format Partition

@@ -1,0 +1,1 @@
+lib/model/event.ml: Air_sim Error Format Ident Partition Partition_id Port_name Process Process_id Schedule Schedule_id String Time

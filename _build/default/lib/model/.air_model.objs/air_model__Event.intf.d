@@ -1,0 +1,1 @@
+lib/model/event.mli: Air_sim Error Format Ident Partition Partition_id Port_name Process Process_id Schedule Schedule_id Time

@@ -1,0 +1,1 @@
+lib/model/ident.ml: Format Int String

@@ -1,0 +1,1 @@
+lib/model/multicore.ml: Air_sim Array Format Ident List Partition_id Printf Schedule Schedule_id Time Validate

@@ -1,0 +1,1 @@
+lib/model/partition.ml: Array Format Ident Process String

@@ -1,0 +1,1 @@
+lib/model/partition.mli: Format Ident Process

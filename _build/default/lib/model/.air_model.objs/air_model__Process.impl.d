@@ -1,0 +1,1 @@
+lib/model/process.ml: Air_sim Format Time

@@ -1,0 +1,1 @@
+lib/model/process.mli: Air_sim Format Time

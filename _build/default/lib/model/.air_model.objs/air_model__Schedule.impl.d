@@ -1,0 +1,1 @@
+lib/model/schedule.ml: Air_sim Array Format Ident List Partition_id Schedule_id Time

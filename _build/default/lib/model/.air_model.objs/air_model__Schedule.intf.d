@@ -1,0 +1,1 @@
+lib/model/schedule.mli: Air_sim Format Ident Partition_id Schedule_id Time

@@ -1,0 +1,1 @@
+lib/model/validate.ml: Air_sim Format Hashtbl Ident List Partition_id Schedule Schedule_id Time

@@ -1,0 +1,1 @@
+lib/model/validate.mli: Air_sim Format Ident Partition_id Schedule Schedule_id Time

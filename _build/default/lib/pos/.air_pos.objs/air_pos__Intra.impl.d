@@ -1,0 +1,1 @@
+lib/pos/intra.ml: Air_sim Array Bytes Format Hashtbl Kernel List Option Queue Stdlib String Time

@@ -1,0 +1,1 @@
+lib/pos/intra.mli: Air_sim Format Kernel Time

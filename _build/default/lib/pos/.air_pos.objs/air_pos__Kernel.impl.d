@@ -1,0 +1,1 @@
+lib/pos/kernel.ml: Air_model Air_sim Array Format Ident Int List Process String Time

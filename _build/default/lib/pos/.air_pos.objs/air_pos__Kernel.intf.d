@@ -1,0 +1,1 @@
+lib/pos/kernel.mli: Air_model Air_sim Format Ident Process Time

@@ -1,0 +1,1 @@
+lib/pos/script.ml: Air_sim Array Format Time

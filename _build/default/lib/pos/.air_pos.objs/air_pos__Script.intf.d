@@ -1,0 +1,1 @@
+lib/pos/script.mli: Air_sim Format Time

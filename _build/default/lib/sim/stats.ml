@@ -1,0 +1,85 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+  mutable sum : float;
+}
+
+let create () =
+  { n = 0; mean = 0.0; m2 = 0.0; min = nan; max = nan; sum = 0.0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if t.n = 1 then begin
+    t.min <- x;
+    t.max <- x
+  end else begin
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+  end
+
+let add_int t x = add t (float_of_int x)
+
+let count t = t.n
+let mean t = if t.n = 0 then nan else t.mean
+let variance t = if t.n < 2 then nan else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min t = t.min
+let max t = t.max
+let sum t = t.sum
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.quantile: empty sample";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  if n = 1 then sorted.(0)
+  else
+    let pos = q *. float_of_int (n - 1) in
+    let i = int_of_float pos in
+    let frac = pos -. float_of_int i in
+    if i >= n - 1 then sorted.(n - 1)
+    else sorted.(i) +. (frac *. (sorted.(i + 1) -. sorted.(i)))
+
+let median xs = quantile xs 0.5
+
+type histogram = { lo : float; width : float; counts : int array }
+
+let histogram ~bins xs =
+  if bins < 1 then invalid_arg "Stats.histogram: need at least one bin";
+  if Array.length xs = 0 then invalid_arg "Stats.histogram: empty sample";
+  let lo = Array.fold_left Stdlib.min xs.(0) xs in
+  let hi = Array.fold_left Stdlib.max xs.(0) xs in
+  let span = hi -. lo in
+  let width = if span = 0.0 then 1.0 else span /. float_of_int bins in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let i = int_of_float ((x -. lo) /. width) in
+      let i = Stdlib.min (bins - 1) (Stdlib.max 0 i) in
+      counts.(i) <- counts.(i) + 1)
+    xs;
+  { lo; width; counts }
+
+let pp_histogram ppf h =
+  let peak = Array.fold_left Stdlib.max 1 h.counts in
+  Array.iteri
+    (fun i c ->
+      let from = h.lo +. (float_of_int i *. h.width) in
+      let bar = String.make (c * 40 / peak) '#' in
+      Format.fprintf ppf "[%10.2f, %10.2f) %6d %s@."
+        from (from +. h.width) c bar)
+    h.counts
+
+let pp_summary ppf t =
+  if t.n = 0 then Format.fprintf ppf "n=0"
+  else
+    Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f"
+      t.n (mean t) (stddev t) t.min t.max

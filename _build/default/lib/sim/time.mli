@@ -1,0 +1,56 @@
+(** Simulated time, measured in integer clock ticks.
+
+    The AIR Partition Management Kernel executes at every system clock tick
+    (paper, Sect. 4.3); all temporal quantities of the system model — major
+    time frames, window offsets and durations, process periods, deadlines and
+    capacities — are therefore expressed as tick counts. *)
+
+type t = int
+(** A point in time or a duration, in clock ticks. Always non-negative for
+    points in time; durations used by the model are strictly positive unless
+    stated otherwise. *)
+
+val zero : t
+
+val infinity : t
+(** Sentinel for "no deadline" ([D = ∞] in eq. (11) of the paper). Compares
+    greater than every attainable tick count. *)
+
+val is_infinite : t -> bool
+
+val add : t -> t -> t
+(** Saturating addition: [add t d] is {!infinity} whenever either argument is
+    infinite. Raises [Invalid_argument] on overflow of finite values. *)
+
+val sub : t -> t -> t
+(** [sub t d] clamps at {!zero}; an infinite minuend stays infinite. *)
+
+val of_int : int -> t
+(** Identity with a bounds check: negative values are rejected with
+    [Invalid_argument]. *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val ( <= ) : t -> t -> bool
+
+val ( < ) : t -> t -> bool
+
+val min : t -> t -> t
+
+val max : t -> t -> t
+
+val lcm : t -> t -> t
+(** Least common multiple of two strictly positive durations, used by the
+    MTF constraint of eq. (22). Raises [Invalid_argument] on non-positive
+    arguments or if either argument is infinite. *)
+
+val lcm_list : t list -> t
+(** [lcm_list ds] folds {!lcm} over [ds]. Raises [Invalid_argument] on the
+    empty list. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints ["∞"] for {!infinity} and the tick count otherwise. *)
+
+val to_string : t -> string

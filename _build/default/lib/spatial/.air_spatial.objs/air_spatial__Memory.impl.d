@@ -1,0 +1,1 @@
+lib/spatial/memory.ml: Air_model Format List Stdlib

@@ -1,0 +1,1 @@
+lib/spatial/memory.mli: Air_model Format

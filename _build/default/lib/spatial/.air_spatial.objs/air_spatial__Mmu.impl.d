@@ -1,0 +1,1 @@
+lib/spatial/mmu.ml: Array Format List Memory

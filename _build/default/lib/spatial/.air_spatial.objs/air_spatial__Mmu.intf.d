@@ -1,0 +1,1 @@
+lib/spatial/mmu.mli: Format Memory

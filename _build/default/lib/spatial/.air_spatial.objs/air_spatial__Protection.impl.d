@@ -1,0 +1,1 @@
+lib/spatial/protection.ml: Air_model List Memory Mmu Tlb

@@ -1,0 +1,1 @@
+lib/spatial/protection.mli: Air_model Memory Mmu Tlb

@@ -1,0 +1,1 @@
+lib/spatial/tlb.ml: Array Format Memory

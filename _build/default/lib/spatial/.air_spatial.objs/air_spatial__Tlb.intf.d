@@ -1,0 +1,1 @@
+lib/spatial/tlb.mli: Format Memory

@@ -1,0 +1,76 @@
+type t = {
+  mmu : Mmu.t;
+  tlb : Tlb.t;
+  mutable maps : Memory.map list;
+}
+
+let context_of pid = Air_model.Ident.Partition_id.index pid + 1
+
+let create ?tlb_capacity ?(contexts = 16) maps =
+  (match Memory.validate_maps maps with
+  | [] -> ()
+  | diag :: _ -> invalid_arg ("Protection.create: " ^ diag));
+  let mmu = Mmu.create ~contexts () in
+  List.iter
+    (fun (m : Memory.map) ->
+      Mmu.map_partition mmu ~context:(context_of m.Memory.partition) m)
+    maps;
+  { mmu; tlb = Tlb.create ?capacity:tlb_capacity (); maps }
+
+let access t ~partition ~level ~access addr =
+  let context = context_of partition in
+  let vpn = addr / Memory.page_size in
+  let check perms min_level =
+    let rank = function
+      | Memory.Application -> 0
+      | Memory.Pos -> 1
+      | Memory.Pmk -> 2
+    in
+    let permits (p : Memory.perms) = function
+      | Mmu.Read -> p.read
+      | Mmu.Write -> p.write
+      | Mmu.Execute -> p.execute
+    in
+    if rank level < rank min_level then
+      Error
+        { Mmu.context; address = addr; access; level;
+          reason = Mmu.Privilege }
+    else if not (permits perms access) then
+      Error
+        { Mmu.context; address = addr; access; level;
+          reason = Mmu.Permission }
+    else Ok ()
+  in
+  match Tlb.lookup t.tlb ~context ~vpn with
+  | Some e -> check e.Tlb.perms e.Tlb.min_level
+  | None -> (
+    match Mmu.translate t.mmu ~context ~level ~access addr with
+    | Ok (perms, min_level) ->
+      Tlb.insert t.tlb { Tlb.context; vpn; perms; min_level };
+      Ok ()
+    | Error f ->
+      (* Cache successful translations only; faults always re-walk, as on
+         the LEON3 (no negative caching). *)
+      Error f)
+
+let map_of t pid =
+  List.find_opt
+    (fun (m : Memory.map) -> Air_model.Ident.Partition_id.equal m.Memory.partition pid)
+    t.maps
+
+let remap_partition t (m : Memory.map) =
+  let context = context_of m.Memory.partition in
+  Mmu.unmap_context t.mmu ~context;
+  Tlb.flush_context t.tlb ~context;
+  Mmu.map_partition t.mmu ~context m;
+  t.maps <-
+    m
+    :: List.filter
+         (fun (m' : Memory.map) ->
+           not
+             (Air_model.Ident.Partition_id.equal m'.Memory.partition m.Memory.partition))
+         t.maps
+
+let tlb_stats t = Tlb.stats t.tlb
+
+let mmu t = t.mmu

@@ -1,0 +1,74 @@
+type entry = {
+  context : int;
+  vpn : int;
+  perms : Memory.perms;
+  min_level : Memory.exec_level;
+}
+
+type t = {
+  slots : entry option array;
+  mutable next : int;  (* FIFO replacement cursor *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable flushes : int;
+}
+
+let create ?(capacity = 32) () =
+  if capacity <= 0 then invalid_arg "Tlb.create: capacity must be positive";
+  { slots = Array.make capacity None; next = 0; hits = 0; misses = 0;
+    flushes = 0 }
+
+let lookup t ~context ~vpn =
+  let n = Array.length t.slots in
+  let rec go i =
+    if i >= n then begin
+      t.misses <- t.misses + 1;
+      None
+    end
+    else
+      match t.slots.(i) with
+      | Some e when e.context = context && e.vpn = vpn ->
+        t.hits <- t.hits + 1;
+        Some e
+      | Some _ | None -> go (i + 1)
+  in
+  go 0
+
+let insert t entry =
+  let n = Array.length t.slots in
+  let rec existing i =
+    if i >= n then None
+    else
+      match t.slots.(i) with
+      | Some e when e.context = entry.context && e.vpn = entry.vpn -> Some i
+      | Some _ | None -> existing (i + 1)
+  in
+  match existing 0 with
+  | Some i -> t.slots.(i) <- Some entry
+  | None ->
+    t.slots.(t.next) <- Some entry;
+    t.next <- (t.next + 1) mod n
+
+let flush t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.flushes <- t.flushes + 1
+
+let flush_context t ~context =
+  Array.iteri
+    (fun i -> function
+      | Some e when e.context = context -> t.slots.(i) <- None
+      | Some _ | None -> ())
+    t.slots;
+  t.flushes <- t.flushes + 1
+
+type stats = { hits : int; misses : int; flushes : int }
+
+let stats (t : t) = { hits = t.hits; misses = t.misses; flushes = t.flushes }
+
+let reset_stats (t : t) =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.flushes <- 0
+
+let pp_stats ppf s =
+  Format.fprintf ppf "hits=%d misses=%d flushes=%d" s.hits s.misses s.flushes

@@ -1,0 +1,35 @@
+(** A small fully-associative translation lookaside buffer.
+
+    Caches page-granular results of {!Mmu.translate} walks, tagged by MMU
+    context (so a partition switch does not require a flush, as on the
+    LEON3). Replacement is FIFO. Hit/miss/flush counters feed the E10
+    experiment. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] defaults to 32 entries; must be positive. *)
+
+type entry = {
+  context : int;
+  vpn : int;  (** Virtual page number: address / page size. *)
+  perms : Memory.perms;
+  min_level : Memory.exec_level;
+}
+
+val lookup : t -> context:int -> vpn:int -> entry option
+
+val insert : t -> entry -> unit
+(** Replaces any existing entry for the same (context, vpn). *)
+
+val flush : t -> unit
+
+val flush_context : t -> context:int -> unit
+(** Invalidate the entries of one context (used when a partition is
+    restarted and its mappings rebuilt). *)
+
+type stats = { hits : int; misses : int; flushes : int }
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,1 @@
+lib/vitral/console.ml: Air_model Air_sim Event Ident List Option Partition_id Window

@@ -1,0 +1,1 @@
+lib/vitral/console.mli: Air_model Air_sim Event Ident Partition_id

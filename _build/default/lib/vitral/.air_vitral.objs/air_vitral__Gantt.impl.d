@@ -1,0 +1,1 @@
+lib/vitral/gantt.ml: Air_model Air_sim Array Buffer Format Ident List Option Partition_id Printf Schedule Schedule_id Stdlib String Time

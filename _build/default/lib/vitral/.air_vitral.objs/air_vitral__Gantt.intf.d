@@ -1,0 +1,1 @@
+lib/vitral/gantt.mli: Air_model Air_sim Ident Partition_id Schedule Time

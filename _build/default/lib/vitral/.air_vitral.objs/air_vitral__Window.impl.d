@@ -1,0 +1,1 @@
+lib/vitral/window.ml: Char Format List Queue Stdlib String

@@ -1,0 +1,1 @@
+lib/vitral/window.mli: Format

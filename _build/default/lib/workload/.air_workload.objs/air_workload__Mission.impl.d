@@ -1,0 +1,1 @@
+lib/workload/mission.ml: Air Air_model Air_pos Ident Partition Partition_id Process Schedule Schedule_id Script System

@@ -1,0 +1,1 @@
+lib/workload/mission.mli: Air Air_model Ident Schedule System

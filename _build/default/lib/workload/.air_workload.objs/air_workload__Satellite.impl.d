@@ -1,0 +1,1 @@
+lib/workload/satellite.ml: Air Air_ipc Air_model Air_pos Hm Ident Option Partition Partition_id Port Process Schedule Schedule_id Script System

@@ -1,0 +1,1 @@
+lib/workload/satellite.mli: Air Air_model Hm Ident Schedule System

@@ -1,0 +1,1 @@
+lib/workload/taskgen.ml: Air_model Air_pos Air_sim Array Ident List Partition Partition_id Printf Process Rng Schedule Script Stdlib

@@ -1,0 +1,1 @@
+lib/workload/taskgen.mli: Air_model Air_pos Air_sim Partition Rng Schedule Script

@@ -1,0 +1,111 @@
+open Air_model
+open Air_pos
+open Air
+open Ident
+
+let aocs = Partition_id.make 0
+let ttc = Partition_id.make 1
+let payload = Partition_id.make 2
+let fdir = Partition_id.make 3
+
+let launch = Schedule_id.make 0
+let science = Schedule_id.make 1
+let safe = Schedule_id.make 2
+
+let w partition offset duration = { Schedule.partition; offset; duration }
+let q partition cycle duration = { Schedule.partition; cycle; duration }
+
+let launch_schedule =
+  Schedule.make ~id:launch ~name:"launch" ~mtf:1200
+    ~requirements:[ q aocs 600 300; q ttc 1200 200; q fdir 600 100 ]
+    (* FDIR's two windows sit exactly one watchdog period (600) apart so
+       the 600-tick releases are always served as they arrive. *)
+    [ w aocs 0 300;
+      w ttc 300 200;
+      w fdir 500 100;
+      w aocs 600 300;
+      w fdir 1100 100 ]
+
+let science_schedule =
+  Schedule.make ~id:science ~name:"science" ~mtf:1200
+    ~requirements:
+      [ q aocs 600 100; q ttc 1200 100; q payload 1200 600; q fdir 600 50 ]
+    ~change_actions:[ (payload, Schedule.Cold_restart_partition) ]
+    [ w aocs 0 100;
+      w fdir 100 50;
+      w payload 150 450;
+      w aocs 600 100;
+      w fdir 700 50;
+      w payload 750 150;
+      w ttc 900 100 ]
+
+let safe_schedule =
+  Schedule.make ~id:safe ~name:"safe" ~mtf:1200
+    ~requirements:[ q aocs 600 100; q ttc 1200 200; q fdir 600 300 ]
+    ~change_actions:[ (aocs, Schedule.Warm_restart_partition) ]
+    [ w fdir 0 300;
+      w aocs 300 100;
+      w ttc 400 100;
+      w fdir 600 300;
+      w aocs 900 100;
+      w ttc 1000 100 ]
+
+let schedules = [ launch_schedule; science_schedule; safe_schedule ]
+
+let phases =
+  [ ("launch", launch); ("science", science); ("safe", safe) ]
+
+let aocs_partition =
+  Partition.make ~id:aocs ~name:"AOCS"
+    [ Process.spec ~periodicity:(Process.Periodic 600) ~time_capacity:600
+        ~wcet:80 ~base_priority:5 "attitude";
+      Process.spec ~periodicity:(Process.Periodic 1200) ~time_capacity:1200
+        ~wcet:15 ~base_priority:12 "momentum-dump" ]
+
+let aocs_scripts =
+  [ Script.periodic_body [ Script.Compute 80; Script.Log "attitude ok" ];
+    Script.periodic_body [ Script.Compute 15; Script.Log "momentum dumped" ] ]
+
+let ttc_partition =
+  Partition.make ~id:ttc ~name:"TTC"
+    [ Process.spec ~periodicity:(Process.Periodic 1200) ~time_capacity:1200
+        ~wcet:60 ~base_priority:6 "beacon";
+      Process.spec ~periodicity:(Process.Periodic 1200) ~time_capacity:1200
+        ~wcet:40 ~base_priority:9 "command" ]
+
+let ttc_scripts =
+  [ Script.periodic_body [ Script.Compute 60; Script.Log "beacon" ];
+    Script.periodic_body [ Script.Compute 40; Script.Log "commands polled" ] ]
+
+let payload_partition =
+  Partition.make ~id:payload ~name:"Payload"
+    [ Process.spec ~periodicity:(Process.Periodic 1200) ~time_capacity:1200
+        ~wcet:400 ~base_priority:10 "experiment";
+      Process.spec ~periodicity:(Process.Periodic 1200) ~time_capacity:1200
+        ~wcet:100 ~base_priority:14 "compress" ]
+
+let payload_scripts =
+  [ Script.periodic_body [ Script.Compute 400; Script.Log "experiment run" ];
+    Script.periodic_body [ Script.Compute 100; Script.Log "data compressed" ] ]
+
+let fdir_partition =
+  Partition.make ~id:fdir ~name:"FDIR" ~kind:Partition.System
+    [ Process.spec ~periodicity:(Process.Periodic 600) ~time_capacity:600
+        ~wcet:50 ~base_priority:3 "watchdog";
+      Process.spec ~wcet:20 ~base_priority:8 "mode-manager" ]
+
+let fdir_scripts =
+  [ Script.periodic_body [ Script.Compute 50; Script.Log "watchdog kick" ];
+    Script.make
+      [ Script.Log_schedule_status; Script.Timed_wait 1200 ] ]
+
+let config () =
+  System.config
+    ~partitions:
+      [ System.partition_setup aocs_partition aocs_scripts;
+        System.partition_setup ttc_partition ttc_scripts;
+        System.partition_setup payload_partition payload_scripts;
+        System.partition_setup fdir_partition fdir_scripts ]
+    ~schedules ~initial_schedule:launch ()
+
+let make () = System.create (config ())

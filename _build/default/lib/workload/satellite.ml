@@ -1,0 +1,154 @@
+open Air_model
+open Air_pos
+open Air_ipc
+open Air
+open Ident
+
+let p1 = Partition_id.make 0
+let p2 = Partition_id.make 1
+let p3 = Partition_id.make 2
+let p4 = Partition_id.make 3
+
+let chi1 = Schedule_id.make 0
+let chi2 = Schedule_id.make 1
+
+(* Q1 = Q2 = {⟨P1,1300,200⟩, ⟨P2,650,100⟩, ⟨P3,650,100⟩, ⟨P4,1300,100⟩} *)
+let requirements =
+  [ { Schedule.partition = p1; cycle = 1300; duration = 200 };
+    { Schedule.partition = p2; cycle = 650; duration = 100 };
+    { Schedule.partition = p3; cycle = 650; duration = 100 };
+    { Schedule.partition = p4; cycle = 1300; duration = 100 } ]
+
+let window partition offset duration =
+  { Schedule.partition; offset; duration }
+
+let schedule_1 =
+  Schedule.make ~id:chi1 ~name:"chi1" ~mtf:1300 ~requirements
+    [ window p1 0 200;
+      window p2 200 100;
+      window p3 300 100;
+      window p4 400 600;
+      window p2 1000 100;
+      window p3 1100 100;
+      window p4 1200 100 ]
+
+let schedule_2 =
+  Schedule.make ~id:chi2 ~name:"chi2" ~mtf:1300 ~requirements
+    [ window p1 0 200;
+      window p4 200 100;
+      window p3 300 100;
+      window p2 400 600;
+      window p4 1000 100;
+      window p3 1100 100;
+      window p2 1200 100 ]
+
+let faulty_process_name = "faulty"
+
+(* Interpartition traffic: attitude quaternions P1→P4 over a sampling
+   channel; science frames P4→P2 and housekeeping telemetry P2→P3 over
+   queuing channels. *)
+let network =
+  { Port.ports =
+      [ Port.sampling_port ~name:"ATT_OUT" ~partition:p1
+          ~direction:Port.Source ~refresh:1300 ~max_message_size:64;
+        Port.sampling_port ~name:"ATT_IN" ~partition:p4
+          ~direction:Port.Destination ~refresh:1300 ~max_message_size:64;
+        Port.queuing_port ~name:"SCI_OUT" ~partition:p4
+          ~direction:Port.Source ~depth:8 ~max_message_size:128;
+        Port.queuing_port ~name:"SCI_IN" ~partition:p2
+          ~direction:Port.Destination ~depth:8 ~max_message_size:128;
+        Port.queuing_port ~name:"TM_OUT" ~partition:p2
+          ~direction:Port.Source ~depth:8 ~max_message_size:128;
+        Port.queuing_port ~name:"TM_IN" ~partition:p3
+          ~direction:Port.Destination ~depth:8 ~max_message_size:128 ];
+    channels =
+      [ { Port.source = "ATT_OUT"; destinations = [ "ATT_IN" ] };
+        { Port.source = "SCI_OUT"; destinations = [ "SCI_IN" ] };
+        { Port.source = "TM_OUT"; destinations = [ "TM_IN" ] } ] }
+
+let aocs =
+  Partition.make ~id:p1 ~name:"AOCS"
+    [ Process.spec ~periodicity:(Process.Periodic 1300) ~time_capacity:1300
+        ~wcet:70 ~base_priority:5 "attitude-control";
+      (* Demand 150 > the 140 ticks/MTF left to it by attitude-control:
+         the process overruns perpetually and misses one deadline per MTF,
+         detected at each subsequent dispatch of P1 (paper Sect. 6). *)
+      Process.spec ~periodicity:(Process.Periodic 1300) ~time_capacity:300
+        ~wcet:150 ~base_priority:20 faulty_process_name ]
+
+let aocs_scripts =
+  [ Script.periodic_body
+      [ Script.Compute 60;
+        Script.Write_sampling ("ATT_OUT", "q=[0.1 0.2 0.3 0.9]");
+        Script.Log "attitude updated" ];
+    Script.periodic_body
+      [ Script.Compute 150; Script.Log "faulty iteration complete" ] ]
+
+let obdh =
+  Partition.make ~id:p2 ~name:"OBDH" ~kind:Partition.System
+    [ Process.spec ~periodicity:(Process.Periodic 650) ~time_capacity:650
+        ~wcet:45 ~base_priority:8 "housekeeping";
+      Process.spec ~periodicity:(Process.Periodic 1300) ~time_capacity:1300
+        ~wcet:25 ~base_priority:12 "data-collector" ]
+
+let obdh_scripts =
+  [ Script.periodic_body
+      [ Script.Compute 40;
+        Script.Send_queuing ("TM_OUT", "hk-frame");
+        Script.Log "housekeeping cycle" ];
+    Script.periodic_body
+      [ Script.Compute 20;
+        Script.Receive_queuing ("SCI_IN", 0);
+        Script.Log "science data collected" ] ]
+
+let ttc =
+  Partition.make ~id:p3 ~name:"TTC"
+    [ Process.spec ~periodicity:(Process.Periodic 650) ~time_capacity:650
+        ~wcet:45 ~base_priority:7 "telemetry";
+      Process.spec ~periodicity:(Process.Periodic 1300) ~time_capacity:1300
+        ~wcet:25 ~base_priority:15 "ranging" ]
+
+let ttc_scripts =
+  [ Script.periodic_body
+      [ Script.Compute 40;
+        Script.Receive_queuing ("TM_IN", 0);
+        Script.Log "telemetry frame downlinked" ];
+    Script.periodic_body [ Script.Compute 20; Script.Log "ranging tone" ] ]
+
+let payload =
+  Partition.make ~id:p4 ~name:"Payload"
+      (* Imaging (80) + thermal control (15) fit within one 100-tick
+         window, so in-flight activations survive χ1 ↔ χ2 switches. *)
+    [ Process.spec ~periodicity:(Process.Periodic 1300) ~time_capacity:1300
+        ~wcet:85 ~base_priority:10 "imaging";
+      Process.spec ~periodicity:(Process.Periodic 1300) ~time_capacity:1300
+        ~wcet:18 ~base_priority:18 "thermal-control" ]
+
+let payload_scripts =
+  [ Script.periodic_body
+      [ Script.Read_sampling "ATT_IN";
+        Script.Compute 80;
+        Script.Send_queuing ("SCI_OUT", "image-frame");
+        Script.Log "image captured" ];
+    Script.periodic_body
+      [ Script.Compute 15; Script.Log "thermal loop" ] ]
+
+let config ?hm_tables () =
+  let hm_tables = Option.value ~default:Hm.default_tables hm_tables in
+  System.config ~network ~hm_tables
+    ~partitions:
+      [ System.partition_setup
+          ~autostart:[ (faulty_process_name, false) ]
+          aocs aocs_scripts;
+        System.partition_setup obdh obdh_scripts;
+        System.partition_setup ttc ttc_scripts;
+        System.partition_setup payload payload_scripts ]
+    ~schedules:[ schedule_1; schedule_2 ]
+    ()
+
+let make ?hm_tables () = System.create (config ?hm_tables ())
+
+let inject_fault system =
+  match System.start_process system p1 ~name:faulty_process_name with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Satellite.inject_fault: " ^ msg)

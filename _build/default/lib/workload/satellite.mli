@@ -1,0 +1,48 @@
+(** The paper's prototype system (Sect. 6, Fig. 8).
+
+    Four partitions running mockup applications representative of typical
+    satellite functions, two partition scheduling tables over an MTF of
+    1300 time units, and a faulty process on P1 that can be injected so a
+    deadline miss occurs even though both PSTs comply with P1's timing
+    requirements (eq. (25)). *)
+
+open Air_model
+open Air
+
+val p1 : Ident.Partition_id.t
+(** AOCS. *)
+
+val p2 : Ident.Partition_id.t
+(** OBDH — the system partition. *)
+
+val p3 : Ident.Partition_id.t
+(** TTC. *)
+
+val p4 : Ident.Partition_id.t
+(** Payload. *)
+
+val chi1 : Ident.Schedule_id.t
+val chi2 : Ident.Schedule_id.t
+
+val schedule_1 : Schedule.t
+(** χ1 of Fig. 8: windows (P1,0,200) (P2,200,100) (P3,300,100) (P4,400,600)
+    (P2,1000,100) (P3,1100,100) (P4,1200,100); MTF = 1300;
+    Q = {(P1,1300,200), (P2,650,100), (P3,650,100), (P4,1300,100)}. *)
+
+val schedule_2 : Schedule.t
+(** χ2 of Fig. 8 — P2 and P4 exchange their window patterns. *)
+
+val faulty_process_name : string
+(** The P1 process whose injection (via {!Air.System.start_process})
+    provokes deadline violations: its 250-tick workload cannot complete
+    within its 300-tick time capacity given P1's 200 ticks per MTF. *)
+
+val config : ?hm_tables:Hm.tables -> unit -> System.config
+(** The full prototype configuration: partitions, scripts, both PSTs and
+    the interpartition network (attitude data P1→P4 by sampling port,
+    science data P4→P2 and telemetry P2→P3 by queuing ports). *)
+
+val make : ?hm_tables:Hm.tables -> unit -> System.t
+
+val inject_fault : System.t -> unit
+(** Start the faulty process on P1 (the prototype's keyboard action). *)

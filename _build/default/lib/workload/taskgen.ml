@@ -1,0 +1,92 @@
+open Air_sim
+open Air_model
+open Air_pos
+open Ident
+
+type t = {
+  partitions : (Partition.t * Script.t list) list;
+  requirements : Schedule.requirement list;
+}
+
+let harmonic_periods = [| 400; 800; 1600; 3200 |]
+
+let babbling_name = "babbler"
+
+let generate ?(procs_per_partition = 3) ?(utilization = 0.5) rng
+    ~n_partitions =
+  if n_partitions <= 0 then invalid_arg "Taskgen.generate: no partitions";
+  let per_partition_util = utilization /. float_of_int n_partitions in
+  let make_partition m =
+    let pid = Partition_id.make m in
+    let utils = Rng.uunifast rng procs_per_partition per_partition_util in
+    let specs_and_scripts =
+      Array.to_list
+        (Array.mapi
+           (fun q u ->
+             let period = Rng.pick rng harmonic_periods in
+             let wcet =
+               Stdlib.max 1 (int_of_float (u *. float_of_int period))
+             in
+             let spec =
+               Process.spec
+                 ~periodicity:(Process.Periodic period)
+                 ~time_capacity:period ~wcet
+                 ~base_priority:period (* rate-monotonic: shorter period,
+                                          numerically lower priority *)
+                 (Printf.sprintf "task-%d-%d" (m + 1) (q + 1))
+             in
+             (spec, Script.periodic_body [ Script.Compute wcet ]))
+           utils)
+    in
+    let specs = List.map fst specs_and_scripts in
+    let scripts = List.map snd specs_and_scripts in
+    let partition =
+      Partition.make ~id:pid ~name:(Printf.sprintf "SYNTH-%d" (m + 1)) specs
+    in
+    let cycle =
+      List.fold_left
+        (fun acc (spec : Process.spec) ->
+          match spec.Process.periodicity with
+          | Process.Periodic t -> Stdlib.min acc t
+          | Process.Sporadic _ | Process.Aperiodic -> acc)
+        max_int specs
+    in
+    let cycle = if cycle = max_int then harmonic_periods.(0) else cycle in
+    let duration =
+      Stdlib.max 1
+        (int_of_float (ceil (per_partition_util *. float_of_int cycle)))
+    in
+    ((partition, scripts), { Schedule.partition = pid; cycle; duration })
+  in
+  let built = List.init n_partitions make_partition in
+  { partitions = List.map fst built; requirements = List.map snd built }
+
+let with_babbling t ~partition =
+  let partitions =
+    List.mapi
+      (fun m ((p : Partition.t), scripts) ->
+        if m <> partition then (p, scripts)
+        else begin
+          let processes = Array.copy p.Partition.processes in
+          (match Array.length processes with
+          | 0 -> invalid_arg "Taskgen.with_babbling: empty partition"
+          | _ -> ());
+          let victim = processes.(0) in
+          processes.(0) <-
+            { victim with
+              Process.name = babbling_name;
+              base_priority = 0 };
+          let scripts =
+            match scripts with
+            | _ :: rest ->
+              (* A runaway loop: computes forever, never reaches its
+                 periodic wait. *)
+              Script.make [ Script.Compute 1_000_000_000 ] :: rest
+            | [] -> scripts
+          in
+          ( { p with Partition.processes },
+            scripts )
+        end)
+      t.partitions
+  in
+  { t with partitions }

@@ -1,0 +1,1 @@
+test/test_apex.ml: Air Air_ipc Air_model Air_pos Air_sim Alcotest Apex Bytes Event Ident Kernel Pal Partition Partition_id Process Result Schedule Schedule_id Script System Time Trace

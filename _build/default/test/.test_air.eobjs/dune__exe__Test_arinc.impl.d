@@ -1,0 +1,1 @@
+test/test_arinc.ml: Air Air_config Air_model Air_pos Air_sim Alcotest Bytes Event Ident Intra Kernel List Partition Partition_id Process Result Schedule Schedule_id Script String System Trace

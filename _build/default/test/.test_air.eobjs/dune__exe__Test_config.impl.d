@@ -1,0 +1,1 @@
+test/test_config.ml: Air Air_config Air_ipc Air_model Air_sim Air_workload Alcotest Astring_contains Decode Encode List Loader QCheck QCheck_alcotest Result Sexp

@@ -1,0 +1,1 @@
+test/test_deadline_store.ml: Air Air_sim Alcotest Deadline_store Format Int List QCheck QCheck_alcotest Time

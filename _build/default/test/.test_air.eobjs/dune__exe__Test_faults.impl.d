@@ -1,0 +1,1 @@
+test/test_faults.ml: Air Air_model Air_sim Air_workload Alcotest Event Hm Ident Int List Partition Partition_id Process_id QCheck QCheck_alcotest System Trace

@@ -1,0 +1,1 @@
+test/test_ipc.ml: Air_ipc Air_model Alcotest Bytes Ident List Port Router

@@ -1,0 +1,1 @@
+test/test_model.ml: Air_model Air_workload Alcotest Array Event Format Ident Int Option Partition Partition_id Process Process_id Schedule Schedule_id

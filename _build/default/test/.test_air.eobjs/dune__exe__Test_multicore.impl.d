@@ -1,0 +1,1 @@
+test/test_multicore.ml: Air Air_model Alcotest Array Ident List Multicore Option Partition_id Pmk Pmk_mc Result Schedule Schedule_id Validate

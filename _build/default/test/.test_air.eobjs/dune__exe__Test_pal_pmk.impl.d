@@ -1,0 +1,1 @@
+test/test_pal_pmk.ml: Air Air_model Alcotest Ident List Option Pal Pmk Result Schedule

@@ -1,0 +1,1 @@
+test/test_pos.ml: Air_model Air_pos Air_sim Alcotest Array Bytes Format Ident Intra Kernel List Option Process Result Time

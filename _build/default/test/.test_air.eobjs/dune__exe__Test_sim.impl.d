@@ -1,0 +1,1 @@
+test/test_sim.ml: Air_sim Alcotest Array Float Fun Heap Int Int64 List QCheck QCheck_alcotest Rng Stats String Time Trace Vec

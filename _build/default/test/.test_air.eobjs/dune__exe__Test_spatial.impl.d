@@ -1,0 +1,1 @@
+test/test_spatial.ml: Air_model Air_spatial Alcotest Ident List Memory Mmu Protection QCheck QCheck_alcotest Result Tlb

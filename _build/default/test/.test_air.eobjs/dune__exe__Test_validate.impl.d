@@ -1,0 +1,1 @@
+test/test_validate.ml: Air_analysis Air_model Air_workload Alcotest Array Astring_contains Format Ident List Partition_id QCheck QCheck_alcotest Schedule Schedule_id Stdlib Validate

@@ -1,0 +1,331 @@
+(* Tests for the schedulability analysis substrate: supply functions,
+   response-time analysis, PST synthesis and the single-level baseline. *)
+
+open Air_model
+open Air_analysis
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+let pid = Ident.Partition_id.make
+let sid = Ident.Schedule_id.make
+let w partition offset duration = { Schedule.partition; offset; duration }
+let q partition cycle duration = { Schedule.partition; cycle; duration }
+
+let fig8 = Air_workload.Satellite.schedule_1
+let p1 = Air_workload.Satellite.p1
+let p2 = Air_workload.Satellite.p2
+
+(* --- Supply -------------------------------------------------------------- *)
+
+let service_in_exact () =
+  (* P1 owns [0,200) of each 1300-tick MTF. *)
+  check Alcotest.int "inside window" 50 (Supply.service_in fig8 p1 ~from:0 ~until:50);
+  check Alcotest.int "across window end" 200
+    (Supply.service_in fig8 p1 ~from:0 ~until:1000);
+  check Alcotest.int "whole MTF" 200
+    (Supply.service_in fig8 p1 ~from:0 ~until:1300);
+  check Alcotest.int "two MTFs" 400
+    (Supply.service_in fig8 p1 ~from:0 ~until:2600);
+  check Alcotest.int "straddling frames" 250
+    (Supply.service_in fig8 p1 ~from:150 ~until:1500);
+  check Alcotest.int "empty interval" 0
+    (Supply.service_in fig8 p1 ~from:500 ~until:500)
+
+let service_in_matches_bruteforce () =
+  (* Cross-check the closed form against a tick-by-tick walk. *)
+  let brute pid from until =
+    let count = ref 0 in
+    for t = from to until - 1 do
+      match Schedule.window_at fig8 t with
+      | Some win when Ident.Partition_id.equal win.Schedule.partition pid ->
+        incr count
+      | _ -> ()
+    done;
+    !count
+  in
+  List.iter
+    (fun (from, until) ->
+      List.iter
+        (fun p ->
+          check Alcotest.int
+            (Printf.sprintf "[%d,%d)" from until)
+            (brute p from until)
+            (Supply.service_in fig8 p ~from ~until))
+        [ p1; p2 ])
+    [ (0, 137); (93, 1407); (1250, 3000); (777, 779) ]
+
+let sbf_worst_alignment () =
+  (* Worst case for P1 over 1300 ticks: an interval starting right after
+     its window gets exactly one window (200). *)
+  check Alcotest.int "delta = MTF" 200 (Supply.sbf fig8 p1 1300);
+  (* Just under one blackout of 1100: possibly zero service. *)
+  check Alcotest.int "short interval" 0 (Supply.sbf fig8 p1 1100);
+  check Alcotest.int "zero" 0 (Supply.sbf fig8 p1 0);
+  (* Monotonicity sample. *)
+  let prev = ref 0 in
+  for d = 0 to 2600 do
+    let v = Supply.sbf fig8 p1 d in
+    if v < !prev then Alcotest.failf "sbf not monotone at %d" d;
+    prev := v
+  done
+
+let inverse_sbf_consistent () =
+  (match Supply.inverse_sbf fig8 p1 200 with
+  | Some d ->
+    check Alcotest.bool "sbf at d covers c" true (Supply.sbf fig8 p1 d >= 200);
+    check Alcotest.bool "minimal" true (Supply.sbf fig8 p1 (d - 1) < 200)
+  | None -> Alcotest.fail "P1 accumulates 200");
+  check (Alcotest.option Alcotest.int) "zero demand" (Some 0)
+    (Supply.inverse_sbf fig8 p1 0);
+  (* A partition with no windows never accumulates service. *)
+  let empty =
+    Schedule.make ~id:(sid 0) ~name:"none" ~mtf:100
+      ~requirements:[ q (pid 0) 100 0 ] []
+  in
+  check (Alcotest.option Alcotest.int) "no windows" None
+    (Supply.inverse_sbf empty (pid 0) 1)
+
+let blackout_lengths () =
+  check Alcotest.int "P1 blackout" 1100 (Supply.longest_blackout fig8 p1);
+  (* P2 windows at [200,300) and [1000,1100): gaps 700 and wrap 400. *)
+  check Alcotest.int "P2 blackout" 700 (Supply.longest_blackout fig8 p2)
+
+(* --- RTA ------------------------------------------------------------------ *)
+
+let rta_prototype_schedulable () =
+  (* Without the faulty process, every prototype task set is schedulable
+     under its windows. *)
+  let aocs_ok =
+    Rta.analyze fig8 p1
+      [| Process.spec ~periodicity:(Process.Periodic 1300)
+           ~time_capacity:1300 ~wcet:70 ~base_priority:5 "attitude" |]
+  in
+  List.iter
+    (fun v -> check Alcotest.bool "schedulable" true v.Rta.schedulable)
+    aocs_ok
+
+let rta_detects_overload () =
+  (* The faulty process's 150-tick demand against 140 available per MTF and
+     a 300-tick capacity is unschedulable. *)
+  let specs =
+    [| Process.spec ~periodicity:(Process.Periodic 1300) ~time_capacity:1300
+         ~wcet:70 ~base_priority:5 "attitude";
+       Process.spec ~periodicity:(Process.Periodic 1300) ~time_capacity:300
+         ~wcet:150 ~base_priority:20 "faulty" |]
+  in
+  match Rta.analyze fig8 p1 specs with
+  | [ att; faulty ] ->
+    check Alcotest.bool "attitude fine" true att.Rta.schedulable;
+    check Alcotest.bool "faulty not" false faulty.Rta.schedulable
+  | _ -> Alcotest.fail "two verdicts expected"
+
+let rta_interference_ordering () =
+  (* Higher-priority interference delays the lower process. *)
+  let s =
+    Schedule.make ~id:(sid 0) ~name:"full" ~mtf:100
+      ~requirements:[ q (pid 0) 100 100 ]
+      [ w (pid 0) 0 100 ]
+  in
+  let specs =
+    [| Process.spec ~periodicity:(Process.Periodic 50) ~time_capacity:50
+         ~wcet:20 ~base_priority:1 "hi";
+       Process.spec ~periodicity:(Process.Periodic 100) ~time_capacity:100
+         ~wcet:30 ~base_priority:9 "lo" |]
+  in
+  match Rta.analyze s (pid 0) specs with
+  | [ hi; lo ] ->
+    check (Alcotest.option Alcotest.int) "hi response" (Some 20)
+      hi.Rta.response_time;
+    (* lo: 30 own + one 20-tick hi job → completes exactly at 50, just as
+       the second hi job releases. *)
+    check (Alcotest.option Alcotest.int) "lo response" (Some 50)
+      lo.Rta.response_time
+  | _ -> Alcotest.fail "two verdicts expected"
+
+let rta_verdict_agrees_with_simulation () =
+  (* Ground truth: simulate the prototype AOCS partition (with fault) and
+     confirm the RTA unschedulable verdict corresponds to real misses. *)
+  let s = Air_workload.Satellite.make () in
+  Air_workload.Satellite.inject_fault s;
+  Air.System.run_mtfs s 4;
+  check Alcotest.bool "simulation misses" true
+    (List.length (Air.System.violations s) > 0)
+
+let breakdown_utilization_sane () =
+  let s =
+    Schedule.make ~id:(sid 0) ~name:"full" ~mtf:100
+      ~requirements:[ q (pid 0) 100 100 ]
+      [ w (pid 0) 0 100 ]
+  in
+  let specs =
+    [| Process.spec ~periodicity:(Process.Periodic 100) ~time_capacity:100
+         ~wcet:20 ~base_priority:1 "t" |]
+  in
+  let factor = Rta.breakdown_utilization s (pid 0) specs in
+  (* 20-tick task with a full processor: breaks down around 5×. *)
+  check Alcotest.bool "at least 4x" true (factor >= 4.0);
+  check Alcotest.bool "at most 6x" true (factor <= 6.0)
+
+(* --- Synthesis ------------------------------------------------------------ *)
+
+let synthesize_simple () =
+  match
+    Synthesis.synthesize
+      [ q (pid 0) 50 20; q (pid 1) 100 30; q (pid 2) 100 10 ]
+  with
+  | Error f -> Alcotest.failf "synthesis failed: %a" Synthesis.pp_failure f
+  | Ok s ->
+    check Alcotest.int "mtf is lcm" 100 s.Schedule.mtf;
+    check Alcotest.int "valid" 0 (List.length (Validate.validate s))
+
+let synthesize_paper_requirements () =
+  match Synthesis.synthesize Air_workload.Satellite.schedule_1.Schedule.requirements with
+  | Error f -> Alcotest.failf "synthesis failed: %a" Synthesis.pp_failure f
+  | Ok s ->
+    check Alcotest.int "mtf" 1300 s.Schedule.mtf;
+    check Alcotest.int "valid" 0 (List.length (Validate.validate s))
+
+let synthesize_rejects_overcommitment () =
+  match Synthesis.synthesize [ q (pid 0) 10 8; q (pid 1) 10 8 ] with
+  | Error (Synthesis.Overcommitted _) -> ()
+  | _ -> Alcotest.fail "expected Overcommitted"
+
+let synthesize_harmonic_guard () =
+  (match Synthesis.synthesize_harmonic [ q (pid 0) 30 5; q (pid 1) 50 5 ] with
+  | Error (Synthesis.Bad_requirement _) -> ()
+  | _ -> Alcotest.fail "expected non-harmonic rejection");
+  match Synthesis.synthesize_harmonic [ q (pid 0) 50 5; q (pid 1) 100 5 ] with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "harmonic failed: %a" Synthesis.pp_failure f
+
+let synthesized_full_utilization () =
+  (* Exactly filling the processor still works. *)
+  match Synthesis.synthesize [ q (pid 0) 10 5; q (pid 1) 10 5 ] with
+  | Ok s ->
+    check (Alcotest.float 1e-9) "utilization 1" 1.0 (Schedule.utilization s)
+  | Error f -> Alcotest.failf "failed: %a" Synthesis.pp_failure f
+
+(* --- Single-level baseline ------------------------------------------------ *)
+
+let single_level_meets_when_feasible () =
+  let tasks =
+    [ Single_level.task ~owner:(pid 0)
+        (Process.spec ~periodicity:(Process.Periodic 100) ~time_capacity:100
+           ~wcet:30 ~base_priority:1 "a");
+      Single_level.task ~owner:(pid 1)
+        (Process.spec ~periodicity:(Process.Periodic 200) ~time_capacity:200
+           ~wcet:60 ~base_priority:5 "b") ]
+  in
+  let stats = Single_level.simulate tasks ~horizon:2000 in
+  check Alcotest.int "no misses" 0 stats.Single_level.total_misses;
+  check Alcotest.int "no starvation" 0 stats.Single_level.starved_tasks
+
+let single_level_babbler_starves_everyone () =
+  let tasks =
+    [ Single_level.task ~owner:(pid 0) ~babbling:true
+        (Process.spec ~periodicity:(Process.Periodic 100) ~time_capacity:100
+           ~wcet:10 ~base_priority:0 "babbler");
+      Single_level.task ~owner:(pid 1)
+        (Process.spec ~periodicity:(Process.Periodic 100) ~time_capacity:100
+           ~wcet:10 ~base_priority:5 "victim") ]
+  in
+  let stats = Single_level.simulate tasks ~horizon:2000 in
+  (* No containment: faults propagate across application boundaries. *)
+  check Alcotest.bool "victim misses" true
+    (Single_level.misses_outside stats (pid 0) > 0);
+  check Alcotest.bool "victim starved" true (stats.Single_level.starved_tasks >= 1)
+
+let qcheck_single_level_counts_consistent =
+  QCheck.Test.make ~name:"single-level: completions never exceed releases"
+    QCheck.(pair int (int_range 1 5))
+    (fun (seed, n) ->
+      let rng = Air_sim.Rng.create seed in
+      let tasks =
+        List.init n (fun i ->
+            let period = Air_sim.Rng.pick rng [| 50; 100; 200 |] in
+            let wcet = 1 + Air_sim.Rng.int rng (period / 4) in
+            Single_level.task ~owner:(pid i)
+              (Process.spec
+                 ~periodicity:(Process.Periodic period)
+                 ~time_capacity:period ~wcet
+                 ~base_priority:period
+                 (Printf.sprintf "t%d" i)))
+      in
+      let stats = Single_level.simulate tasks ~horizon:2000 in
+      List.for_all
+        (fun t ->
+          t.Single_level.completions <= t.Single_level.releases
+          && t.Single_level.deadline_misses <= t.Single_level.releases)
+        stats.Single_level.per_task)
+
+(* --- Integration report ---------------------------------------------------- *)
+
+let report_on_prototype () =
+  let partitions =
+    List.map
+      (fun (s : Air.System.partition_setup) -> s.Air.System.partition)
+      (Air_workload.Satellite.config ()).Air.System.partitions
+  in
+  let report =
+    Report.build partitions
+      [ Air_workload.Satellite.schedule_1; Air_workload.Satellite.schedule_2 ]
+  in
+  check Alcotest.bool "tables valid" true report.Report.all_valid;
+  (* The faulty process is unschedulable by construction (150 demand vs 140
+     supply), so the overall verdict is "not all schedulable". *)
+  check Alcotest.bool "faulty flagged" false report.Report.all_schedulable;
+  check Alcotest.int "two schedule reports" 2
+    (List.length report.Report.schedules);
+  let rendered = Format.asprintf "%a" Report.pp report in
+  check Alcotest.bool "mentions blackout" true
+    (Astring_contains.contains rendered "blackout");
+  check Alcotest.bool "mentions verdict" true
+    (Astring_contains.contains rendered "NOT all schedulable")
+
+let report_flags_invalid_tables () =
+  let p0 = pid 0 in
+  let bad =
+    Schedule.make ~id:(sid 0) ~name:"bad" ~mtf:130
+      ~requirements:[ q p0 100 10 ]
+      [ w p0 0 10 ]
+  in
+  let partition = Partition.make ~id:p0 ~name:"X" [ Process.spec "a" ] in
+  let report = Report.build [ partition ] [ bad ] in
+  check Alcotest.bool "invalid" false report.Report.all_valid;
+  check Alcotest.bool "not schedulable either" false
+    report.Report.all_schedulable
+
+let suite =
+  [ Alcotest.test_case "supply: exact service" `Quick service_in_exact;
+    Alcotest.test_case "supply: matches brute force" `Quick
+      service_in_matches_bruteforce;
+    Alcotest.test_case "supply: sbf worst alignment" `Quick sbf_worst_alignment;
+    Alcotest.test_case "supply: inverse consistent" `Quick
+      inverse_sbf_consistent;
+    Alcotest.test_case "supply: blackout lengths" `Quick blackout_lengths;
+    Alcotest.test_case "rta: prototype schedulable" `Quick
+      rta_prototype_schedulable;
+    Alcotest.test_case "rta: detects overload" `Quick rta_detects_overload;
+    Alcotest.test_case "rta: interference ordering" `Quick
+      rta_interference_ordering;
+    Alcotest.test_case "rta: verdict agrees with simulation" `Quick
+      rta_verdict_agrees_with_simulation;
+    Alcotest.test_case "rta: breakdown utilization" `Quick
+      breakdown_utilization_sane;
+    Alcotest.test_case "synthesis: simple" `Quick synthesize_simple;
+    Alcotest.test_case "synthesis: paper requirements" `Quick
+      synthesize_paper_requirements;
+    Alcotest.test_case "synthesis: rejects overcommitment" `Quick
+      synthesize_rejects_overcommitment;
+    Alcotest.test_case "synthesis: harmonic guard" `Quick
+      synthesize_harmonic_guard;
+    Alcotest.test_case "synthesis: full utilization" `Quick
+      synthesized_full_utilization;
+    Alcotest.test_case "single-level: feasible set meets deadlines" `Quick
+      single_level_meets_when_feasible;
+    Alcotest.test_case "single-level: babbler starves everyone" `Quick
+      single_level_babbler_starves_everyone;
+    qcheck qcheck_single_level_counts_consistent;
+    Alcotest.test_case "report: prototype" `Quick report_on_prototype;
+    Alcotest.test_case "report: flags invalid tables" `Quick
+      report_flags_invalid_tables ]

@@ -1,0 +1,306 @@
+(* Tests for the ARINC 653 fidelity features added on top of the paper's
+   core: preemption locking, application error handlers, intrapartition
+   objects created at initialization, and the warm/cold restart context
+   distinction. *)
+
+open Air_sim
+open Air_model
+open Air_pos
+open Air
+open Ident
+
+let check = Alcotest.check
+let pid = Partition_id.make
+let sid = Schedule_id.make
+let w partition offset duration = { Schedule.partition; offset; duration }
+let q partition cycle duration = { Schedule.partition; cycle; duration }
+
+(* --- Preemption locking (kernel level) ------------------------------------ *)
+
+let klock_fixture () =
+  let k =
+    Kernel.create ~partition:(pid 0) ~policy:Kernel.Priority_preemptive
+      ~hooks:Kernel.null_hooks
+      [| Process.spec ~base_priority:9 "low";
+         Process.spec ~base_priority:1 "high" |]
+  in
+  ignore (Kernel.start k ~now:0 0);
+  ignore (Kernel.schedule k ~now:0);
+  k
+
+let lock_prevents_preemption () =
+  let k = klock_fixture () in
+  (match Kernel.lock_preemption k ~process:0 with
+  | Ok 1 -> ()
+  | _ -> Alcotest.fail "lock should succeed at level 1");
+  ignore (Kernel.start k ~now:1 1);
+  (* The higher-priority process does not preempt while locked. *)
+  check (Alcotest.option Alcotest.int) "low keeps running" (Some 0)
+    (Kernel.schedule k ~now:1);
+  (match Kernel.unlock_preemption k ~process:0 with
+  | Ok 0 -> ()
+  | _ -> Alcotest.fail "unlock should reach level 0");
+  check (Alcotest.option Alcotest.int) "high takes over" (Some 1)
+    (Kernel.schedule k ~now:2)
+
+let lock_nests () =
+  let k = klock_fixture () in
+  ignore (Kernel.lock_preemption k ~process:0);
+  (match Kernel.lock_preemption k ~process:0 with
+  | Ok 2 -> ()
+  | _ -> Alcotest.fail "nested lock at level 2");
+  ignore (Kernel.start k ~now:1 1);
+  ignore (Kernel.unlock_preemption k ~process:0);
+  check (Alcotest.option Alcotest.int) "still locked" (Some 0)
+    (Kernel.schedule k ~now:1);
+  ignore (Kernel.unlock_preemption k ~process:0);
+  check (Alcotest.option Alcotest.int) "released" (Some 1)
+    (Kernel.schedule k ~now:2)
+
+let lock_released_on_block () =
+  let k = klock_fixture () in
+  ignore (Kernel.lock_preemption k ~process:0);
+  ignore (Kernel.start k ~now:1 1);
+  (* Blocking while locked releases the lock (ARINC 653 forbids it). *)
+  ignore (Kernel.timed_wait k ~now:1 0 50);
+  check Alcotest.bool "lock gone" false (Kernel.preemption_locked k);
+  check (Alcotest.option Alcotest.int) "high runs" (Some 1)
+    (Kernel.schedule k ~now:1)
+
+let lock_misuse_rejected () =
+  let k = klock_fixture () in
+  (* Only the running process may lock. *)
+  (match Kernel.lock_preemption k ~process:1 with
+  | Error Kernel.Not_waiting -> ()
+  | _ -> Alcotest.fail "non-running lock should fail");
+  match Kernel.unlock_preemption k ~process:0 with
+  | Error Kernel.Not_waiting -> ()
+  | _ -> Alcotest.fail "unlock without lock should fail"
+
+let lock_through_scripts () =
+  (* A low-priority process locks preemption around a critical section; a
+     periodic high-priority process released mid-section must wait. *)
+  let p =
+    Partition.make ~id:(pid 0) ~name:"LOCKER"
+      [ Process.spec ~base_priority:9 "background";
+        Process.spec ~periodicity:(Process.Periodic 50) ~time_capacity:50
+          ~wcet:5 ~base_priority:1 "urgent" ]
+  in
+  let schedule =
+    Schedule.make ~id:(sid 0) ~name:"all" ~mtf:50
+      ~requirements:[ q (pid 0) 50 50 ]
+      [ w (pid 0) 0 50 ]
+  in
+  let s =
+    System.create
+      (System.config
+         ~partitions:
+           [ System.partition_setup p
+               ~autostart:[ ("urgent", false) ]
+               [ Script.make
+                   [ Script.Compute 2; Script.Lock_preemption;
+                     Script.Start_other "urgent"; Script.Compute 10;
+                     Script.Log "critical section done";
+                     Script.Unlock_preemption; Script.Timed_wait 1000 ];
+                 Script.periodic_body
+                   [ Script.Compute 5; Script.Log "urgent ran" ] ] ]
+         ~schedules:[ schedule ] ())
+  in
+  System.run s ~ticks:40;
+  let t_of line =
+    match
+      Trace.find_first
+        (function
+          | Event.Application_output { line = l; _ } -> String.equal l line
+          | _ -> false)
+        (System.trace s)
+    with
+    | Some (t, _) -> t
+    | None -> Alcotest.failf "missing output %S" line
+  in
+  (* The critical section completes before the urgent process runs, even
+     though urgent has the higher priority. *)
+  check Alcotest.bool "critical section first" true
+    (t_of "critical section done" < t_of "urgent ran")
+
+(* --- Error handler process -------------------------------------------------- *)
+
+let error_handler_invoked () =
+  let p =
+    Partition.make ~id:(pid 0) ~name:"HANDLED"
+      [ Process.spec ~periodicity:(Process.Periodic 100) ~time_capacity:30
+          ~wcet:60 ~base_priority:5 "victim";
+        Process.spec ~base_priority:0 "handler" ]
+  in
+  let schedule =
+    Schedule.make ~id:(sid 0) ~name:"all" ~mtf:100
+      ~requirements:[ q (pid 0) 100 100 ]
+      [ w (pid 0) 0 100 ]
+  in
+  let s =
+    System.create
+      (System.config
+         ~partitions:
+           [ System.partition_setup p
+               ~autostart:[ ("handler", false) ]
+               ~error_handler:"handler"
+               [ Script.periodic_body [ Script.Compute 60 ];
+                 Script.make
+                   [ Script.Compute 1; Script.Log "error handler invoked";
+                     Script.Stop_self ] ] ]
+         ~schedules:[ schedule ] ())
+  in
+  System.run s ~ticks:300;
+  (* The victim misses its 30-tick deadline; the handler runs (at highest
+     priority) each time. *)
+  check Alcotest.bool "violations" true
+    (List.length (System.violations s) > 0);
+  check Alcotest.bool "handler ran" true
+    (Trace.count
+       (function
+         | Event.Application_output { line = "error handler invoked"; _ } ->
+           true
+         | _ -> false)
+       (System.trace s)
+    >= 1)
+
+let error_handler_must_exist () =
+  let p = Partition.make ~id:(pid 0) ~name:"X" [ Process.spec "a" ] in
+  check Alcotest.bool "rejected" true
+    (try
+       ignore
+         (System.partition_setup ~error_handler:"ghost" p [ Script.empty ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Intra objects at initialization and across restarts -------------------- *)
+
+let objects_fixture () =
+  let p =
+    Partition.make ~id:(pid 0) ~name:"OBJ"
+      [ Process.spec ~periodicity:(Process.Periodic 50) ~time_capacity:50
+          ~wcet:5 ~base_priority:5 "worker" ]
+  in
+  let schedule =
+    Schedule.make ~id:(sid 0) ~name:"all" ~mtf:50
+      ~requirements:[ q (pid 0) 50 50 ]
+      [ w (pid 0) 0 50 ]
+  in
+  System.create
+    (System.config
+       ~partitions:
+         [ System.partition_setup p
+             ~intra_objects:
+               [ System.Semaphore_object
+                   { name = "mutex"; initial = 1; maximum = 1;
+                     discipline = Intra.Fifo };
+                 System.Event_object { name = "go" };
+                 System.Blackboard_object
+                   { name = "status"; max_message_size = 32 };
+                 System.Buffer_object
+                   { name = "queue"; depth = 4; max_message_size = 32;
+                     discipline = Intra.Priority } ]
+             [ Script.periodic_body
+                 [ Script.Compute 5;
+                   Script.Display_blackboard ("status", "ok") ] ] ]
+       ~schedules:[ schedule ] ())
+
+let objects_created_at_init () =
+  let s = objects_fixture () in
+  System.run s ~ticks:60;
+  let intra = System.intra_of s (pid 0) in
+  check (Alcotest.option Alcotest.int) "semaphore" (Some 1)
+    (Intra.semaphore_value intra ~name:"mutex");
+  check (Alcotest.option Alcotest.bool) "event" (Some false)
+    (Intra.event_is_up intra ~name:"go");
+  check (Alcotest.option Alcotest.int) "buffer" (Some 0)
+    (Intra.buffer_occupancy intra ~name:"queue");
+  (* The script wrote the blackboard. *)
+  match Intra.read_blackboard intra ~now:60 ~process:0 ~name:"status" ~timeout:0 with
+  | `Read m -> check Alcotest.string "board" "ok" (Bytes.to_string m)
+  | _ -> Alcotest.fail "blackboard should hold a message"
+
+let warm_restart_preserves_objects () =
+  let s = objects_fixture () in
+  System.run s ~ticks:60;
+  let intra = System.intra_of s (pid 0) in
+  ignore (Intra.set_event intra ~now:60 ~name:"go");
+  (* Warm restart: the event object and its state survive. *)
+  Result.get_ok (System.restart_partition s (pid 0) Partition.Warm_start);
+  System.run s ~ticks:10;
+  check (Alcotest.option Alcotest.bool) "event survives warm" (Some true)
+    (Intra.event_is_up intra ~name:"go")
+
+let cold_restart_resets_objects () =
+  let s = objects_fixture () in
+  System.run s ~ticks:60;
+  let intra = System.intra_of s (pid 0) in
+  ignore (Intra.set_event intra ~now:60 ~name:"go");
+  Result.get_ok (System.restart_partition s (pid 0) Partition.Cold_start);
+  System.run s ~ticks:10;
+  (* The object was recreated from its configuration: event down again. *)
+  check (Alcotest.option Alcotest.bool) "event reset by cold" (Some false)
+    (Intra.event_is_up intra ~name:"go")
+
+(* --- Configuration grammar for the new features ------------------------------ *)
+
+let config_with_objects = {|
+(air-system
+  (partitions
+    (partition (name A) (error-handler medic)
+      (objects (semaphore mutex 1 1 fifo)
+               (event go)
+               (blackboard status 32)
+               (buffer queue 4 32 priority))
+      (processes
+        (process (name worker) (period 50) (capacity 50) (wcet 5) (priority 5)
+          (script (compute 5) (lock-preemption) (display-blackboard status "ok")
+                  (unlock-preemption) (periodic-wait)))
+        (process (name medic) (priority 0) (autostart false)
+          (script (log "medic") (stop-self))))))
+  (schedules
+    (schedule (name only) (mtf 50)
+      (requirements (req (partition A) (cycle 50) (duration 50)))
+      (windows (window (partition A) (offset 0) (duration 50))))))
+|}
+
+let grammar_roundtrip () =
+  match Air_config.Loader.load config_with_objects with
+  | Error e -> Alcotest.fail e
+  | Ok cfg ->
+    (match cfg.System.partitions with
+    | [ setup ] ->
+      check Alcotest.int "objects decoded" 4
+        (List.length setup.System.intra_objects);
+      check (Alcotest.option Alcotest.string) "handler" (Some "medic")
+        setup.System.error_handler
+    | _ -> Alcotest.fail "one partition expected");
+    (* Encode → load fixpoint with the new fields. *)
+    let doc = Air_config.Encode.to_string cfg in
+    (match Air_config.Loader.load doc with
+    | Error e -> Alcotest.failf "re-load: %s" e
+    | Ok cfg' ->
+      check Alcotest.string "fixpoint" doc (Air_config.Encode.to_string cfg'));
+    (* And the system actually runs with those objects. *)
+    let s = System.create cfg in
+    System.run s ~ticks:200;
+    check Alcotest.bool "alive" true (System.halted s = None)
+
+let suite =
+  [ Alcotest.test_case "lock prevents preemption" `Quick
+      lock_prevents_preemption;
+    Alcotest.test_case "lock nests" `Quick lock_nests;
+    Alcotest.test_case "lock released on block" `Quick lock_released_on_block;
+    Alcotest.test_case "lock misuse rejected" `Quick lock_misuse_rejected;
+    Alcotest.test_case "lock through scripts" `Quick lock_through_scripts;
+    Alcotest.test_case "error handler invoked" `Quick error_handler_invoked;
+    Alcotest.test_case "error handler must exist" `Quick
+      error_handler_must_exist;
+    Alcotest.test_case "objects created at init" `Quick
+      objects_created_at_init;
+    Alcotest.test_case "warm restart preserves objects" `Quick
+      warm_restart_preserves_objects;
+    Alcotest.test_case "cold restart resets objects" `Quick
+      cold_restart_resets_objects;
+    Alcotest.test_case "config grammar for objects/handler" `Quick
+      grammar_roundtrip ]

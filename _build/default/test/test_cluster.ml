@@ -1,0 +1,320 @@
+(* Tests for the inter-module communication infrastructure: Router.inject,
+   gateway drain, bus latency/bandwidth serialization, cross-module
+   delivery and isolation. *)
+
+open Air_sim
+open Air_model
+open Air_pos
+open Air_ipc
+open Air
+open Ident
+
+let check = Alcotest.check
+let pid = Partition_id.make
+let sid = Schedule_id.make
+let w partition offset duration = { Schedule.partition; offset; duration }
+let q partition cycle duration = { Schedule.partition; cycle; duration }
+
+(* --- Router.inject -------------------------------------------------------- *)
+
+let inject_net =
+  { Port.ports =
+      [ Port.queuing_port ~name:"QD" ~partition:(pid 0)
+          ~direction:Port.Destination ~depth:2 ~max_message_size:16;
+        Port.sampling_port ~name:"SD" ~partition:(pid 0)
+          ~direction:Port.Destination ~refresh:100 ~max_message_size:16;
+        Port.queuing_port ~name:"SRC" ~partition:(pid 0)
+          ~direction:Port.Source ~depth:2 ~max_message_size:16 ];
+    channels = [] }
+
+let inject_semantics () =
+  let r = Router.create inject_net in
+  check Alcotest.bool "queuing inject" true
+    (Router.inject r ~port:"QD" ~now:0 (Bytes.of_string "a") = Router.Injected);
+  check Alcotest.int "pending" 1 (Router.pending r ~port:"QD");
+  ignore (Router.inject r ~port:"QD" ~now:0 (Bytes.of_string "b"));
+  check Alcotest.bool "overflow" true
+    (Router.inject r ~port:"QD" ~now:0 (Bytes.of_string "c")
+     = Router.Inject_overflow);
+  check Alcotest.bool "sampling inject" true
+    (Router.inject r ~port:"SD" ~now:5 (Bytes.of_string "x") = Router.Injected);
+  (match Router.read_sampling r ~caller:(pid 0) ~port:"SD" ~now:6 with
+  | Ok (m, Router.Valid) -> check Alcotest.string "read" "x" (Bytes.to_string m)
+  | _ -> Alcotest.fail "sampling read after inject");
+  check Alcotest.bool "source rejected" true
+    (Router.inject r ~port:"SRC" ~now:0 (Bytes.of_string "x")
+     = Router.Inject_bad_port);
+  check Alcotest.bool "unknown rejected" true
+    (Router.inject r ~port:"NOPE" ~now:0 (Bytes.of_string "x")
+     = Router.Inject_bad_port);
+  check Alcotest.bool "oversized rejected" true
+    (Router.inject r ~port:"QD" ~now:0 (Bytes.make 99 'x')
+     = Router.Inject_bad_port)
+
+(* --- Two-module cluster ---------------------------------------------------- *)
+
+(* Module 0: a sensor partition sends telemetry into its local gateway.
+   Module 1: a ground-interface partition blocks on the remote port. *)
+let sensor_module () =
+  let sensor = pid 0 in
+  let network =
+    { Port.ports =
+        [ Port.queuing_port ~name:"TM_SRC" ~partition:sensor
+            ~direction:Port.Source ~depth:8 ~max_message_size:32;
+          (* The outbound gateway: where the bus picks messages up. *)
+          Port.queuing_port ~name:"TM_GW" ~partition:sensor
+            ~direction:Port.Destination ~depth:8 ~max_message_size:32 ];
+      channels = [ { Port.source = "TM_SRC"; destinations = [ "TM_GW" ] } ] }
+  in
+  let p =
+    Partition.make ~id:sensor ~name:"SENSOR"
+      [ Process.spec ~periodicity:(Process.Periodic 50) ~time_capacity:50
+          ~wcet:5 ~base_priority:5 "sample" ]
+  in
+  let schedule =
+    Schedule.make ~id:(sid 0) ~name:"solo" ~mtf:50
+      ~requirements:[ q sensor 50 50 ]
+      [ w sensor 0 50 ]
+  in
+  System.create
+    (System.config ~network
+       ~partitions:
+         [ System.partition_setup p
+             [ Script.periodic_body
+                 [ Script.Compute 5;
+                   Script.Send_queuing ("TM_SRC", "telemetry!") ] ] ]
+       ~schedules:[ schedule ] ())
+
+let ground_module () =
+  let ground = pid 0 in
+  let network =
+    { Port.ports =
+        [ Port.queuing_port ~name:"TM_IN" ~partition:ground
+            ~direction:Port.Destination ~depth:8 ~max_message_size:32 ];
+      channels = [] }
+  in
+  let p =
+    Partition.make ~id:ground ~name:"GROUND"
+      [ Process.spec ~base_priority:5 "downlink" ]
+  in
+  let schedule =
+    Schedule.make ~id:(sid 0) ~name:"solo" ~mtf:50
+      ~requirements:[ q ground 50 50 ]
+      [ w ground 0 50 ]
+  in
+  System.create
+    (System.config ~network
+       ~partitions:
+         [ System.partition_setup p
+             [ Script.make
+                 [ Script.Receive_queuing ("TM_IN", Time.infinity);
+                   Script.Log "frame received" ] ] ]
+       ~schedules:[ schedule ] ())
+
+let make_cluster ?bus () =
+  Cluster.create ?bus
+    ~links:
+      [ { Cluster.from_module = 0; from_port = "TM_GW"; to_module = 1;
+          to_port = "TM_IN" } ]
+    [ sensor_module (); ground_module () ]
+
+let cross_module_delivery () =
+  let cluster = make_cluster () in
+  Cluster.run cluster ~ticks:500;
+  let stats = Cluster.stats cluster in
+  check Alcotest.bool "messages crossed" true (stats.Cluster.transferred >= 8);
+  check Alcotest.int "no drops" 0 stats.Cluster.dropped;
+  let ground = (Cluster.systems cluster).(1) in
+  let received =
+    Air_sim.Trace.count
+      (function
+        | Event.Application_output { line = "frame received"; _ } -> true
+        | _ -> false)
+      (System.trace ground)
+  in
+  check Alcotest.bool "receiver woken each time" true (received >= 8);
+  (* Gateway fully drained. *)
+  let sensor = (Cluster.systems cluster).(0) in
+  check Alcotest.int "gateway empty" 0
+    (Router.pending (System.router sensor) ~port:"TM_GW")
+
+let bus_latency_respected () =
+  (* With a large latency, the first message (sent in tick ~5) cannot
+     arrive before latency has elapsed. *)
+  let cluster =
+    make_cluster ~bus:{ Cluster.latency = 100; bytes_per_tick = 32 } ()
+  in
+  Cluster.run cluster ~ticks:90;
+  let ground = (Cluster.systems cluster).(1) in
+  check Alcotest.int "nothing before latency" 0
+    (Air_sim.Trace.count
+       (function
+         | Event.Application_output { line = "frame received"; _ } -> true
+         | _ -> false)
+       (System.trace ground));
+  Cluster.run cluster ~ticks:60;
+  check Alcotest.bool "arrives after latency" true
+    (Air_sim.Trace.count
+       (function
+         | Event.Application_output { line = "frame received"; _ } -> true
+         | _ -> false)
+       (System.trace ground)
+    > 0)
+
+let bus_bandwidth_serializes () =
+  (* 10-byte messages at 1 byte/tick: each transfer occupies the bus for 10
+     ticks; messages produced every 50 ticks never queue, but a burst
+     serializes. *)
+  let cluster =
+    make_cluster ~bus:{ Cluster.latency = 0; bytes_per_tick = 1 } ()
+  in
+  Cluster.run cluster ~ticks:500;
+  let stats = Cluster.stats cluster in
+  check Alcotest.bool "still delivers" true (stats.Cluster.transferred >= 8);
+  check Alcotest.int "no drops" 0 stats.Cluster.dropped
+
+let remote_overflow_counts_as_drop () =
+  (* Ground module with a tiny port and a receiver that never reads. *)
+  let ground = pid 0 in
+  let network =
+    { Port.ports =
+        [ Port.queuing_port ~name:"TM_IN" ~partition:ground
+            ~direction:Port.Destination ~depth:1 ~max_message_size:32 ];
+      channels = [] }
+  in
+  let p = Partition.make ~id:ground ~name:"DEAF" [ Process.spec "idle" ] in
+  let schedule =
+    Schedule.make ~id:(sid 0) ~name:"solo" ~mtf:50
+      ~requirements:[ q ground 50 50 ]
+      [ w ground 0 50 ]
+  in
+  let deaf =
+    System.create
+      (System.config ~network
+         ~partitions:
+           [ System.partition_setup p
+               [ Script.make [ Script.Timed_wait 100000 ] ] ]
+         ~schedules:[ schedule ] ())
+  in
+  let cluster =
+    Cluster.create
+      ~links:
+        [ { Cluster.from_module = 0; from_port = "TM_GW"; to_module = 1;
+            to_port = "TM_IN" } ]
+      [ sensor_module (); deaf ]
+  in
+  Cluster.run cluster ~ticks:500;
+  let stats = Cluster.stats cluster in
+  (* One message sits in the port; the rest overflow. Overflow is reported
+     as delivered-with-overflow-event (Ok), not a drop. *)
+  check Alcotest.int "no hard drops" 0 stats.Cluster.dropped;
+  check Alcotest.bool "overflow events at target" true
+    (Air_sim.Trace.count
+       (function Event.Port_overflow _ -> true | _ -> false)
+       (System.trace deaf)
+    > 0)
+
+let modules_remain_isolated () =
+  (* Whatever the bus does, each module's partitions keep their timing. *)
+  let cluster =
+    make_cluster ~bus:{ Cluster.latency = 1; bytes_per_tick = 1 } ()
+  in
+  Cluster.run cluster ~ticks:1000;
+  Array.iter
+    (fun system ->
+      check Alcotest.int "no violations" 0
+        (List.length (System.violations system)))
+    (Cluster.systems cluster)
+
+let duplicate_gateway_rejected () =
+  check Alcotest.bool "duplicate gateway" true
+    (try
+       ignore
+         (Cluster.create
+            ~links:
+              [ { Cluster.from_module = 0; from_port = "TM_GW"; to_module = 1;
+                  to_port = "A" };
+                { Cluster.from_module = 0; from_port = "TM_GW"; to_module = 1;
+                  to_port = "B" } ]
+            [ sensor_module (); ground_module () ]);
+       false
+     with Invalid_argument _ -> true)
+
+let bad_link_rejected () =
+  check Alcotest.bool "bad index" true
+    (try
+       ignore
+         (Cluster.create
+            ~links:
+              [ { Cluster.from_module = 0; from_port = "X"; to_module = 7;
+                  to_port = "Y" } ]
+            [ sensor_module () ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* Conservation: every message sent into the gateway is accounted for —
+   delivered across, still in flight, still in the gateway, or recorded as
+   target overflow. *)
+let qcheck_conservation =
+  QCheck.Test.make ~name:"cluster conserves messages" ~count:25
+    QCheck.(pair (int_range 0 60) (int_range 1 32))
+    (fun (latency, bytes_per_tick) ->
+      let cluster =
+        make_cluster ~bus:{ Cluster.latency; bytes_per_tick } ()
+      in
+      Cluster.run cluster ~ticks:700;
+      let sensor = (Cluster.systems cluster).(0) in
+      let ground = (Cluster.systems cluster).(1) in
+      let sent =
+        Air_sim.Trace.count
+          (function
+            | Event.Port_send { port = "TM_SRC"; _ } -> true
+            | _ -> false)
+          (System.trace sensor)
+      in
+      ignore ground;
+      let stats = Cluster.stats cluster in
+      let in_gateway = Router.pending (System.router sensor) ~port:"TM_GW" in
+      (* Every message drained from the gateway ends up exactly one of:
+         transferred (possibly overflowing at the target, which is still a
+         bus-level delivery), dropped (bad target port), or in flight. *)
+      sent
+      = stats.Cluster.transferred + stats.Cluster.dropped
+        + stats.Cluster.in_flight + in_gateway)
+
+let cluster_document_loads () =
+  let candidates =
+    [ "examples/configs/constellation.air";
+      "../examples/configs/constellation.air";
+      "../../examples/configs/constellation.air";
+      "../../../examples/configs/constellation.air" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | None -> () (* source tree not visible from the test sandbox *)
+  | Some path -> (
+    match Air_config.Loader.load_cluster_file path with
+    | Error e -> Alcotest.fail e
+    | Ok cluster ->
+      Cluster.run cluster ~ticks:1500;
+      let stats = Cluster.stats cluster in
+      check Alcotest.bool "frames crossed" true (stats.Cluster.transferred >= 4);
+      check Alcotest.int "no drops" 0 stats.Cluster.dropped)
+
+let suite =
+  [ Alcotest.test_case "router: inject semantics" `Quick inject_semantics;
+    Alcotest.test_case "cluster: cross-module delivery" `Quick
+      cross_module_delivery;
+    Alcotest.test_case "cluster: bus latency respected" `Quick
+      bus_latency_respected;
+    Alcotest.test_case "cluster: bandwidth serializes" `Quick
+      bus_bandwidth_serializes;
+    Alcotest.test_case "cluster: remote overflow" `Quick
+      remote_overflow_counts_as_drop;
+    Alcotest.test_case "cluster: modules remain isolated" `Quick
+      modules_remain_isolated;
+    Alcotest.test_case "cluster: bad link rejected" `Quick bad_link_rejected;
+    Alcotest.test_case "cluster: duplicate gateway rejected" `Quick
+      duplicate_gateway_rejected;
+    QCheck_alcotest.to_alcotest qcheck_conservation;
+    Alcotest.test_case "cluster: document loads and runs" `Quick
+      cluster_document_loads ]

@@ -1,0 +1,262 @@
+(* Tests for the configuration language: s-expression parsing/printing and
+   the system loader. *)
+
+open Air_config
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- Sexp ----------------------------------------------------------------- *)
+
+let parse_basics () =
+  (match Sexp.parse_one "(a b (c d) \"e f\")" with
+  | Ok (Sexp.List [ Sexp.Atom "a"; Sexp.Atom "b"; Sexp.List [ Sexp.Atom "c"; Sexp.Atom "d" ]; Sexp.Atom "e f" ]) ->
+    ()
+  | Ok s -> Alcotest.failf "unexpected parse: %s" (Sexp.to_string s)
+  | Error e -> Alcotest.failf "parse error: %a" Sexp.pp_error e);
+  (match Sexp.parse "a (b) ; comment\n c" with
+  | Ok [ Sexp.Atom "a"; Sexp.List [ Sexp.Atom "b" ]; Sexp.Atom "c" ] -> ()
+  | _ -> Alcotest.fail "toplevel parse")
+
+let parse_strings_and_escapes () =
+  match Sexp.parse_one {|"line\nbreak \"quoted\" back\\slash"|} with
+  | Ok (Sexp.Atom s) ->
+    check Alcotest.string "unescaped" "line\nbreak \"quoted\" back\\slash" s
+  | _ -> Alcotest.fail "string parse"
+
+let parse_errors_have_positions () =
+  (match Sexp.parse_one "(a (b)" with
+  | Error e -> check Alcotest.bool "line 1" true (e.Sexp.position.Sexp.line = 1)
+  | Ok _ -> Alcotest.fail "expected error");
+  (match Sexp.parse_one "(a\n))" with
+  | Error e -> check Alcotest.int "line 2" 2 e.Sexp.position.Sexp.line
+  | Ok _ -> Alcotest.fail "expected error");
+  match Sexp.parse_one "\"unterminated" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error"
+
+let sexp_gen =
+  let open QCheck.Gen in
+  let atom_gen =
+    oneof
+      [ map (fun n -> Sexp.Atom (string_of_int n)) small_nat;
+        oneofl
+          [ Sexp.Atom "word"; Sexp.Atom "two words"; Sexp.Atom "with\"quote";
+            Sexp.Atom ""; Sexp.Atom "tab\there" ] ]
+  in
+  sized
+    (fix (fun self n ->
+         if n <= 1 then atom_gen
+         else
+           frequency
+             [ (2, atom_gen);
+               (3, map (fun l -> Sexp.List l) (list_size (int_range 0 4) (self (n / 2)))) ]))
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"sexp print/parse roundtrip" ~count:300
+    (QCheck.make sexp_gen) (fun s ->
+      match Sexp.parse_one (Sexp.to_string s) with
+      | Ok s' -> s = s'
+      | Error _ -> false)
+
+(* --- Decode ---------------------------------------------------------------- *)
+
+let decode_fields () =
+  let open Decode in
+  let input =
+    match Sexp.parse "(name X) (count 4)" with Ok l -> l | Error _ -> []
+  in
+  (match fields_of ~context:"t" input with
+  | Ok f ->
+    check Alcotest.bool "required" true (required f "name" (one atom) = Ok "X");
+    check Alcotest.bool "int" true (required f "count" (one int) = Ok 4);
+    check Alcotest.bool "missing" true (Result.is_error (required f "nope" (one atom)));
+    check Alcotest.bool "optional missing" true
+      (optional f "nope" (one atom) = Ok None);
+    check Alcotest.bool "unknown rejected" true
+      (Result.is_error (assert_no_extra f ~known:[ "name" ]))
+  | Error e -> Alcotest.fail e);
+  (* Duplicate fields rejected. *)
+  match Sexp.parse "(a 1) (a 2)" with
+  | Ok l -> check Alcotest.bool "dup" true (Result.is_error (fields_of ~context:"t" l))
+  | Error _ -> Alcotest.fail "parse"
+
+let decode_time_values () =
+  let open Decode in
+  check Alcotest.bool "ticks" true (time (Sexp.Atom "120") = Ok 120);
+  check Alcotest.bool "infinite" true
+    (time (Sexp.Atom "infinite") = Ok Air_sim.Time.infinity);
+  check Alcotest.bool "poll" true (timeout (Sexp.Atom "poll") = Ok 0);
+  check Alcotest.bool "negative rejected" true
+    (Result.is_error (time (Sexp.Atom "-3")))
+
+(* --- Loader ----------------------------------------------------------------- *)
+
+let full_doc = {|
+; A two-partition system exercising most of the grammar.
+(air-system
+  (partitions
+    (partition (name CTRL) (kind system) (deadline-store avl-tree)
+      (processes
+        (process (name loop) (period 100) (capacity 100) (wcet 30) (priority 5)
+          (script (compute 30) (log "tick") (periodic-wait)))
+        (process (name fallback) (period (sporadic 500)) (autostart false))))
+    (partition (name GUEST) (policy (round-robin 3))
+      (processes
+        (process (name busy) (script (compute 1000000)))
+        (process (name chat)
+          (script (send-queuing OUT "hello") (timed-wait 50))))))
+  (schedules
+    (schedule (name day) (mtf 200)
+      (requirements (req (partition CTRL) (cycle 100) (duration 40))
+                    (req (partition GUEST) (cycle 200) (duration 100)))
+      (windows (window (partition CTRL) (offset 0) (duration 40))
+               (window (partition GUEST) (offset 40) (duration 100))
+               (window (partition CTRL) (offset 140) (duration 40))))
+    (schedule (name night) (mtf 200)
+      (requirements (req (partition CTRL) (cycle 100) (duration 40)))
+      (change-actions (CTRL warm-restart))
+      (windows (window (partition CTRL) (offset 0) (duration 40))
+               (window (partition CTRL) (offset 100) (duration 40)))))
+  (ports
+    (queuing-port (name OUT) (partition GUEST) (direction source) (depth 4) (max-size 32))
+    (queuing-port (name IN) (partition CTRL) (direction destination) (depth 4) (max-size 32)))
+  (channels (channel (source OUT) (destinations IN)))
+  (hm
+    (process-errors (CTRL deadline-missed stop-process)
+                    (GUEST application-error (log-then 3 restart-process)))
+    (partition-errors (GUEST memory-violation cold-restart))
+    (module-errors (power-failure shutdown))))
+|}
+
+let loader_full_document () =
+  match Loader.load full_doc with
+  | Error e -> Alcotest.fail e
+  | Ok cfg ->
+    let s = Air.System.create cfg in
+    Air.System.run s ~ticks:600;
+    check Alcotest.bool "runs" true (Air.System.halted s = None);
+    check Alcotest.int "two partitions" 2 (Air.System.partition_count s);
+    (* Traffic flowed through the declared channel. *)
+    let stats = Air_ipc.Router.stats (Air.System.router s) in
+    check Alcotest.bool "messages" true (stats.Air_ipc.Router.messages_sent > 0)
+
+let loader_resolves_names () =
+  match Loader.load full_doc with
+  | Error e -> Alcotest.fail e
+  | Ok cfg ->
+    (match cfg.Air.System.schedules with
+    | [ day; night ] ->
+      check Alcotest.string "day" "day" day.Air_model.Schedule.name;
+      check Alcotest.bool "night change action" true
+        (Air_model.Schedule.change_action_for night
+           (Air_model.Ident.Partition_id.make 0)
+         = Air_model.Schedule.Warm_restart_partition)
+    | _ -> Alcotest.fail "two schedules");
+    check Alcotest.int "partitions" 2 (List.length cfg.Air.System.partitions)
+
+let loader_rejects_bad_docs () =
+  let cases =
+    [ ("unknown partition in window",
+       {|(air-system
+          (partitions (partition (name A) (processes)))
+          (schedules (schedule (name s) (mtf 10)
+            (requirements (req (partition NOPE) (cycle 10) (duration 1)))
+            (windows))))|});
+      ("unknown action",
+       {|(air-system
+          (partitions (partition (name A)
+            (processes (process (name p) (script (explode))))))
+          (schedules (schedule (name s) (mtf 10)
+            (requirements (req (partition A) (cycle 10) (duration 1)))
+            (windows (window (partition A) (offset 0) (duration 1))))))|});
+      ("unknown field",
+       {|(air-system (warp-drive on)
+          (partitions (partition (name A) (processes)))
+          (schedules))|});
+      ("unknown schedule in request",
+       {|(air-system
+          (partitions (partition (name A)
+            (processes (process (name p) (script (request-schedule ghost))))))
+          (schedules (schedule (name s) (mtf 10)
+            (requirements (req (partition A) (cycle 10) (duration 1)))
+            (windows (window (partition A) (offset 0) (duration 1))))))|}) ]
+  in
+  List.iter
+    (fun (name, doc) ->
+      check Alcotest.bool name true (Result.is_error (Loader.load doc)))
+    cases
+
+let roundtrip_fixpoint () =
+  (* decode → encode → decode → encode must be a fixpoint. *)
+  match Loader.load full_doc with
+  | Error e -> Alcotest.fail e
+  | Ok cfg ->
+    let doc1 = Encode.to_string cfg in
+    (match Loader.load doc1 with
+    | Error e -> Alcotest.failf "re-load failed: %s" e
+    | Ok cfg' ->
+      let doc2 = Encode.to_string cfg' in
+      check Alcotest.string "fixpoint" doc1 doc2)
+
+let roundtrip_preserves_behaviour () =
+  let run cfg =
+    let s = Air.System.create cfg in
+    Air.System.run s ~ticks:800;
+    ( List.length (Air.System.violations s),
+      Air_sim.Trace.count
+        (fun ev ->
+          match ev with
+          | Air_model.Event.Application_output _ -> true
+          | _ -> false)
+        (Air.System.trace s) )
+  in
+  match Loader.load full_doc with
+  | Error e -> Alcotest.fail e
+  | Ok cfg -> (
+    match Loader.load (Encode.to_string cfg) with
+    | Error e -> Alcotest.failf "re-load failed: %s" e
+    | Ok cfg' ->
+      check
+        (Alcotest.pair Alcotest.int Alcotest.int)
+        "same observable behaviour" (run cfg) (run cfg'))
+
+let satellite_config_roundtrips () =
+  (* The programmatically built prototype survives encode → load. *)
+  let cfg = Air_workload.Satellite.config () in
+  let doc = Encode.to_string cfg in
+  match Loader.load doc with
+  | Error e -> Alcotest.failf "load of encoded satellite failed: %s" e
+  | Ok cfg' ->
+    check Alcotest.string "fixpoint" doc (Encode.to_string cfg');
+    let s = Air.System.create cfg' in
+    Air.System.run_mtfs s 2;
+    check Alcotest.int "clean run" 0 (List.length (Air.System.violations s))
+
+let loader_syntax_error_reported () =
+  match Loader.load "(air-system (partitions" with
+  | Error e -> check Alcotest.bool "mentions position" true
+      (Astring_contains.contains e "line")
+  | Ok _ -> Alcotest.fail "expected syntax error"
+
+let suite =
+  [ Alcotest.test_case "sexp: parse basics" `Quick parse_basics;
+    Alcotest.test_case "sexp: strings and escapes" `Quick
+      parse_strings_and_escapes;
+    Alcotest.test_case "sexp: errors carry positions" `Quick
+      parse_errors_have_positions;
+    qcheck qcheck_roundtrip;
+    Alcotest.test_case "decode: fields" `Quick decode_fields;
+    Alcotest.test_case "decode: time values" `Quick decode_time_values;
+    Alcotest.test_case "loader: full document" `Quick loader_full_document;
+    Alcotest.test_case "loader: resolves names" `Quick loader_resolves_names;
+    Alcotest.test_case "loader: rejects bad documents" `Quick
+      loader_rejects_bad_docs;
+    Alcotest.test_case "encode/load round-trip fixpoint" `Quick
+      roundtrip_fixpoint;
+    Alcotest.test_case "round-trip preserves behaviour" `Quick
+      roundtrip_preserves_behaviour;
+    Alcotest.test_case "satellite config round-trips" `Quick
+      satellite_config_roundtrips;
+    Alcotest.test_case "loader: syntax errors reported" `Quick
+      loader_syntax_error_reported ]

@@ -1,0 +1,133 @@
+(* Tests for the three deadline-store implementations, including a
+   model-based property: every implementation agrees with a naive sorted
+   association list under random operation sequences. *)
+
+open Air_sim
+open Air
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let entry = Alcotest.pair Alcotest.int Alcotest.int
+
+let basic_behaviour impl () =
+  let s = Deadline_store.create impl in
+  check (Alcotest.option entry) "empty" None (Deadline_store.earliest s);
+  Deadline_store.register s ~process:1 100;
+  Deadline_store.register s ~process:2 50;
+  Deadline_store.register s ~process:3 150;
+  check Alcotest.int "size" 3 (Deadline_store.size s);
+  check (Alcotest.option entry) "earliest" (Some (2, 50))
+    (Deadline_store.earliest s);
+  check Alcotest.(list entry) "sorted"
+    [ (2, 50); (1, 100); (3, 150) ]
+    (Deadline_store.to_sorted_list s);
+  (* Update moves the entry (REPLENISH semantics, paper Fig. 6). *)
+  Deadline_store.register s ~process:2 200;
+  check (Alcotest.option entry) "after update" (Some (1, 100))
+    (Deadline_store.earliest s);
+  check Alcotest.int "size unchanged" 3 (Deadline_store.size s);
+  check (Alcotest.option Alcotest.int) "find" (Some 200)
+    (Deadline_store.find s ~process:2);
+  (* Unregister. *)
+  Deadline_store.unregister s ~process:1;
+  check (Alcotest.option entry) "after unregister" (Some (3, 150))
+    (Deadline_store.earliest s);
+  Deadline_store.unregister s ~process:99 (* no-op *);
+  check Alcotest.int "size" 2 (Deadline_store.size s);
+  (* Remove earliest (Algorithm 3, line 7). *)
+  Deadline_store.remove_earliest s;
+  check (Alcotest.option entry) "last" (Some (2, 200))
+    (Deadline_store.earliest s);
+  Deadline_store.clear s;
+  check Alcotest.int "cleared" 0 (Deadline_store.size s)
+
+let tie_break impl () =
+  let s = Deadline_store.create impl in
+  Deadline_store.register s ~process:5 100;
+  Deadline_store.register s ~process:2 100;
+  (* Equal deadlines: ordered by process index. *)
+  check (Alcotest.option entry) "tie" (Some (2, 100))
+    (Deadline_store.earliest s)
+
+(* Model-based testing: a sorted association list as reference. *)
+type op = Register of int * int | Unregister of int | Remove_earliest
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [ (6, map2 (fun p d -> Register (p, d)) (int_range 0 9) (int_range 0 500));
+        (2, map (fun p -> Unregister p) (int_range 0 9));
+        (2, return Remove_earliest) ])
+
+let model_apply model = function
+  | Register (p, d) -> (p, d) :: List.remove_assoc p model
+  | Unregister p -> List.remove_assoc p model
+  | Remove_earliest -> (
+    match
+      List.sort
+        (fun (p1, d1) (p2, d2) ->
+          match Int.compare d1 d2 with 0 -> Int.compare p1 p2 | c -> c)
+        model
+    with
+    | [] -> []
+    | (p, _) :: _ -> List.remove_assoc p model)
+
+let model_sorted model =
+  List.sort
+    (fun (p1, d1) (p2, d2) ->
+      match Int.compare d1 d2 with 0 -> Int.compare p1 p2 | c -> c)
+    model
+  |> List.map (fun (p, d) -> (p, d))
+
+let store_apply s = function
+  | Register (p, d) -> Deadline_store.register s ~process:p d
+  | Unregister p -> Deadline_store.unregister s ~process:p
+  | Remove_earliest -> Deadline_store.remove_earliest s
+
+let agrees_with_model impl =
+  QCheck.Test.make
+    ~name:
+      (Format.asprintf "%a agrees with reference model" Deadline_store.pp_impl
+         impl)
+    ~count:300
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 60) op_gen))
+    (fun ops ->
+      let s = Deadline_store.create impl in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          store_apply s op;
+          model := model_apply !model op;
+          let expected = model_sorted !model in
+          Deadline_store.to_sorted_list s = expected
+          && Deadline_store.size s = List.length expected
+          && Deadline_store.earliest s
+             = (match expected with [] -> None | (p, d) :: _ -> Some (p, d)))
+        ops)
+
+let all_impls_agree =
+  QCheck.Test.make ~name:"all implementations agree pairwise" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 40) op_gen))
+    (fun ops ->
+      let stores = List.map Deadline_store.create Deadline_store.all_impls in
+      List.iter (fun s -> List.iter (store_apply s) ops) stores;
+      match List.map Deadline_store.to_sorted_list stores with
+      | [] -> true
+      | first :: rest -> List.for_all (( = ) first) rest)
+
+let per_impl name impl =
+  [ Alcotest.test_case (name ^ ": basics") `Quick (basic_behaviour impl);
+    Alcotest.test_case (name ^ ": tie break") `Quick (tie_break impl) ]
+
+let suite =
+  per_impl "linked-list" Deadline_store.Linked_list_impl
+  @ per_impl "avl" Deadline_store.Avl_impl
+  @ per_impl "pairing" Deadline_store.Pairing_impl
+  @ [ qcheck (agrees_with_model Deadline_store.Linked_list_impl);
+      qcheck (agrees_with_model Deadline_store.Avl_impl);
+      qcheck (agrees_with_model Deadline_store.Pairing_impl);
+      qcheck all_impls_agree ]
+
+(* Silence unused-module warnings for Time, which documents intent here. *)
+let _ = Time.zero

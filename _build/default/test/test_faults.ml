@@ -1,0 +1,133 @@
+(* A randomized fault-injection campaign over the Sect. 6 prototype: the
+   dependability claim, stress-tested. Faults are injected at random
+   instants — runaway process starts/stops, partition restarts and
+   shutdowns, schedule-switch requests — and after every campaign the
+   architecture's invariants must hold:
+
+   - temporal containment: deadline violations only ever hit the partition
+     hosting the faulty process;
+   - the module never halts (no module-level action is configured);
+   - healthy partitions keep producing output;
+   - the simulation remains deterministic under the same seed. *)
+
+open Air_sim
+open Air_model
+open Air
+open Ident
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+type fault =
+  | Inject_faulty
+  | Stop_faulty
+  | Restart_p1 of Partition.mode
+  | Switch of int
+  | Operator_idle_p4
+
+let fault_gen =
+  QCheck.Gen.(
+    frequency
+      [ (4, return Inject_faulty);
+        (2, return Stop_faulty);
+        (1, return (Restart_p1 Partition.Warm_start));
+        (1, return (Restart_p1 Partition.Cold_start));
+        (2, map (fun b -> Switch (if b then 1 else 0)) bool);
+        (1, return Operator_idle_p4) ])
+
+let campaign_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 8) (pair fault_gen (int_range 1 2600)))
+
+let apply_fault s = function
+  | Inject_faulty ->
+    ignore
+      (System.start_process s Air_workload.Satellite.p1
+         ~name:Air_workload.Satellite.faulty_process_name)
+  | Stop_faulty ->
+    ignore
+      (System.stop_process s Air_workload.Satellite.p1
+         ~name:Air_workload.Satellite.faulty_process_name)
+  | Restart_p1 mode ->
+    ignore (System.restart_partition s Air_workload.Satellite.p1 mode)
+  | Switch 0 -> ignore (System.request_schedule s Air_workload.Satellite.chi1)
+  | Switch _ -> ignore (System.request_schedule s Air_workload.Satellite.chi2)
+  | Operator_idle_p4 ->
+    ignore
+      (System.restart_partition s Air_workload.Satellite.p4 Partition.Idle)
+
+let run_campaign faults =
+  let s = Air_workload.Satellite.make () in
+  let sorted = List.sort (fun (_, a) (_, b) -> Int.compare a b) faults in
+  let cursor = ref 0 in
+  List.iter
+    (fun (fault, at) ->
+      if at > !cursor then begin
+        System.run s ~ticks:(at - !cursor);
+        cursor := at
+      end;
+      apply_fault s fault)
+    sorted;
+  System.run s ~ticks:(6500 - !cursor);
+  s
+
+let containment_campaign =
+  QCheck.Test.make ~name:"fault campaigns never breach containment"
+    ~count:40 (QCheck.make campaign_gen) (fun faults ->
+      let s = run_campaign faults in
+      let p4_idled =
+        List.exists (fun (f, _) -> f = Operator_idle_p4) faults
+      in
+      (* 1. Violations only on P1 (the only partition hosting a fault). *)
+      List.for_all
+        (fun (_, proc, _) ->
+          Partition_id.equal (Process_id.partition proc)
+            Air_workload.Satellite.p1)
+        (System.violations s)
+      (* 2. The module survives. *)
+      && System.halted s = None
+      (* 3. Healthy partitions (P2, P3) stayed in normal mode. *)
+      && List.for_all
+           (fun p ->
+             Partition.mode_equal (System.partition_mode s p) Partition.Normal)
+           [ Air_workload.Satellite.p2; Air_workload.Satellite.p3 ]
+      (* 4. P4 is either running, or idle exactly when the operator shut it
+         down and no restart followed. *)
+      && (Partition.mode_equal
+            (System.partition_mode s Air_workload.Satellite.p4)
+            Partition.Normal
+          || p4_idled))
+
+let campaign_deterministic =
+  QCheck.Test.make ~name:"fault campaigns are deterministic" ~count:10
+    (QCheck.make campaign_gen) (fun faults ->
+      let fingerprint () =
+        let s = run_campaign faults in
+        ( Trace.total (System.trace s),
+          List.length (System.violations s),
+          Hm.error_count (System.hm s) )
+      in
+      fingerprint () = fingerprint ())
+
+let healthy_output_continues () =
+  (* Even with the faulty process running the whole time, TTC keeps
+     downlinking every MTF. *)
+  let s = Air_workload.Satellite.make () in
+  Air_workload.Satellite.inject_fault s;
+  System.run_mtfs s 8;
+  let downlinks =
+    Trace.count
+      (function
+        | Event.Application_output { line = "telemetry frame downlinked"; _ }
+          ->
+          true
+        | _ -> false)
+      (System.trace s)
+  in
+  check Alcotest.bool "TTC unaffected" true (downlinks >= 14)
+
+let suite =
+  [ qcheck containment_campaign;
+    qcheck campaign_deterministic;
+    Alcotest.test_case "healthy output continues under fault" `Quick
+      healthy_output_continues ]

@@ -1,0 +1,167 @@
+(* Tests for the formal system model: identifiers, processes, partitions,
+   schedules and preemption tables. *)
+
+open Air_model
+open Ident
+
+let check = Alcotest.check
+
+let pid = Partition_id.make
+let sid = Schedule_id.make
+
+let w partition offset duration = { Schedule.partition; offset; duration }
+let q partition cycle duration = { Schedule.partition; cycle; duration }
+
+let ident_printing () =
+  check Alcotest.string "P1" "P1" (Format.asprintf "%a" Partition_id.pp (pid 0));
+  check Alcotest.string "χ2" "χ2" (Format.asprintf "%a" Schedule_id.pp (sid 1));
+  check Alcotest.string "τ1,2" "τ1,2"
+    (Format.asprintf "%a" Process_id.pp (Process_id.make (pid 0) 1))
+
+let ident_invariants () =
+  Alcotest.check_raises "negative partition"
+    (Invalid_argument "Partition_id.make: negative index") (fun () ->
+      ignore (pid (-1)));
+  check Alcotest.bool "equality" true (Partition_id.equal (pid 3) (pid 3));
+  check Alcotest.bool "inequality" false (Partition_id.equal (pid 3) (pid 4));
+  check Alcotest.int "process ordering" (-1)
+    (Int.compare
+       (Process_id.compare (Process_id.make (pid 0) 1) (Process_id.make (pid 1) 0))
+       0)
+
+let process_spec_defaults () =
+  let spec = Process.spec "idle" in
+  check Alcotest.bool "no deadline" false (Process.has_deadline spec);
+  check Alcotest.int "default priority" 10 spec.Process.base_priority;
+  let status = Process.initial_status spec in
+  check Alcotest.bool "dormant" true
+    (Process.state_equal status.Process.state Process.Dormant)
+
+let process_spec_rejects_bad_period () =
+  Alcotest.check_raises "zero period"
+    (Invalid_argument "Process.spec: non-positive period") (fun () ->
+      ignore (Process.spec ~periodicity:(Process.Periodic 0) "x"))
+
+let partition_helpers () =
+  let p =
+    Partition.make ~id:(pid 0) ~name:"X"
+      [ Process.spec "a"; Process.spec "b" ]
+  in
+  check Alcotest.int "count" 2 (Partition.process_count p);
+  check Alcotest.bool "find existing" true
+    (Option.is_some (Partition.find_process p "b"));
+  check Alcotest.bool "find missing" true
+    (Option.is_none (Partition.find_process p "zz"));
+  Alcotest.check_raises "bad index"
+    (Invalid_argument "Partition.process_id: index out of range") (fun () ->
+      ignore (Partition.process_id p 2))
+
+let schedule_sorting_and_lookup () =
+  let s =
+    Schedule.make ~id:(sid 0) ~name:"s" ~mtf:100
+      ~requirements:[ q (pid 0) 100 30; q (pid 1) 100 20 ]
+      [ w (pid 1) 50 20; w (pid 0) 0 30 ]
+  in
+  (* make sorts windows by offset *)
+  (match s.Schedule.windows with
+  | [ first; second ] ->
+    check Alcotest.int "first offset" 0 first.Schedule.offset;
+    check Alcotest.int "second offset" 50 second.Schedule.offset
+  | _ -> Alcotest.fail "expected two windows");
+  check Alcotest.bool "window_at inside" true
+    (Option.is_some (Schedule.window_at s 10));
+  check Alcotest.bool "window_at gap" true
+    (Option.is_none (Schedule.window_at s 40));
+  check Alcotest.bool "window_at wraps" true
+    (Option.is_some (Schedule.window_at s 110));
+  check Alcotest.int "total window time" 30
+    (Schedule.total_window_time s (pid 0));
+  check (Alcotest.float 1e-9) "utilization" 0.5 (Schedule.utilization s)
+
+let schedule_rejects_bad_input () =
+  Alcotest.check_raises "bad mtf" (Invalid_argument "Schedule.make: non-positive MTF")
+    (fun () ->
+      ignore
+        (Schedule.make ~id:(sid 0) ~name:"s" ~mtf:0 ~requirements:[] []));
+  Alcotest.check_raises "bad window"
+    (Invalid_argument "Schedule.make: non-positive window duration") (fun () ->
+      ignore
+        (Schedule.make ~id:(sid 0) ~name:"s" ~mtf:10 ~requirements:[]
+           [ w (pid 0) 0 0 ]))
+
+let preemption_table_contiguous () =
+  let s =
+    Schedule.make ~id:(sid 0) ~name:"s" ~mtf:100
+      ~requirements:[ q (pid 0) 100 60; q (pid 1) 100 40 ]
+      [ w (pid 0) 0 60; w (pid 1) 60 40 ]
+  in
+  let table = Schedule.preemption_table s in
+  check Alcotest.int "two points" 2 (Array.length table);
+  check Alcotest.int "first at 0" 0 table.(0).Schedule.tick;
+  check Alcotest.bool "first heir P1" true
+    (table.(0).Schedule.heir = Some (pid 0));
+  check Alcotest.int "second at 60" 60 table.(1).Schedule.tick
+
+let preemption_table_with_gaps () =
+  let s =
+    Schedule.make ~id:(sid 0) ~name:"s" ~mtf:100
+      ~requirements:[ q (pid 0) 100 20 ]
+      [ w (pid 0) 10 20 ]
+  in
+  let table = Schedule.preemption_table s in
+  (* idle [0,10), P1 [10,30), idle [30,100) *)
+  check Alcotest.int "three points" 3 (Array.length table);
+  check Alcotest.bool "starts idle" true (table.(0).Schedule.heir = None);
+  check Alcotest.int "window start" 10 table.(1).Schedule.tick;
+  check Alcotest.bool "trailing idle" true (table.(2).Schedule.heir = None);
+  check Alcotest.int "trailing idle at 30" 30 table.(2).Schedule.tick
+
+let preemption_table_fig8 () =
+  let table = Schedule.preemption_table Air_workload.Satellite.schedule_1 in
+  check Alcotest.int "seven points (no gaps)" 7 (Array.length table);
+  let offsets = Array.to_list (Array.map (fun p -> p.Schedule.tick) table) in
+  check Alcotest.(list int) "offsets" [ 0; 200; 300; 400; 1000; 1100; 1200 ]
+    offsets
+
+let change_action_lookup () =
+  let s =
+    Schedule.make ~id:(sid 0) ~name:"s" ~mtf:100
+      ~requirements:[ q (pid 0) 100 10 ]
+      ~change_actions:[ (pid 0, Schedule.Warm_restart_partition) ]
+      [ w (pid 0) 0 10 ]
+  in
+  check Alcotest.bool "configured" true
+    (Schedule.change_action_for s (pid 0) = Schedule.Warm_restart_partition);
+  check Alcotest.bool "default" true
+    (Schedule.change_action_for s (pid 1) = Schedule.No_action)
+
+let event_queries () =
+  let v =
+    Event.Deadline_violation
+      { process = Process_id.make (pid 0) 1; deadline = 300 }
+  in
+  check Alcotest.bool "is violation" true (Event.is_deadline_violation v);
+  check Alcotest.bool "violation_of" true
+    (match Event.violation_of v with
+    | Some (_, 300) -> true
+    | _ -> false);
+  check Alcotest.bool "not context switch" false (Event.is_context_switch v)
+
+let suite =
+  [ Alcotest.test_case "ident: printing" `Quick ident_printing;
+    Alcotest.test_case "ident: invariants" `Quick ident_invariants;
+    Alcotest.test_case "process: spec defaults" `Quick process_spec_defaults;
+    Alcotest.test_case "process: rejects bad period" `Quick
+      process_spec_rejects_bad_period;
+    Alcotest.test_case "partition: helpers" `Quick partition_helpers;
+    Alcotest.test_case "schedule: sorting and lookup" `Quick
+      schedule_sorting_and_lookup;
+    Alcotest.test_case "schedule: rejects bad input" `Quick
+      schedule_rejects_bad_input;
+    Alcotest.test_case "preemption table: contiguous" `Quick
+      preemption_table_contiguous;
+    Alcotest.test_case "preemption table: gaps become idle" `Quick
+      preemption_table_with_gaps;
+    Alcotest.test_case "preemption table: Fig. 8" `Quick preemption_table_fig8;
+    Alcotest.test_case "schedule: change actions" `Quick change_action_lookup;
+    Alcotest.test_case "event: queries" `Quick event_queries ]

@@ -1,0 +1,248 @@
+(* Tests for the PAL surrogate clock-tick announcement (Algorithm 3) and
+   the PMK Partition Scheduler / Dispatcher (Algorithms 1 and 2), including
+   mode-based schedules. *)
+
+open Air_model
+open Air
+
+let check = Alcotest.check
+let pid = Ident.Partition_id.make
+let sid = Ident.Schedule_id.make
+let w partition offset duration = { Schedule.partition; offset; duration }
+let q partition cycle duration = { Schedule.partition; cycle; duration }
+
+(* --- PAL ----------------------------------------------------------------- *)
+
+let pal_detects_strictly_past_deadlines () =
+  let pal = Pal.create ~partition:(pid 0) () in
+  Pal.register_deadline pal ~process:0 100;
+  (* Algorithm 3, line 3: deadlineTime ≥ now ⇒ no violation. *)
+  let v = Pal.announce_ticks pal ~now:100 ~elapsed:1 ~announce_to_pos:(fun ~elapsed:_ -> ()) in
+  check Alcotest.int "not yet at t=100" 0 (List.length v);
+  let v = Pal.announce_ticks pal ~now:101 ~elapsed:1 ~announce_to_pos:(fun ~elapsed:_ -> ()) in
+  check Alcotest.int "violated at t=101" 1 (List.length v);
+  (* Removed after reporting (line 7). *)
+  check Alcotest.int "removed" 0 (Pal.deadline_count pal)
+
+let pal_reports_in_ascending_order () =
+  let pal = Pal.create ~partition:(pid 0) () in
+  Pal.register_deadline pal ~process:0 50;
+  Pal.register_deadline pal ~process:1 30;
+  Pal.register_deadline pal ~process:2 400;
+  let v =
+    Pal.announce_ticks pal ~now:100 ~elapsed:100
+      ~announce_to_pos:(fun ~elapsed:_ -> ())
+  in
+  check Alcotest.(list int) "both expired, earliest first" [ 1; 0 ]
+    (List.map (fun { Pal.process; _ } -> process) v);
+  (* The unexpired deadline survives. *)
+  check Alcotest.int "survivor" 1 (Pal.deadline_count pal);
+  check
+    (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int))
+    "survivor is process 2" (Some (2, 400)) (Pal.earliest_deadline pal)
+
+let pal_announces_to_pos_first () =
+  let pal = Pal.create ~partition:(pid 0) () in
+  let announced = ref 0 in
+  ignore
+    (Pal.announce_ticks pal ~now:10 ~elapsed:7
+       ~announce_to_pos:(fun ~elapsed -> announced := elapsed));
+  check Alcotest.int "elapsed forwarded" 7 !announced
+
+let pal_violations_now_is_pure () =
+  let pal = Pal.create ~partition:(pid 0) () in
+  Pal.register_deadline pal ~process:0 10;
+  let v = Pal.violations_now pal ~now:100 in
+  check Alcotest.int "reported" 1 (List.length v);
+  check Alcotest.int "not removed" 1 (Pal.deadline_count pal)
+
+(* --- PMK ----------------------------------------------------------------- *)
+
+let two_partition_schedule =
+  Schedule.make ~id:(sid 0) ~name:"A" ~mtf:100
+    ~requirements:[ q (pid 0) 100 60; q (pid 1) 100 40 ]
+    [ w (pid 0) 0 60; w (pid 1) 60 40 ]
+
+let alternate_schedule =
+  Schedule.make ~id:(sid 1) ~name:"B" ~mtf:100
+    ~requirements:[ q (pid 0) 100 40; q (pid 1) 100 60 ]
+    ~change_actions:[ (pid 1, Schedule.Warm_restart_partition) ]
+    [ w (pid 1) 0 60; w (pid 0) 60 40 ]
+
+let make_pmk () =
+  Pmk.create ~partition_count:2 [ two_partition_schedule; alternate_schedule ]
+
+let pmk_initial_dispatch () =
+  let pmk = make_pmk () in
+  let outcome = Pmk.tick pmk in
+  check Alcotest.int "tick 0" 0 (Pmk.ticks pmk);
+  (match outcome.Pmk.context_switch with
+  | Some (None, Some p) -> check Alcotest.bool "P1 active" true (Ident.Partition_id.equal p (pid 0))
+  | _ -> Alcotest.fail "expected initial dispatch");
+  check Alcotest.int "elapsed 0 at start" 0 outcome.Pmk.elapsed
+
+let pmk_preemption_points () =
+  let pmk = make_pmk () in
+  let switches = ref [] in
+  for _ = 0 to 249 do
+    let o = Pmk.tick pmk in
+    match o.Pmk.context_switch with
+    | Some (_, to_) -> switches := (Pmk.ticks pmk, to_) :: !switches
+    | None -> ()
+  done;
+  check
+    Alcotest.(list (pair int (option bool)))
+    "switch instants"
+    [ (0, Some true); (60, Some false); (100, Some true); (160, Some false);
+      (200, Some true) ]
+    (List.rev_map
+       (fun (t, p) ->
+         (t, Option.map (fun p -> Ident.Partition_id.equal p (pid 0)) p))
+       !switches)
+
+let pmk_elapsed_accounting () =
+  let pmk = make_pmk () in
+  (* P2's first dispatch at tick 60 must announce 60 elapsed ticks. *)
+  let elapsed_at_60 = ref (-1) in
+  for _ = 0 to 60 do
+    let o = Pmk.tick pmk in
+    if Pmk.ticks pmk = 60 then elapsed_at_60 := o.Pmk.elapsed
+  done;
+  check Alcotest.int "first P2 dispatch" 60 !elapsed_at_60;
+  (* While P2 keeps running, elapsed is 1 per tick (Algorithm 2, line 2). *)
+  let o = Pmk.tick pmk in
+  check Alcotest.int "running elapsed" 1 o.Pmk.elapsed;
+  (* At tick 100 P1 returns: its lastTick was set to 59 on switch-out
+     (Algorithm 2, line 5: ticks − 1), so 100 − 59 = 41 ticks are
+     announced — the interval (59, 100]. *)
+  let elapsed_at_100 = ref (-1) in
+  for _ = 62 to 100 do
+    let o = Pmk.tick pmk in
+    if Pmk.ticks pmk = 100 then elapsed_at_100 := o.Pmk.elapsed
+  done;
+  check Alcotest.int "P1 returns" 41 !elapsed_at_100
+
+let pmk_idle_gaps () =
+  let gap_schedule =
+    Schedule.make ~id:(sid 0) ~name:"gaps" ~mtf:100
+      ~requirements:[ q (pid 0) 100 20 ]
+      [ w (pid 0) 10 20 ]
+  in
+  let pmk = Pmk.create ~partition_count:1 [ gap_schedule ] in
+  let o0 = Pmk.tick pmk in
+  (* Tick 0: idle — no active partition. *)
+  check Alcotest.bool "starts idle" true (Pmk.active_partition pmk = None);
+  check Alcotest.int "idle elapsed" 0 o0.Pmk.elapsed;
+  for _ = 1 to 10 do
+    ignore (Pmk.tick pmk)
+  done;
+  check Alcotest.bool "window" true (Pmk.active_partition pmk = Some (pid 0));
+  for _ = 11 to 30 do
+    ignore (Pmk.tick pmk)
+  done;
+  check Alcotest.bool "idle again" true (Pmk.active_partition pmk = None)
+
+let pmk_switch_at_mtf_boundary_only () =
+  let pmk = make_pmk () in
+  for _ = 0 to 29 do
+    ignore (Pmk.tick pmk)
+  done;
+  (* Request mid-frame: effective only at tick 100. *)
+  Result.get_ok (Pmk.request_schedule_switch pmk (sid 1));
+  check Alcotest.bool "still current" true
+    (Ident.Schedule_id.equal (Pmk.current_schedule pmk) (sid 0));
+  let switched_at = ref (-1) in
+  for _ = 30 to 120 do
+    let o = Pmk.tick pmk in
+    match o.Pmk.schedule_switched with
+    | Some (from, to_) ->
+      switched_at := Pmk.ticks pmk;
+      check Alcotest.bool "from A" true (Ident.Schedule_id.equal from (sid 0));
+      check Alcotest.bool "to B" true (Ident.Schedule_id.equal to_ (sid 1))
+    | None -> ()
+  done;
+  check Alcotest.int "switch at MTF boundary" 100 !switched_at;
+  check Alcotest.int "lastScheduleSwitch" 100 (Pmk.last_schedule_switch pmk);
+  (* Under schedule B, P2 owns [0,60): at tick 100 the heir is P2. *)
+  check Alcotest.bool "new table in force" true
+    (Pmk.active_partition pmk = Some (pid 1))
+
+let pmk_change_action_on_first_dispatch () =
+  let pmk = make_pmk () in
+  ignore (Pmk.tick pmk);
+  Result.get_ok (Pmk.request_schedule_switch pmk (sid 1));
+  let actions = ref [] in
+  for _ = 1 to 260 do
+    let o = Pmk.tick pmk in
+    match o.Pmk.change_action with
+    | Some (p, a) -> actions := (Pmk.ticks pmk, p, a) :: !actions
+    | None -> ()
+  done;
+  (* Only P2 has a change action in schedule B. P2 is already active when
+     the switch happens at tick 100 (its old window ends exactly where its
+     new one begins), and Algorithm 2 applies pending actions only when a
+     partition is context-switched in — so the action fires at P2's next
+     true dispatch, tick 200. *)
+  match List.rev !actions with
+  | [ (t, p, Schedule.Warm_restart_partition) ] ->
+    check Alcotest.int "at first dispatch" 200 t;
+    check Alcotest.bool "P2" true (Ident.Partition_id.equal p (pid 1))
+  | _ -> Alcotest.fail "expected exactly one warm-restart change action"
+
+let pmk_cancel_pending_switch () =
+  let pmk = make_pmk () in
+  ignore (Pmk.tick pmk);
+  Result.get_ok (Pmk.request_schedule_switch pmk (sid 1));
+  (* Re-requesting the current schedule cancels the pending switch
+     (ARINC 653: the request is remembered; NO_ACTION semantics surface
+     through Same_schedule only when nothing was pending). *)
+  (match Pmk.request_schedule_switch pmk (sid 0) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "cancellation should be accepted");
+  for _ = 1 to 150 do
+    let o = Pmk.tick pmk in
+    if o.Pmk.schedule_switched <> None then
+      Alcotest.fail "switch should have been cancelled"
+  done;
+  (* Requesting the current schedule with nothing pending is NO_ACTION. *)
+  match Pmk.request_schedule_switch pmk (sid 0) with
+  | Error Pmk.Same_schedule -> ()
+  | _ -> Alcotest.fail "expected Same_schedule"
+
+let pmk_bad_requests () =
+  let pmk = make_pmk () in
+  (match Pmk.request_schedule_switch pmk (sid 7) with
+  | Error (Pmk.No_such_schedule 7) -> ()
+  | _ -> Alcotest.fail "expected No_such_schedule");
+  Alcotest.check_raises "invalid set"
+    (Invalid_argument "Pmk.create: schedule identifiers must be dense") (fun () ->
+      ignore (Pmk.create ~partition_count:2 [ alternate_schedule ]))
+
+let pmk_mtf_position () =
+  let pmk = make_pmk () in
+  for _ = 0 to 149 do
+    ignore (Pmk.tick pmk)
+  done;
+  check Alcotest.int "position" 49 (Pmk.mtf_position pmk)
+
+let suite =
+  [ Alcotest.test_case "pal: strict deadline comparison" `Quick
+      pal_detects_strictly_past_deadlines;
+    Alcotest.test_case "pal: ascending violation reporting" `Quick
+      pal_reports_in_ascending_order;
+    Alcotest.test_case "pal: POS announced first" `Quick
+      pal_announces_to_pos_first;
+    Alcotest.test_case "pal: violations_now is pure" `Quick
+      pal_violations_now_is_pure;
+    Alcotest.test_case "pmk: initial dispatch" `Quick pmk_initial_dispatch;
+    Alcotest.test_case "pmk: preemption points" `Quick pmk_preemption_points;
+    Alcotest.test_case "pmk: elapsed accounting" `Quick pmk_elapsed_accounting;
+    Alcotest.test_case "pmk: idle gaps" `Quick pmk_idle_gaps;
+    Alcotest.test_case "pmk: switch at MTF boundary only" `Quick
+      pmk_switch_at_mtf_boundary_only;
+    Alcotest.test_case "pmk: change action at first dispatch" `Quick
+      pmk_change_action_on_first_dispatch;
+    Alcotest.test_case "pmk: cancel pending switch" `Quick
+      pmk_cancel_pending_switch;
+    Alcotest.test_case "pmk: bad requests" `Quick pmk_bad_requests;
+    Alcotest.test_case "pmk: mtf position" `Quick pmk_mtf_position ]

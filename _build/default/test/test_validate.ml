@@ -1,0 +1,194 @@
+(* Tests for the verification of integrator-defined parameters:
+   eqs. (21)–(23) and the structural conditions of eqs. (18)–(20). *)
+
+open Air_model
+open Ident
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let pid = Partition_id.make
+let sid = Schedule_id.make
+let w partition offset duration = { Schedule.partition; offset; duration }
+let q partition cycle duration = { Schedule.partition; cycle; duration }
+
+let valid_schedule =
+  Schedule.make ~id:(sid 0) ~name:"ok" ~mtf:100
+    ~requirements:[ q (pid 0) 50 20; q (pid 1) 100 30 ]
+    [ w (pid 0) 0 20; w (pid 1) 20 30; w (pid 0) 50 20 ]
+
+let has_diag pred diags = List.exists pred diags
+
+let valid_passes () =
+  check Alcotest.int "no diagnostics" 0
+    (List.length (Validate.validate valid_schedule))
+
+let fig8_valid () =
+  check Alcotest.int "paper PSTs valid" 0
+    (List.length
+       (Validate.validate_set
+          [ Air_workload.Satellite.schedule_1;
+            Air_workload.Satellite.schedule_2 ]))
+
+let overlap_detected () =
+  let s =
+    Schedule.make ~id:(sid 0) ~name:"overlap" ~mtf:100
+      ~requirements:[ q (pid 0) 100 40; q (pid 1) 100 20 ]
+      [ w (pid 0) 0 40; w (pid 1) 30 20 ]
+  in
+  check Alcotest.bool "eq.(21) first part" true
+    (has_diag
+       (function Validate.Window_overlap _ -> true | _ -> false)
+       (Validate.validate s))
+
+let window_beyond_mtf_detected () =
+  let s =
+    Schedule.make ~id:(sid 0) ~name:"spill" ~mtf:100
+      ~requirements:[ q (pid 0) 100 40 ]
+      [ w (pid 0) 80 40 ]
+  in
+  check Alcotest.bool "eq.(21) second part" true
+    (has_diag
+       (function Validate.Window_exceeds_mtf _ -> true | _ -> false)
+       (Validate.validate s))
+
+let mtf_lcm_detected () =
+  let s =
+    Schedule.make ~id:(sid 0) ~name:"lcm" ~mtf:130
+      ~requirements:[ q (pid 0) 100 10 ]
+      [ w (pid 0) 0 10 ]
+  in
+  check Alcotest.bool "eq.(22)" true
+    (has_diag
+       (function Validate.Mtf_not_multiple_of_lcm _ -> true | _ -> false)
+       (Validate.validate s))
+
+let insufficient_duration_detected () =
+  (* P1 needs 20 per 50-tick cycle but the second cycle only gets 10. *)
+  let s =
+    Schedule.make ~id:(sid 0) ~name:"short" ~mtf:100
+      ~requirements:[ q (pid 0) 50 20 ]
+      [ w (pid 0) 0 20; w (pid 0) 50 10 ]
+  in
+  let diags = Validate.validate s in
+  check Alcotest.bool "eq.(23)" true
+    (has_diag
+       (function
+         | Validate.Insufficient_cycle_duration { cycle_index = 1; provided = 10; required = 20; _ } ->
+           true
+         | _ -> false)
+       diags)
+
+let window_outside_q_detected () =
+  let s =
+    Schedule.make ~id:(sid 0) ~name:"ghost" ~mtf:100
+      ~requirements:[ q (pid 0) 100 10 ]
+      [ w (pid 0) 0 10; w (pid 9) 50 10 ]
+  in
+  check Alcotest.bool "eq.(20)" true
+    (has_diag
+       (function
+         | Validate.Window_for_unknown_partition _ -> true
+         | _ -> false)
+       (Validate.validate s))
+
+let duplicate_requirement_detected () =
+  let s =
+    Schedule.make ~id:(sid 0) ~name:"dup" ~mtf:100
+      ~requirements:[ q (pid 0) 100 10; q (pid 0) 100 10 ]
+      [ w (pid 0) 0 20 ]
+  in
+  check Alcotest.bool "duplicate" true
+    (has_diag
+       (function Validate.Duplicate_requirement _ -> true | _ -> false)
+       (Validate.validate s))
+
+let zero_duration_partition_ok () =
+  (* Partitions without strict time requirements have d = 0 (paper
+     Sect. 3.1); they need no windows. *)
+  let s =
+    Schedule.make ~id:(sid 0) ~name:"nrt" ~mtf:100
+      ~requirements:[ q (pid 0) 100 10; q (pid 1) 100 0 ]
+      [ w (pid 0) 0 10 ]
+  in
+  check Alcotest.int "valid" 0 (List.length (Validate.validate s))
+
+let set_level_checks () =
+  check Alcotest.bool "empty set" true
+    (List.mem Validate.Empty_schedule_set (Validate.validate_set []));
+  let dup = valid_schedule in
+  check Alcotest.bool "duplicate ids" true
+    (has_diag
+       (function Validate.Duplicate_schedule_id _ -> true | _ -> false)
+       (Validate.validate_set [ dup; dup ]))
+
+let cycle_supply_eq25 () =
+  (* The paper's eq. (25): P1 under χ1, k = 0, supply 200 ≥ d = 200. *)
+  check Alcotest.int "eq.(25)" 200
+    (Validate.cycle_supply Air_workload.Satellite.schedule_1
+       Air_workload.Satellite.p1 ~k:0);
+  check Alcotest.int "P2 k=1" 100
+    (Validate.cycle_supply Air_workload.Satellite.schedule_1
+       Air_workload.Satellite.p2 ~k:1)
+
+let cycle_supply_unknown_partition () =
+  Alcotest.check_raises "unknown"
+    (Invalid_argument "Validate: P10 has no requirement in χ1") (fun () ->
+      ignore
+        (Validate.cycle_supply Air_workload.Satellite.schedule_1 (pid 9) ~k:0))
+
+let explain_contains_verdict () =
+  let text =
+    Format.asprintf "%t" (fun ppf ->
+        Validate.explain_requirement ppf Air_workload.Satellite.schedule_1
+          Air_workload.Satellite.p1 ~k:0)
+  in
+  check Alcotest.bool "mentions holds" true
+    (Astring_contains.contains text "holds")
+
+(* Synthesized schedules from random requirement sets are always valid —
+   the property connecting Synthesis to Validate. *)
+let qcheck_synthesis_validates =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 5 in
+      let* seeds = list_repeat n (pair (int_range 0 3) (int_range 1 9)) in
+      return
+        (List.mapi
+           (fun i (cyc_idx, dur) ->
+             let cycle = [| 40; 80; 160; 320 |].(cyc_idx) in
+             (* Keep per-partition utilization ≤ 1/5 so the set is
+                feasible. *)
+             let duration = Stdlib.min dur (cycle / 5) in
+             q (pid i) cycle (Stdlib.max 1 duration))
+           seeds))
+  in
+  QCheck.Test.make ~name:"synthesized schedules satisfy eqs. (21)–(23)"
+    (QCheck.make gen) (fun reqs ->
+      match Air_analysis.Synthesis.synthesize reqs with
+      | Error _ -> true (* earliest-fit may fail; that is not a soundness bug *)
+      | Ok s -> Validate.validate s = [])
+
+let suite =
+  [ Alcotest.test_case "valid schedule passes" `Quick valid_passes;
+    Alcotest.test_case "Fig. 8 tables are valid" `Quick fig8_valid;
+    Alcotest.test_case "window overlap detected" `Quick overlap_detected;
+    Alcotest.test_case "window beyond MTF detected" `Quick
+      window_beyond_mtf_detected;
+    Alcotest.test_case "MTF/lcm violation detected" `Quick mtf_lcm_detected;
+    Alcotest.test_case "insufficient cycle duration detected" `Quick
+      insufficient_duration_detected;
+    Alcotest.test_case "window outside Q detected" `Quick
+      window_outside_q_detected;
+    Alcotest.test_case "duplicate requirement detected" `Quick
+      duplicate_requirement_detected;
+    Alcotest.test_case "zero-duration partitions allowed" `Quick
+      zero_duration_partition_ok;
+    Alcotest.test_case "set-level checks" `Quick set_level_checks;
+    Alcotest.test_case "cycle_supply reproduces eq. (25)" `Quick
+      cycle_supply_eq25;
+    Alcotest.test_case "cycle_supply rejects unknown partition" `Quick
+      cycle_supply_unknown_partition;
+    Alcotest.test_case "explanation carries a verdict" `Quick
+      explain_contains_verdict;
+    qcheck qcheck_synthesis_validates ]
