@@ -1,0 +1,23 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Tier-1 gate: full build, full test suite, and a smoke pass of the
+# benchmark harness (a few runs per benchmark, JSON export exercised).
+check:
+	dune build
+	dune runtest
+	dune exec bench/main.exe -- --dry-run --json _build/bench_smoke.json
+
+# Full benchmark run with committed JSON artifact.
+bench:
+	dune exec bench/main.exe -- --json BENCH_1.json
+
+clean:
+	dune clean

@@ -367,14 +367,21 @@ let extension_tests =
 
 (* --- harness ---------------------------------------------------------------- *)
 
-let benchmark tests =
+let benchmark ~quota ~dry_run tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true
-      ~kde:(Some 1000) ()
+    if dry_run then
+      (* Smoke mode for `make check`: a handful of runs per test, enough to
+         prove every benchmark body executes and the export pipeline works;
+         the estimates are not meaningful. *)
+      Benchmark.cfg ~limit:50 ~quota:(Time.second 0.01) ~stabilize:false
+        ~kde:None ()
+    else
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:true
+        ~kde:(Some 1000) ()
   in
   let raw = Benchmark.all cfg instances tests in
   let results =
@@ -382,36 +389,98 @@ let benchmark tests =
   in
   Analyze.merge ols instances results
 
-let print_results results =
-  (* One line per test: the OLS estimate of monotonic-clock time per run. *)
+(* (name, OLS ns-per-run estimate) rows of the monotonic-clock measure. *)
+let collect_rows results =
+  let rows = ref [] in
   Hashtbl.iter
     (fun measure per_test ->
-      if String.equal measure (Measure.label Instance.monotonic_clock) then begin
-        let rows =
-          Hashtbl.fold
-            (fun name ols acc ->
-              let estimate =
-                match Analyze.OLS.estimates ols with
-                | Some (e :: _) -> e
-                | Some [] | None -> nan
-              in
-              (name, estimate) :: acc)
-            per_test []
-        in
-        List.iter
-          (fun (name, est) ->
-            Format.printf "%-52s %12.1f ns/run@." name est)
-          (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
-      end)
-    results
+      if String.equal measure (Measure.label Instance.monotonic_clock) then
+        Hashtbl.iter
+          (fun name ols ->
+            let estimate =
+              match Analyze.OLS.estimates ols with
+              | Some (e :: _) -> e
+              | Some [] | None -> nan
+            in
+            rows := (name, estimate) :: !rows)
+          per_test)
+    results;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !rows
+
+let print_rows rows =
+  List.iter
+    (fun (name, est) -> Format.printf "%-52s %12.1f ns/run@." name est)
+    rows
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let export_json ~path ~quota ~dry_run rows =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"schema\": \"air-bench/1\",\n";
+  Buffer.add_string b "  \"unit\": \"ns/run\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"quota_s\": %s,\n"
+       (if dry_run then "0.01" else Printf.sprintf "%g" quota));
+  Buffer.add_string b
+    (Printf.sprintf "  \"dry_run\": %b,\n  \"results\": [\n" dry_run);
+  List.iteri
+    (fun i (name, est) ->
+      Buffer.add_string b
+        (Printf.sprintf "    {\"name\": \"%s\", \"ns_per_run\": %s}%s\n"
+           (json_escape name)
+           (* NaN is not valid JSON; an estimate the OLS could not produce
+              exports as null. *)
+           (if Float.is_nan est then "null" else Printf.sprintf "%.3f" est)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents b))
 
 let () =
+  let json_path = ref None in
+  let quota = ref 0.5 in
+  let dry_run = ref false in
+  Arg.parse
+    [ ("--json", Arg.String (fun p -> json_path := Some p),
+       "FILE  export results as JSON to FILE");
+      ("--quota", Arg.Set_float quota,
+       "SECONDS  sampling quota per test (default 0.5)");
+      ("--dry-run", Arg.Set dry_run,
+       "  smoke mode: a few runs per test, meaningless estimates") ]
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "main.exe [--json FILE] [--quota SECONDS] [--dry-run]";
   let groups =
     [ scheduler_tests; store_tests; pal_tests; ipc_tests; mmu_tests;
       analysis_tests; system_tests; extension_tests ]
   in
-  List.iter
-    (fun tests ->
-      Format.printf "@.-- %s --@." (Test.name tests);
-      print_results (benchmark tests))
-    groups
+  let all_rows =
+    List.concat_map
+      (fun tests ->
+        Format.printf "@.-- %s --@." (Test.name tests);
+        let rows =
+          collect_rows (benchmark ~quota:!quota ~dry_run:!dry_run tests)
+        in
+        print_rows rows;
+        rows)
+      groups
+  in
+  match !json_path with
+  | None -> ()
+  | Some path ->
+    export_json ~path ~quota:!quota ~dry_run:!dry_run all_rows;
+    Format.printf "@.results exported to %s (%d benchmarks)@." path
+      (List.length all_rows)

@@ -44,7 +44,7 @@ let is_cluster_document path =
     true
   | Ok _ | Error _ -> false
 
-let run_file path ticks show_trace show_gantt export =
+let run_file path ticks show_trace show_gantt export metrics_json =
   if is_cluster_document path then run_cluster path ticks
   else
   match Air_config.Loader.load_file path with
@@ -96,6 +96,21 @@ let run_file path ticks show_trace show_gantt export =
         (Air_vitral.Gantt.of_activity ~partitions ~from:0 ~until:upto
            (Air.System.activity system))
     end;
+    Format.printf "@.%s" (Air.System.metrics_report system);
+    let metrics_ok =
+      match metrics_json with
+      | None -> true
+      | Some file -> (
+        try
+          Out_channel.with_open_text file (fun oc ->
+              Out_channel.output_string oc (Air.System.metrics_json system);
+              Out_channel.output_char oc '\n');
+          Format.printf "metrics exported to %s@." file;
+          true
+        with Sys_error msg ->
+          Format.eprintf "%s@." msg;
+          false)
+    in
     if show_trace then begin
       Format.printf "@.trace tail:@.";
       let events = Air_sim.Trace.to_list trace in
@@ -105,13 +120,22 @@ let run_file path ticks show_trace show_gantt export =
           if i >= n - 30 then Format.printf "  [%d] %a@." t Event.pp ev)
         events
     end;
-    (match export with
-    | None -> ()
-    | Some file ->
-      export_trace trace file;
-      Format.printf "trace exported to %s (%d events)@." file
-        (Air_sim.Trace.length trace));
-    if Air.System.halted system = None then 0 else 2
+    let trace_ok =
+      match export with
+      | None -> true
+      | Some file -> (
+        try
+          export_trace trace file;
+          Format.printf "trace exported to %s (%d events)@." file
+            (Air_sim.Trace.length trace);
+          true
+        with Sys_error msg ->
+          Format.eprintf "%s@." msg;
+          false)
+    in
+    if not (metrics_ok && trace_ok) then 1
+    else if Air.System.halted system = None then 0
+    else 2
 
 let path_arg =
   let doc = "Configuration document (.air) to run." in
@@ -133,11 +157,16 @@ let export_arg =
   let doc = "Write the full event trace (tab-separated) to $(docv)." in
   Arg.(value & opt (some string) None & info [ "export" ] ~docv:"FILE" ~doc)
 
+let metrics_json_arg =
+  let doc = "Write the end-of-run metrics snapshot as JSON to $(docv)." in
+  Arg.(
+    value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "run an AIR module from its integration configuration" in
   Cmd.v
     (Cmd.info "air_run" ~doc)
     Term.(const run_file $ path_arg $ ticks_arg $ trace_flag $ gantt_flag
-          $ export_arg)
+          $ export_arg $ metrics_json_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -247,6 +247,12 @@ let encode_hm names (tables : Air.Hm.tables) =
           [ atom (partition_name names p); encode_error_code code;
             encode_process_action action ])
       tables.Air.Hm.process_actions
+    @ List.map
+        (fun (code, action) ->
+          list
+            [ atom "*"; encode_error_code code;
+              encode_process_action action ])
+        tables.Air.Hm.process_defaults
   in
   let partition_entries =
     List.map
@@ -255,6 +261,12 @@ let encode_hm names (tables : Air.Hm.tables) =
           [ atom (partition_name names p); encode_error_code code;
             encode_partition_action action ])
       tables.Air.Hm.partition_actions
+    @ List.map
+        (fun (code, action) ->
+          list
+            [ atom "*"; encode_error_code code;
+              encode_partition_action action ])
+        tables.Air.Hm.partition_defaults
   in
   let module_entries =
     List.map

@@ -429,27 +429,33 @@ let decode_module_action s =
 
 let decode_hm env args =
   let* f = fields_of ~context:"hm" args in
-  let* process_actions =
+  (* A "*" in the partition position makes the entry a wildcard default,
+     applying to any partition without a specific entry for the code. *)
+  let* process_entries =
     map_all
       (fun s ->
         match s with
         | Sexp.List [ Sexp.Atom pname; code; action ] ->
-          let* partition = partition_id env pname in
           let* code = decode_error_code code in
           let* action = decode_process_action action in
-          Ok (partition, code, action)
+          if String.equal pname "*" then Ok (`Wildcard (code, action))
+          else
+            let* partition = partition_id env pname in
+            Ok (`Specific (partition, code, action))
         | _ -> error "expected (PARTITION CODE ACTION)")
       (rest_of f "process-errors")
   in
-  let* partition_actions =
+  let* partition_entries =
     map_all
       (fun s ->
         match s with
         | Sexp.List [ Sexp.Atom pname; code; action ] ->
-          let* partition = partition_id env pname in
           let* code = decode_error_code code in
           let* action = decode_partition_action action in
-          Ok (partition, code, action)
+          if String.equal pname "*" then Ok (`Wildcard (code, action))
+          else
+            let* partition = partition_id env pname in
+            Ok (`Specific (partition, code, action))
         | _ -> error "expected (PARTITION CODE ACTION)")
       (rest_of f "partition-errors")
   in
@@ -468,7 +474,21 @@ let decode_hm env args =
     assert_no_extra f
       ~known:[ "process-errors"; "partition-errors"; "module-errors" ]
   in
-  Ok { Air.Hm.process_actions; partition_actions; module_actions }
+  let specific entries =
+    List.filter_map
+      (function `Specific e -> Some e | `Wildcard _ -> None)
+      entries
+  and wildcard entries =
+    List.filter_map
+      (function `Wildcard e -> Some e | `Specific _ -> None)
+      entries
+  in
+  Ok
+    { Air.Hm.process_actions = specific process_entries;
+      partition_actions = specific partition_entries;
+      module_actions;
+      process_defaults = wildcard process_entries;
+      partition_defaults = wildcard partition_entries }
 
 (* --- Toplevel ------------------------------------------------------------ *)
 

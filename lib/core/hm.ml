@@ -7,22 +7,24 @@ type tables = {
   partition_actions :
     (Partition_id.t * Error.code * Error.partition_action) list;
   module_actions : (Error.code * Error.module_action) list;
+  process_defaults : (Error.code * Error.process_action) list;
+  partition_defaults : (Error.code * Error.partition_action) list;
 }
 
 let default_tables =
-  { process_actions = []; partition_actions = []; module_actions = [] }
+  { process_actions = [];
+    partition_actions = [];
+    module_actions = [];
+    process_defaults = [];
+    partition_defaults = [] }
 
 let strict_tables =
-  let every_partition make =
-    (* Strict defaults are expressed for the first 16 partitions — enough
-       for any configuration in this repository. *)
-    List.init 16 (fun i -> make (Partition_id.make i))
-  in
-  { process_actions =
-      every_partition (fun p -> (p, Error.Deadline_missed, Error.Stop_process));
-    partition_actions =
-      every_partition (fun p ->
-          (p, Error.Memory_violation, Error.Partition_warm_restart));
+  (* Wildcard entries apply to every partition, whatever the module's
+     partition count — no per-partition enumeration. *)
+  { default_tables with
+    process_defaults = [ (Error.Deadline_missed, Error.Stop_process) ];
+    partition_defaults =
+      [ (Error.Memory_violation, Error.Partition_warm_restart) ];
     module_actions =
       [ (Error.Hardware_fault, Error.Module_reset);
         (Error.Power_failure, Error.Module_shutdown) ] }
@@ -32,10 +34,35 @@ type t = {
   occurrence : (int * int option * Error.code, int) Hashtbl.t;
       (* (partition index or -1, process, code) → count. *)
   mutable total : int;
+  m_process_errors : Air_obs.Metrics.counter;
+  m_partition_errors : Air_obs.Metrics.counter;
+  m_module_errors : Air_obs.Metrics.counter;
+  m_actions : Air_obs.Metrics.counter;
+      (* Resolutions that escalated past the ignore/log-only baseline. *)
+  m_by_code : (Error.code * Air_obs.Metrics.counter) list;
 }
 
-let create ?(tables = default_tables) () =
-  { tables; occurrence = Hashtbl.create 32; total = 0 }
+let create ?metrics ?(tables = default_tables) () =
+  let reg =
+    match metrics with
+    | Some reg -> reg
+    | None -> Air_obs.Metrics.create ()
+  in
+  { tables;
+    occurrence = Hashtbl.create 32;
+    total = 0;
+    m_process_errors = Air_obs.Metrics.counter reg "hm.errors.process";
+    m_partition_errors = Air_obs.Metrics.counter reg "hm.errors.partition";
+    m_module_errors = Air_obs.Metrics.counter reg "hm.errors.module";
+    m_actions = Air_obs.Metrics.counter reg "hm.actions_taken";
+    m_by_code =
+      List.map
+        (fun code ->
+          let name =
+            Format.asprintf "hm.errors.code.%a" Error.pp_code code
+          in
+          (code, Air_obs.Metrics.counter reg name))
+        Error.all_codes }
 
 let bump t key =
   let n = Option.value ~default:0 (Hashtbl.find_opt t.occurrence key) + 1 in
@@ -43,44 +70,88 @@ let bump t key =
   t.total <- t.total + 1;
   n
 
+let count_code t code =
+  match
+    List.find_opt (fun (c, _) -> Error.code_equal c code) t.m_by_code
+  with
+  | Some (_, counter) -> Air_obs.Metrics.incr counter
+  | None -> ()
+
+let find_process_action tables ~partition ~code =
+  match
+    List.find_map
+      (fun (p, c, a) ->
+        if Partition_id.equal p partition && Error.code_equal c code then
+          Some a
+        else None)
+      tables.process_actions
+  with
+  | Some _ as specific -> specific
+  | None ->
+    List.find_map
+      (fun (c, a) -> if Error.code_equal c code then Some a else None)
+      tables.process_defaults
+
 let resolve_process_error t ~partition ~process ~code =
   let occurrences =
     bump t (Partition_id.index partition, Some process, code)
   in
-  let configured =
+  Air_obs.Metrics.incr t.m_process_errors;
+  count_code t code;
+  let action =
+    match find_process_action t.tables ~partition ~code with
+    | None -> Error.Ignore_error
+    | Some (Error.Log_then (threshold, action)) ->
+      if occurrences <= threshold then Error.Ignore_error else action
+    | Some action -> action
+  in
+  (match action with
+  | Error.Ignore_error -> ()
+  | _ -> Air_obs.Metrics.incr t.m_actions);
+  action
+
+let find_partition_action tables ~partition ~code =
+  match
     List.find_map
       (fun (p, c, a) ->
         if Partition_id.equal p partition && Error.code_equal c code then
           Some a
         else None)
-      t.tables.process_actions
-  in
-  match configured with
-  | None -> Error.Ignore_error
-  | Some (Error.Log_then (threshold, action)) ->
-    if occurrences <= threshold then Error.Ignore_error else action
-  | Some action -> action
+      tables.partition_actions
+  with
+  | Some _ as specific -> specific
+  | None ->
+    List.find_map
+      (fun (c, a) -> if Error.code_equal c code then Some a else None)
+      tables.partition_defaults
 
 let resolve_partition_error t ~partition ~code =
   ignore (bump t (Partition_id.index partition, None, code));
-  let configured =
-    List.find_map
-      (fun (p, c, a) ->
-        if Partition_id.equal p partition && Error.code_equal c code then
-          Some a
-        else None)
-      t.tables.partition_actions
+  Air_obs.Metrics.incr t.m_partition_errors;
+  count_code t code;
+  let action =
+    Option.value ~default:Error.Partition_ignore
+      (find_partition_action t.tables ~partition ~code)
   in
-  Option.value ~default:Error.Partition_ignore configured
+  (match action with
+  | Error.Partition_ignore -> ()
+  | _ -> Air_obs.Metrics.incr t.m_actions);
+  action
 
 let resolve_module_error t ~code =
   ignore (bump t (-1, None, code));
-  let configured =
-    List.find_map
-      (fun (c, a) -> if Error.code_equal c code then Some a else None)
-      t.tables.module_actions
+  Air_obs.Metrics.incr t.m_module_errors;
+  count_code t code;
+  let action =
+    Option.value ~default:Error.Module_ignore
+      (List.find_map
+         (fun (c, a) -> if Error.code_equal c code then Some a else None)
+         t.tables.module_actions)
   in
-  Option.value ~default:Error.Module_ignore configured
+  (match action with
+  | Error.Module_ignore -> ()
+  | _ -> Air_obs.Metrics.incr t.m_actions);
+  action
 
 let error_count t = t.total
 

@@ -24,6 +24,12 @@ type tables = {
       (** Missing entries default to [Partition_ignore]. *)
   module_actions : (Error.code * Error.module_action) list;
       (** Missing entries default to [Module_ignore]. *)
+  process_defaults : (Error.code * Error.process_action) list;
+      (** Wildcard process-level actions, applying to any partition without
+          a specific [process_actions] entry for the code. *)
+  partition_defaults : (Error.code * Error.partition_action) list;
+      (** Wildcard partition-level actions, consulted after
+          [partition_actions]. *)
 }
 
 val default_tables : tables
@@ -32,14 +38,18 @@ val default_tables : tables
     and configuration errors at module level are still logged. *)
 
 val strict_tables : tables
-(** A representative strict integration: deadline miss → stop faulty
+(** A representative strict integration, expressed as wildcard entries so it
+    covers every partition of any module: deadline miss → stop faulty
     process; memory violation → partition warm restart; hardware fault →
     module reset; power failure → module shutdown. *)
 
 type t
 
-val create : ?tables:tables -> unit -> t
-(** [tables] defaults to {!default_tables}. *)
+val create : ?metrics:Air_obs.Metrics.t -> ?tables:tables -> unit -> t
+(** [tables] defaults to {!default_tables}. [metrics] receives the [hm.*]
+    counter series — errors by level and by code (pre-registered for every
+    {!Air_model.Error.code}), plus resolutions that escalated past the
+    ignore/log-only baseline; a private registry is used when omitted. *)
 
 val resolve_process_error :
   t ->

@@ -4,18 +4,45 @@ open Air_model
 type t = {
   partition : Ident.Partition_id.t;
   store : Deadline_store.t;
+  m_registered : Air_obs.Metrics.counter;
+  m_unregistered : Air_obs.Metrics.counter;
+  m_violations : Air_obs.Metrics.counter;
+  m_store_size : Air_obs.Metrics.gauge;
 }
 
-let create ?(store = Deadline_store.Linked_list_impl) ~partition () =
-  { partition; store = Deadline_store.create store }
+let create ?metrics ?(store = Deadline_store.Linked_list_impl) ~partition ()
+    =
+  let reg =
+    match metrics with
+    | Some reg -> reg
+    | None -> Air_obs.Metrics.create ()
+  in
+  (* The registered/unregistered/violation counters aggregate across every
+     PAL sharing the registry; the store-size gauge is per partition. *)
+  { partition;
+    store = Deadline_store.create store;
+    m_registered = Air_obs.Metrics.counter reg "pal.deadlines_registered";
+    m_unregistered = Air_obs.Metrics.counter reg "pal.deadlines_unregistered";
+    m_violations = Air_obs.Metrics.counter reg "pal.deadline_violations";
+    m_store_size =
+      Air_obs.Metrics.gauge reg
+        (Printf.sprintf "pal.store_size.p%d"
+           (Ident.Partition_id.index partition)) }
 
 let partition t = t.partition
 
+let sync_size t =
+  Air_obs.Metrics.set t.m_store_size (Deadline_store.size t.store)
+
 let register_deadline t ~process deadline =
-  Deadline_store.register t.store ~process deadline
+  Deadline_store.register t.store ~process deadline;
+  Air_obs.Metrics.incr t.m_registered;
+  sync_size t
 
 let unregister_deadline t ~process =
-  Deadline_store.unregister t.store ~process
+  Deadline_store.unregister t.store ~process;
+  Air_obs.Metrics.incr t.m_unregistered;
+  sync_size t
 
 let earliest_deadline t = Deadline_store.earliest t.store
 
@@ -23,7 +50,9 @@ let deadline_of t ~process = Deadline_store.find t.store ~process
 
 let deadline_count t = Deadline_store.size t.store
 
-let clear_deadlines t = Deadline_store.clear t.store
+let clear_deadlines t =
+  Deadline_store.clear t.store;
+  sync_size t
 
 type violation = { process : int; deadline : Time.t }
 
@@ -38,10 +67,13 @@ let announce_ticks t ~now ~elapsed ~announce_to_pos =
     match Deadline_store.earliest t.store with
     | Some (process, deadline) when Time.(deadline < now) ->
       Deadline_store.remove_earliest t.store;
+      Air_obs.Metrics.incr t.m_violations;
       verify ({ process; deadline } :: acc)
     | Some _ | None -> List.rev acc
   in
-  verify []
+  let violations = verify [] in
+  if violations <> [] then sync_size t;
+  violations
 
 let violations_now t ~now =
   List.filter_map

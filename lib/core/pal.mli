@@ -16,8 +16,15 @@ open Air_model
 type t
 
 val create :
-  ?store:Deadline_store.impl -> partition:Ident.Partition_id.t -> unit -> t
-(** [store] defaults to the paper's sorted linked list. *)
+  ?metrics:Air_obs.Metrics.t ->
+  ?store:Deadline_store.impl ->
+  partition:Ident.Partition_id.t ->
+  unit ->
+  t
+(** [store] defaults to the paper's sorted linked list. [metrics] receives
+    the [pal.*] series — registration/violation counters shared across
+    PALs on the same registry, plus a per-partition store-size gauge
+    ([pal.store_size.pN]); a private registry is used when omitted. *)
 
 val partition : t -> Ident.Partition_id.t
 

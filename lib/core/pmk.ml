@@ -19,9 +19,15 @@ type t = {
   pending_action : Schedule.change_action option array;
       (* Per partition: ScheduleChangeAction awaiting the first dispatch
          after a schedule switch. *)
+  m_ticks : Air_obs.Metrics.counter;
+  m_schedule_switches : Air_obs.Metrics.counter;
+  m_context_switches : Air_obs.Metrics.counter;
+  m_dispatcher_elapsed : Air_obs.Metrics.histogram;
+      (* Distribution of elapsed-tick gaps accounted at dispatch — the
+         quantity Algorithm 2 hands to the PAL. *)
 }
 
-let create ?initial_schedule ~partition_count schedules_list =
+let create ?metrics ?initial_schedule ~partition_count schedules_list =
   (match Validate.validate_set schedules_list with
   | [] -> ()
   | d :: _ ->
@@ -56,6 +62,11 @@ let create ?initial_schedule ~partition_count schedules_list =
       i
   in
   let tables = Array.map Schedule.preemption_table schedules in
+  let reg =
+    match metrics with
+    | Some reg -> reg
+    | None -> Air_obs.Metrics.create ()
+  in
   { schedules;
     tables;
     partition_count;
@@ -67,7 +78,12 @@ let create ?initial_schedule ~partition_count schedules_list =
     heir_partition = None;
     active_partition = None;
     last_tick = Array.make (Stdlib.max 1 partition_count) Time.zero;
-    pending_action = Array.make (Stdlib.max 1 partition_count) None }
+    pending_action = Array.make (Stdlib.max 1 partition_count) None;
+    m_ticks = Air_obs.Metrics.counter reg "pmk.ticks";
+    m_schedule_switches = Air_obs.Metrics.counter reg "pmk.schedule_switches";
+    m_context_switches = Air_obs.Metrics.counter reg "pmk.context_switches";
+    m_dispatcher_elapsed =
+      Air_obs.Metrics.histogram reg "pmk.dispatcher_elapsed" }
 
 let schedule_count t = Array.length t.schedules
 let schedules t = Array.copy t.schedules
@@ -105,12 +121,16 @@ type tick_outcome = {
 
 let mtf_position t =
   let mtf = t.schedules.(t.current_schedule).Schedule.mtf in
-  let pos = (Stdlib.max 0 t.ticks - t.last_schedule_switch) mod mtf in
-  pos
+  (* Clamp the whole difference: [max 0 t.ticks - t.last_schedule_switch]
+     only clamped [ticks] (function application binds tighter than [-]),
+     letting the dividend — and hence the position — go negative whenever
+     the clock sits behind a nonzero schedule-switch stamp. *)
+  Stdlib.max 0 (t.ticks - t.last_schedule_switch) mod mtf
 
 (* Algorithm 1 — AIR Partition Scheduler featuring mode-based schedules. *)
 let partition_scheduler t =
   t.ticks <- t.ticks + 1;
+  Air_obs.Metrics.incr t.m_ticks;
   let mtf = t.schedules.(t.current_schedule).Schedule.mtf in
   let offset = (t.ticks - t.last_schedule_switch) mod mtf in
   let table = t.tables.(t.current_schedule) in
@@ -123,6 +143,7 @@ let partition_scheduler t =
       t.current_schedule <- t.next_schedule;
       t.last_schedule_switch <- t.ticks;
       t.table_iterator <- 0;
+      Air_obs.Metrics.incr t.m_schedule_switches;
       switched := Some (from, t.schedules.(t.current_schedule).Schedule.id);
       (* Arm each partition's ScheduleChangeAction, applied at its first
          dispatch under the new schedule (Sect. 4.3). *)
@@ -176,6 +197,7 @@ let partition_dispatcher t =
       | Some h ->
         let hi = Partition_id.index h in
         let elapsed = t.ticks - t.last_tick.(hi) in
+        Air_obs.Metrics.observe t.m_dispatcher_elapsed elapsed;
         t.last_tick.(hi) <- t.ticks;
         (* PENDINGSCHEDULECHANGEACTION(heirPartition). *)
         let action =
@@ -188,6 +210,7 @@ let partition_dispatcher t =
         (elapsed, action)
     in
     t.active_partition <- t.heir_partition;
+    Air_obs.Metrics.incr t.m_context_switches;
     { schedule_switched = None;
       context_switch = Some (previous, t.active_partition);
       elapsed;

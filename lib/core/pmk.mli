@@ -19,13 +19,17 @@ open Ident
 type t
 
 val create :
+  ?metrics:Air_obs.Metrics.t ->
   ?initial_schedule:Schedule_id.t ->
   partition_count:int ->
   Schedule.t list ->
   t
 (** Schedules are indexed by their {!Schedule_id}; ids must be dense
     ([0 .. n-1]) and tables valid per {!Validate.validate_set} — raises
-    [Invalid_argument] otherwise. [initial_schedule] defaults to id 0. *)
+    [Invalid_argument] otherwise. [initial_schedule] defaults to id 0.
+    [metrics] receives the [pmk.*] series (ticks, schedule/context
+    switches, dispatcher elapsed histogram); a private registry is used
+    when omitted. *)
 
 val schedule_count : t -> int
 val schedules : t -> Schedule.t array
@@ -73,6 +77,7 @@ val tick : t -> tick_outcome
 
 val mtf_position : t -> Time.t
 (** Offset of the current tick within the running MTF:
-    [(ticks - last_schedule_switch) mod MTF]. *)
+    [max 0 (ticks - last_schedule_switch) mod MTF] — always within
+    [\[0, MTF)], including before the first tick. *)
 
 val pp : Format.formatter -> t -> unit

@@ -113,13 +113,17 @@ type t = {
   router : Router.t;
   protection : Protection.t;
   trace : Event.t Trace.t;
+  metrics : Air_obs.Metrics.t;
+  events : Event.t Air_obs.Event.t;
   partitions : prt array;
   mutable halt_reason : string option;
 }
 
 let now t = Stdlib.max 0 (Pmk.ticks t.pmk)
 
-let emit t ev = Trace.record t.trace (now t) ev
+let emit t ev =
+  Trace.record t.trace (now t) ev;
+  Air_obs.Event.record t.events ~time:(now t) ~kind:(Event.label ev) ev
 
 let prt_of t pid = t.partitions.(Partition_id.index pid)
 
@@ -320,12 +324,15 @@ let create (cfg : config) =
         invalid_arg
           "System.create: partition identifiers must be dense and in order")
     cfg.partitions;
+  (* One registry shared by every component, so the end-of-run snapshot
+     covers the whole module in a single pass. *)
+  let metrics = Air_obs.Metrics.create () in
   let pmk =
-    Pmk.create ?initial_schedule:cfg.initial_schedule ~partition_count
-      cfg.schedules
+    Pmk.create ~metrics ?initial_schedule:cfg.initial_schedule
+      ~partition_count cfg.schedules
   in
-  let hm = Hm.create ~tables:cfg.hm_tables () in
-  let router = Router.create cfg.network in
+  let hm = Hm.create ~metrics ~tables:cfg.hm_tables () in
+  let router = Router.create ~metrics cfg.network in
   let maps =
     Memory.allocate
       (List.map
@@ -333,8 +340,11 @@ let create (cfg : config) =
            (setup.partition.Partition.id, setup.memory_requests))
          cfg.partitions)
   in
-  let protection = Protection.create ~contexts:(partition_count + 1) maps in
+  let protection =
+    Protection.create ~metrics ~contexts:(partition_count + 1) maps
+  in
   let trace = Trace.create ?capacity:cfg.trace_capacity () in
+  let events = Air_obs.Event.create () in
   (* The system record is knotted with the per-partition closures through
      this forward reference. *)
   let system_ref = ref None in
@@ -345,7 +355,7 @@ let create (cfg : config) =
   in
   let make_prt setup =
     let pid = setup.partition.Partition.id in
-    let pal = Pal.create ~store:setup.store ~partition:pid () in
+    let pal = Pal.create ~metrics ~store:setup.store ~partition:pid () in
     let emit_ev ev =
       let t = the_system () in
       emit t ev
@@ -418,7 +428,7 @@ let create (cfg : config) =
     Array.of_list (List.map make_prt cfg.partitions)
   in
   let t =
-    { cfg; pmk; hm; router; protection; trace; partitions;
+    { cfg; pmk; hm; router; protection; trace; metrics; events; partitions;
       halt_reason = None }
   in
   system_ref := Some t;
@@ -684,6 +694,15 @@ let pmk t = t.pmk
 let hm t = t.hm
 let router t = t.router
 let protection t = t.protection
+let metrics t = t.metrics
+let metrics_snapshot t = Air_obs.Metrics.snapshot t.metrics
+let event_counts t = Air_obs.Event.counts t.events
+
+let metrics_report t =
+  Air_obs.Report.to_string ~events:(event_counts t) (metrics_snapshot t)
+
+let metrics_json t =
+  Air_obs.Report.to_json ~events:(event_counts t) (metrics_snapshot t)
 let partition_count t = Array.length t.partitions
 
 let partition_ids t =

@@ -121,6 +121,22 @@ val pmk : t -> Pmk.t
 val hm : t -> Hm.t
 val router : t -> Router.t
 val protection : t -> Protection.t
+
+val metrics : t -> Air_obs.Metrics.t
+(** The registry shared by every component of the module (scheduler, PALs,
+    health monitor, router, MMU/TLB). *)
+
+val metrics_snapshot : t -> Air_obs.Metrics.snapshot
+val event_counts : t -> (string * int) list
+(** Per-kind totals of every event emitted to the trace so far. *)
+
+val metrics_report : t -> string
+(** Human-readable metrics + event-count table
+    ({!Air_obs.Report.to_string}). *)
+
+val metrics_json : t -> string
+(** The same snapshot as a JSON object ({!Air_obs.Report.to_json}). *)
+
 val partition_count : t -> int
 val partition_ids : t -> Partition_id.t list
 val partition_mode : t -> Partition_id.t -> Partition.mode

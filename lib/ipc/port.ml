@@ -79,6 +79,16 @@ let validate net =
         if not (direction_equal src.direction Source) then
           push "port %s used as channel source but declared %a" src.name
             pp_direction src.direction;
+        (* ARINC 653: only sampling channels may fan out; a queuing channel
+           connects exactly one source to exactly one destination. *)
+        (match src.kind with
+        | Queuing _ when List.length ch.destinations > 1 ->
+          push
+            "queuing channel from %s has %d destinations; queuing channels \
+             are strictly 1:1"
+            ch.source
+            (List.length ch.destinations)
+        | Queuing _ | Sampling _ -> ());
         List.iter
           (fun dname ->
             (if Hashtbl.mem dests dname then

@@ -58,6 +58,8 @@ val validate : network -> string list
 (** Diagnostics: duplicate port names, channels naming unknown ports, a
     source feeding multiple channels, direction or mode mismatches between
     a channel's endpoints, destination message size smaller than the
-    source's, a destination fed by two channels. Empty when sound. *)
+    source's, a destination fed by two channels, a queuing channel with
+    more than one destination (ARINC 653 queuing channels are strictly
+    1:1; only sampling channels fan out). Empty when sound. *)
 
 val pp_config : Format.formatter -> config -> unit

@@ -32,10 +32,12 @@ type t = {
   endpoints : (Port_name.t, endpoint) Hashtbl.t;
   routes : (Port_name.t, Port_name.t list) Hashtbl.t;
       (** Source port → destination ports. *)
-  mutable messages_sent : int;
-  mutable messages_received : int;
-  mutable bytes_copied : int;
-  mutable overflows : int;
+  messages_sent : Air_obs.Metrics.counter;
+  messages_received : Air_obs.Metrics.counter;
+  bytes_copied : Air_obs.Metrics.counter;
+  overflows : Air_obs.Metrics.counter;
+  stale_reads : Air_obs.Metrics.counter;
+      (** Sampling reads whose slot content had outlived its refresh. *)
 }
 
 type validity = Valid | Invalid
@@ -44,10 +46,15 @@ let pp_validity ppf v =
   Format.pp_print_string ppf
     (match v with Valid -> "valid" | Invalid -> "invalid")
 
-let create (net : Port.network) =
+let create ?metrics (net : Port.network) =
   (match Port.validate net with
   | [] -> ()
   | d :: _ -> invalid_arg ("Router.create: " ^ d));
+  let reg =
+    match metrics with
+    | Some reg -> reg
+    | None -> Air_obs.Metrics.create ()
+  in
   let endpoints = Hashtbl.create 16 in
   List.iter
     (fun (c : Port.config) ->
@@ -66,8 +73,13 @@ let create (net : Port.network) =
     (fun (ch : Port.channel) ->
       Hashtbl.replace routes ch.source ch.destinations)
     net.channels;
-  { endpoints; routes; messages_sent = 0; messages_received = 0;
-    bytes_copied = 0; overflows = 0 }
+  { endpoints;
+    routes;
+    messages_sent = Air_obs.Metrics.counter reg "ipc.messages_sent";
+    messages_received = Air_obs.Metrics.counter reg "ipc.messages_received";
+    bytes_copied = Air_obs.Metrics.counter reg "ipc.bytes_copied";
+    overflows = Air_obs.Metrics.counter reg "ipc.overflows";
+    stale_reads = Air_obs.Metrics.counter reg "ipc.stale_reads" }
 
 let port_config t name =
   Option.map (fun e -> e.config) (Hashtbl.find_opt t.endpoints name)
@@ -115,10 +127,10 @@ let write_sampling t ~caller ~port ~now msg =
           (* Memory-to-memory copy: the destination never aliases the
              sender's buffer. *)
           slot.content <- Some (Bytes.copy msg, now);
-          t.bytes_copied <- t.bytes_copied + Bytes.length msg
+          Air_obs.Metrics.add t.bytes_copied (Bytes.length msg)
         | Some _ | None -> ())
       (destinations t port);
-    t.messages_sent <- t.messages_sent + 1;
+    Air_obs.Metrics.incr t.messages_sent;
     Ok ()
 
 let read_sampling t ~caller ~port ~now =
@@ -133,7 +145,10 @@ let read_sampling t ~caller ~port ~now =
       let validity =
         if Time.(now <= Time.add written refresh) then Valid else Invalid
       in
-      t.messages_received <- t.messages_received + 1;
+      (match validity with
+      | Invalid -> Air_obs.Metrics.incr t.stale_reads
+      | Valid -> ());
+      Air_obs.Metrics.incr t.messages_received;
       Ok (Bytes.copy msg, validity))
   | (Port.Queuing _ | Port.Sampling _), _ -> Error (Wrong_mode port)
 
@@ -156,17 +171,17 @@ let send_queuing t ~caller ~port ~now msg =
         match Hashtbl.find_opt t.endpoints dest with
         | Some { buffer = Queuing_buffer { depth; queue }; _ } ->
           if Queue.length queue >= depth then begin
-            t.overflows <- t.overflows + 1;
+            Air_obs.Metrics.incr t.overflows;
             overflowed := dest :: !overflowed
           end
           else begin
             Queue.push (Bytes.copy msg, now) queue;
-            t.bytes_copied <- t.bytes_copied + Bytes.length msg;
+            Air_obs.Metrics.add t.bytes_copied (Bytes.length msg);
             delivered := dest :: !delivered
           end
         | Some _ | None -> ())
       (destinations t port);
-    t.messages_sent <- t.messages_sent + 1;
+    Air_obs.Metrics.incr t.messages_sent;
     Ok { delivered = List.rev !delivered; overflowed = List.rev !overflowed }
 
 let receive_queuing t ~caller ~port =
@@ -178,7 +193,7 @@ let receive_queuing t ~caller ~port =
     if Queue.is_empty queue then Ok None
     else begin
       let msg, _ = Queue.pop queue in
-      t.messages_received <- t.messages_received + 1;
+      Air_obs.Metrics.incr t.messages_received;
       Ok (Some msg)
     end
   | Sampling_slot _ | Source_end -> Error (Wrong_mode port)
@@ -208,21 +223,23 @@ let inject t ~port ~now msg =
       match e.buffer with
       | Sampling_slot slot ->
         slot.content <- Some (Bytes.copy msg, now);
-        t.bytes_copied <- t.bytes_copied + Bytes.length msg;
+        Air_obs.Metrics.add t.bytes_copied (Bytes.length msg);
         Injected
       | Queuing_buffer { depth; queue } ->
         if Queue.length queue >= depth then begin
-          t.overflows <- t.overflows + 1;
+          Air_obs.Metrics.incr t.overflows;
           Inject_overflow
         end
         else begin
           Queue.push (Bytes.copy msg, now) queue;
-          t.bytes_copied <- t.bytes_copied + Bytes.length msg;
+          Air_obs.Metrics.add t.bytes_copied (Bytes.length msg);
           Injected
         end
       | Source_end -> Inject_bad_port
     end
 
+(* Legacy aggregate view, kept as a thin shim over the [ipc.*] registry
+   counters. *)
 type stats = {
   messages_sent : int;
   messages_received : int;
@@ -231,10 +248,10 @@ type stats = {
 }
 
 let stats (t : t) =
-  { messages_sent = t.messages_sent;
-    messages_received = t.messages_received;
-    bytes_copied = t.bytes_copied;
-    overflows = t.overflows }
+  { messages_sent = Air_obs.Metrics.value t.messages_sent;
+    messages_received = Air_obs.Metrics.value t.messages_received;
+    bytes_copied = Air_obs.Metrics.value t.bytes_copied;
+    overflows = Air_obs.Metrics.value t.overflows }
 
 let pp_stats ppf s =
   Format.fprintf ppf "sent=%d received=%d bytes=%d overflows=%d"

@@ -23,8 +23,11 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
-val create : Port.network -> t
-(** Raises [Invalid_argument] when {!Port.validate} reports diagnostics. *)
+val create : ?metrics:Air_obs.Metrics.t -> Port.network -> t
+(** Raises [Invalid_argument] when {!Port.validate} reports diagnostics.
+    [metrics] receives the [ipc.*] counter series (messages, bytes,
+    overflows, stale sampling reads); a private registry is used when
+    omitted. *)
 
 val port_config : t -> Port_name.t -> Port.config option
 

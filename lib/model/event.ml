@@ -51,6 +51,28 @@ type t =
   | Application_output of { partition : Partition_id.t; line : string }
   | Module_halt of { reason : string }
 
+let label = function
+  | Context_switch _ -> "context-switch"
+  | Schedule_switch_request _ -> "schedule-switch-request"
+  | Schedule_switch _ -> "schedule-switch"
+  | Change_action _ -> "change-action"
+  | Partition_mode_change _ -> "partition-mode-change"
+  | Process_state_change _ -> "process-state-change"
+  | Process_dispatched _ -> "process-dispatched"
+  | Deadline_registered _ -> "deadline-registered"
+  | Deadline_unregistered _ -> "deadline-unregistered"
+  | Deadline_violation _ -> "deadline-violation"
+  | Hm_error _ -> "hm-error"
+  | Hm_process_action _ -> "hm-process-action"
+  | Hm_partition_action _ -> "hm-partition-action"
+  | Hm_module_action _ -> "hm-module-action"
+  | Port_send _ -> "port-send"
+  | Port_receive _ -> "port-receive"
+  | Port_overflow _ -> "port-overflow"
+  | Memory_access _ -> "memory-access"
+  | Application_output _ -> "application-output"
+  | Module_halt _ -> "module-halt"
+
 let pp_opt pp ppf = function
   | None -> Format.pp_print_string ppf "idle"
   | Some x -> pp ppf x

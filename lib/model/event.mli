@@ -77,6 +77,10 @@ type t =
 
 val pp : Format.formatter -> t -> unit
 
+val label : t -> string
+(** Stable kebab-case kind name of the constructor (e.g. "context-switch"),
+    used as the event-kind key in observability reports. *)
+
 (** {1 Trace queries used by experiments} *)
 
 val is_deadline_violation : t -> bool

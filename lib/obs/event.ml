@@ -1,0 +1,69 @@
+(* Structured-event sink: a bounded ring of recent events plus per-kind
+   occurrence counts.
+
+   The sink is polymorphic in its payload so each layer can attach its own
+   typed event (e.g. [Air_model.Event.t] at the system level) without the
+   observability library depending on model types. Recording is O(1):
+   one array store, one hash-table bump. *)
+
+type 'a entry = { time : int; kind : string; payload : 'a }
+
+type 'a t = {
+  ring : 'a entry option array;
+  mutable next : int;
+  mutable total : int;
+  counts : (string, int) Hashtbl.t;
+  mutable kinds : string list; (* first-seen order, newest first *)
+}
+
+let default_capacity = 256
+
+let create ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Event.create: capacity must be positive";
+  { ring = Array.make capacity None;
+    next = 0;
+    total = 0;
+    counts = Hashtbl.create 32;
+    kinds = [] }
+
+let record t ~time ~kind payload =
+  t.ring.(t.next) <- Some { time; kind; payload };
+  t.next <- (t.next + 1) mod Array.length t.ring;
+  t.total <- t.total + 1;
+  match Hashtbl.find_opt t.counts kind with
+  | Some n -> Hashtbl.replace t.counts kind (n + 1)
+  | None ->
+    Hashtbl.add t.counts kind 1;
+    t.kinds <- kind :: t.kinds
+
+let total t = t.total
+
+let count t kind = Option.value ~default:0 (Hashtbl.find_opt t.counts kind)
+
+(* Per-kind totals, sorted by kind for stable reports. *)
+let counts t =
+  List.rev_map (fun kind -> (kind, Hashtbl.find t.counts kind)) t.kinds
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Oldest-first list of the retained tail of the event stream. *)
+let recent t =
+  let n = Array.length t.ring in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    match t.ring.((t.next + i) mod n) with
+    | Some e -> out := e :: !out
+    | None -> ()
+  done;
+  List.rev !out
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.next <- 0;
+  t.total <- 0;
+  Hashtbl.reset t.counts;
+  t.kinds <- []
+
+let pp_counts ppf t =
+  List.iter
+    (fun (kind, n) -> Format.fprintf ppf "%-32s %8d@." kind n)
+    (counts t)

@@ -39,11 +39,28 @@ type pte = { perms : Memory.perms; min_level : Memory.exec_level }
 
 type entry = Invalid | Pte of pte | Ptd of entry array
 
-type t = { tables : entry array array (* context table: one L1 per context *) }
+type t = {
+  tables : entry array array; (* context table: one L1 per context *)
+  walks : Air_obs.Metrics.counter;
+  faults : Air_obs.Metrics.counter;
+  fault_unmapped : Air_obs.Metrics.counter;
+  fault_privilege : Air_obs.Metrics.counter;
+  fault_permission : Air_obs.Metrics.counter;
+}
 
-let create ?(contexts = 16) () =
+let create ?metrics ?(contexts = 16) () =
   if contexts <= 0 then invalid_arg "Mmu.create: need at least one context";
-  { tables = Array.init contexts (fun _ -> Array.make l1_entries Invalid) }
+  let reg =
+    match metrics with
+    | Some reg -> reg
+    | None -> Air_obs.Metrics.create ()
+  in
+  { tables = Array.init contexts (fun _ -> Array.make l1_entries Invalid);
+    walks = Air_obs.Metrics.counter reg "mmu.walks";
+    faults = Air_obs.Metrics.counter reg "mmu.faults";
+    fault_unmapped = Air_obs.Metrics.counter reg "mmu.faults.unmapped";
+    fault_privilege = Air_obs.Metrics.counter reg "mmu.faults.privilege";
+    fault_permission = Air_obs.Metrics.counter reg "mmu.faults.permission" }
 
 let contexts t = Array.length t.tables
 
@@ -128,7 +145,16 @@ let permits (perms : Memory.perms) = function
 
 let translate t ~context ~level ~access address =
   check_context t context;
-  let fault reason = Error { context; address; access; level; reason } in
+  Air_obs.Metrics.incr t.walks;
+  let fault reason =
+    Air_obs.Metrics.incr t.faults;
+    Air_obs.Metrics.incr
+      (match reason with
+      | Unmapped -> t.fault_unmapped
+      | Privilege -> t.fault_privilege
+      | Permission -> t.fault_permission);
+    Error { context; address; access; level; reason }
+  in
   match lookup t ~context address with
   | None -> fault Unmapped
   | Some pte ->

@@ -29,8 +29,10 @@ val pp_fault : Format.formatter -> fault -> unit
 
 type t
 
-val create : ?contexts:int -> unit -> t
-(** [contexts] defaults to 16 — one per partition plus the PMK context 0. *)
+val create : ?metrics:Air_obs.Metrics.t -> ?contexts:int -> unit -> t
+(** [contexts] defaults to 16 — one per partition plus the PMK context 0.
+    [metrics] receives the [mmu.walks] / [mmu.faults(.reason)] counters; a
+    private registry is used when omitted. *)
 
 val contexts : t -> int
 

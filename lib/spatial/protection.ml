@@ -6,16 +6,21 @@ type t = {
 
 let context_of pid = Air_model.Ident.Partition_id.index pid + 1
 
-let create ?tlb_capacity ?(contexts = 16) maps =
+let create ?metrics ?tlb_capacity ?(contexts = 16) maps =
   (match Memory.validate_maps maps with
   | [] -> ()
   | diag :: _ -> invalid_arg ("Protection.create: " ^ diag));
-  let mmu = Mmu.create ~contexts () in
+  let reg =
+    match metrics with
+    | Some reg -> reg
+    | None -> Air_obs.Metrics.create ()
+  in
+  let mmu = Mmu.create ~metrics:reg ~contexts () in
   List.iter
     (fun (m : Memory.map) ->
       Mmu.map_partition mmu ~context:(context_of m.Memory.partition) m)
     maps;
-  { mmu; tlb = Tlb.create ?capacity:tlb_capacity (); maps }
+  { mmu; tlb = Tlb.create ~metrics:reg ?capacity:tlb_capacity (); maps }
 
 let access t ~partition ~level ~access addr =
   let context = context_of partition in

@@ -10,10 +10,16 @@
 type t
 
 val create :
-  ?tlb_capacity:int -> ?contexts:int -> Memory.map list -> t
+  ?metrics:Air_obs.Metrics.t ->
+  ?tlb_capacity:int ->
+  ?contexts:int ->
+  Memory.map list ->
+  t
 (** Builds page tables for every map; partition [P_m] uses MMU context
     [index(P_m) + 1] (context 0 belongs to the PMK). Raises
-    [Invalid_argument] if {!Memory.validate_maps} reports overlaps. *)
+    [Invalid_argument] if {!Memory.validate_maps} reports overlaps.
+    [metrics] is shared by the embedded MMU and TLB ([mmu.*]/[tlb.*]
+    series); a private registry is used when omitted. *)
 
 val access :
   t ->

@@ -1,3 +1,5 @@
+open Air_obs
+
 type entry = {
   context : int;
   vpn : int;
@@ -8,27 +10,33 @@ type entry = {
 type t = {
   slots : entry option array;
   mutable next : int;  (* FIFO replacement cursor *)
-  mutable hits : int;
-  mutable misses : int;
-  mutable flushes : int;
+  hits : Metrics.counter;
+  misses : Metrics.counter;
+  flushes : Metrics.counter;
 }
 
-let create ?(capacity = 32) () =
+let create ?metrics ?(capacity = 32) () =
   if capacity <= 0 then invalid_arg "Tlb.create: capacity must be positive";
-  { slots = Array.make capacity None; next = 0; hits = 0; misses = 0;
-    flushes = 0 }
+  let reg =
+    match metrics with Some reg -> reg | None -> Metrics.create ()
+  in
+  { slots = Array.make capacity None;
+    next = 0;
+    hits = Metrics.counter reg "tlb.hits";
+    misses = Metrics.counter reg "tlb.misses";
+    flushes = Metrics.counter reg "tlb.flushes" }
 
 let lookup t ~context ~vpn =
   let n = Array.length t.slots in
   let rec go i =
     if i >= n then begin
-      t.misses <- t.misses + 1;
+      Metrics.incr t.misses;
       None
     end
     else
       match t.slots.(i) with
       | Some e when e.context = context && e.vpn = vpn ->
-        t.hits <- t.hits + 1;
+        Metrics.incr t.hits;
         Some e
       | Some _ | None -> go (i + 1)
   in
@@ -51,7 +59,7 @@ let insert t entry =
 
 let flush t =
   Array.fill t.slots 0 (Array.length t.slots) None;
-  t.flushes <- t.flushes + 1
+  Metrics.incr t.flushes
 
 let flush_context t ~context =
   Array.iteri
@@ -59,16 +67,21 @@ let flush_context t ~context =
       | Some e when e.context = context -> t.slots.(i) <- None
       | Some _ | None -> ())
     t.slots;
-  t.flushes <- t.flushes + 1
+  Metrics.incr t.flushes
 
+(* Legacy stats interface, kept as a thin shim over the metrics registry
+   series (tlb.hits / tlb.misses / tlb.flushes). *)
 type stats = { hits : int; misses : int; flushes : int }
 
-let stats (t : t) = { hits = t.hits; misses = t.misses; flushes = t.flushes }
+let stats (t : t) =
+  { hits = Metrics.value t.hits;
+    misses = Metrics.value t.misses;
+    flushes = Metrics.value t.flushes }
 
 let reset_stats (t : t) =
-  t.hits <- 0;
-  t.misses <- 0;
-  t.flushes <- 0
+  Metrics.reset_counter t.hits;
+  Metrics.reset_counter t.misses;
+  Metrics.reset_counter t.flushes
 
 let pp_stats ppf s =
   Format.fprintf ppf "hits=%d misses=%d flushes=%d" s.hits s.misses s.flushes

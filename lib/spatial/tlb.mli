@@ -3,12 +3,15 @@
     Caches page-granular results of {!Mmu.translate} walks, tagged by MMU
     context (so a partition switch does not require a flush, as on the
     LEON3). Replacement is FIFO. Hit/miss/flush counters feed the E10
-    experiment. *)
+    experiment and are recorded on an {!Air_obs.Metrics} registry as the
+    [tlb.*] series. *)
 
 type t
 
-val create : ?capacity:int -> unit -> t
-(** [capacity] defaults to 32 entries; must be positive. *)
+val create : ?metrics:Air_obs.Metrics.t -> ?capacity:int -> unit -> t
+(** [capacity] defaults to 32 entries; must be positive. [metrics] is the
+    registry receiving the [tlb.hits]/[tlb.misses]/[tlb.flushes] counters;
+    a private registry is used when omitted. *)
 
 type entry = {
   context : int;
@@ -29,7 +32,11 @@ val flush_context : t -> context:int -> unit
     restarted and its mappings rebuilt). *)
 
 type stats = { hits : int; misses : int; flushes : int }
+(** Legacy aggregate view; a thin shim reading the registry counters. *)
 
 val stats : t -> stats
+
+(** [reset_stats] zeroes the [tlb.*] counters (test support only —
+    counters are otherwise monotonic). *)
 val reset_stats : t -> unit
 val pp_stats : Format.formatter -> stats -> unit

@@ -14,6 +14,7 @@ let () =
       ("workload-vitral", Test_workload_vitral.suite);
       ("apex", Test_apex.suite);
       ("multicore", Test_multicore.suite);
+      ("obs", Test_obs.suite);
       ("misc", Test_misc.suite);
       ("properties", Test_properties.suite);
       ("arinc", Test_arinc.suite);

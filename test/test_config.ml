@@ -233,6 +233,38 @@ let satellite_config_roundtrips () =
     Air.System.run_mtfs s 2;
     check Alcotest.int "clean run" 0 (List.length (Air.System.violations s))
 
+(* A "*" in the partition position of an hm entry decodes to a wildcard
+   default, and the wildcard survives the encode → load round-trip. *)
+let hm_wildcard_roundtrips () =
+  let doc =
+    {|(air-system
+       (partitions (partition (name A)
+         (processes (process (name p) (script (compute 5) (periodic-wait))
+           (period 10) (capacity 10) (wcet 5) (priority 1)))))
+       (schedules (schedule (name s) (mtf 10)
+         (requirements (req (partition A) (cycle 10) (duration 10)))
+         (windows (window (partition A) (offset 0) (duration 10)))))
+       (hm
+         (process-errors (* deadline-missed stop-process)
+                         (A application-error restart-process))
+         (partition-errors (* memory-violation warm-restart))))|}
+  in
+  match Loader.load doc with
+  | Error e -> Alcotest.fail e
+  | Ok cfg ->
+    let tables = cfg.Air.System.hm_tables in
+    check Alcotest.int "one wildcard process default" 1
+      (List.length tables.Air.Hm.process_defaults);
+    check Alcotest.int "one specific process entry" 1
+      (List.length tables.Air.Hm.process_actions);
+    check Alcotest.int "one wildcard partition default" 1
+      (List.length tables.Air.Hm.partition_defaults);
+    (match Loader.load (Encode.to_string cfg) with
+    | Error e -> Alcotest.failf "re-load failed: %s" e
+    | Ok cfg' ->
+      check Alcotest.bool "wildcards survive round-trip" true
+        (cfg'.Air.System.hm_tables = tables))
+
 let loader_syntax_error_reported () =
   match Loader.load "(air-system (partitions" with
   | Error e -> check Alcotest.bool "mentions position" true
@@ -258,5 +290,7 @@ let suite =
       roundtrip_preserves_behaviour;
     Alcotest.test_case "satellite config round-trips" `Quick
       satellite_config_roundtrips;
+    Alcotest.test_case "hm wildcard round-trips" `Quick
+      hm_wildcard_roundtrips;
     Alcotest.test_case "loader: syntax errors reported" `Quick
       loader_syntax_error_reported ]

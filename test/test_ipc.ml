@@ -51,12 +51,29 @@ let validation_catches_errors () =
         { net with
           Port.channels =
             { Port.source = "S_OUT"; destinations = [ "S_IN" ] }
-            :: net.Port.channels } ]
+            :: net.Port.channels };
+      (* Regression: ARINC 653 queuing channels are strictly 1:1; fan-out
+         used to slip through validation. *)
+      bad "queuing fan-out"
+        { Port.ports = queuing "Q_IN2" (pid 2) Port.Destination :: net.Port.ports;
+          channels =
+            [ { Port.source = "S_OUT"; destinations = [ "S_IN" ] };
+              { Port.source = "Q_OUT"; destinations = [ "Q_IN"; "Q_IN2" ] } ] } ]
   in
   List.iter
     (fun (name, bad_net) ->
       check Alcotest.bool name true (Port.validate bad_net <> []))
     cases
+
+(* Sampling channels may still fan out to several destinations. *)
+let sampling_fanout_still_valid () =
+  let fanned =
+    { Port.ports = sampling "S_IN2" (pid 2) Port.Destination :: net.Port.ports;
+      channels =
+        [ { Port.source = "S_OUT"; destinations = [ "S_IN"; "S_IN2" ] };
+          { Port.source = "Q_OUT"; destinations = [ "Q_IN" ] } ] }
+  in
+  check Alcotest.(list string) "no diagnostics" [] (Port.validate fanned)
 
 let size_mismatch_detected () =
   let small_dest =
@@ -181,6 +198,8 @@ let suite =
       validation_catches_errors;
     Alcotest.test_case "destination size must cover source" `Quick
       size_mismatch_detected;
+    Alcotest.test_case "sampling fanout remains valid" `Quick
+      sampling_fanout_still_valid;
     Alcotest.test_case "sampling semantics" `Quick sampling_semantics;
     Alcotest.test_case "sampling copies do not alias" `Quick
       sampling_copies_do_not_alias;

@@ -146,6 +146,51 @@ let hm_strict_tables () =
     (Hm.resolve_module_error hm ~code:Error.Power_failure
      = Error.Module_shutdown)
 
+(* Regression: [strict_tables] used to enumerate actions for the first 16
+   partitions only, so a module with more partitions silently lost strict
+   coverage from partition 16 onwards. The wildcard representation must
+   cover any partition index. *)
+let hm_strict_tables_beyond_16_partitions () =
+  let hm = Hm.create ~tables:Hm.strict_tables () in
+  List.iter
+    (fun i ->
+      check Alcotest.bool
+        (Printf.sprintf "deadline → stop for partition %d" i)
+        true
+        (Hm.resolve_process_error hm ~partition:(pid i) ~process:0
+           ~code:Error.Deadline_missed
+        = Error.Stop_process);
+      check Alcotest.bool
+        (Printf.sprintf "memory → warm restart for partition %d" i)
+        true
+        (Hm.resolve_partition_error hm ~partition:(pid i)
+           ~code:Error.Memory_violation
+        = Error.Partition_warm_restart))
+    [ 0; 15; 16; 19 ]
+
+(* Specific entries take precedence over wildcard defaults. *)
+let hm_specific_overrides_wildcard () =
+  let tables =
+    { Hm.strict_tables with
+      Hm.process_actions =
+        [ (pid 3, Error.Deadline_missed, Error.Restart_process) ];
+      Hm.partition_actions =
+        [ (pid 3, Error.Memory_violation, Error.Partition_cold_restart) ] }
+  in
+  let hm = Hm.create ~tables () in
+  check Alcotest.bool "specific process action wins" true
+    (Hm.resolve_process_error hm ~partition:(pid 3) ~process:0
+       ~code:Error.Deadline_missed
+    = Error.Restart_process);
+  check Alcotest.bool "wildcard still covers the rest" true
+    (Hm.resolve_process_error hm ~partition:(pid 4) ~process:0
+       ~code:Error.Deadline_missed
+    = Error.Stop_process);
+  check Alcotest.bool "specific partition action wins" true
+    (Hm.resolve_partition_error hm ~partition:(pid 3)
+       ~code:Error.Memory_violation
+    = Error.Partition_cold_restart)
+
 let hm_log_then_threshold_boundaries () =
   let tables =
     { Hm.default_tables with
@@ -234,6 +279,10 @@ let suite =
       kernel_and_misc_printers;
     Alcotest.test_case "hm: occurrence counting" `Quick hm_counting;
     Alcotest.test_case "hm: strict tables" `Quick hm_strict_tables;
+    Alcotest.test_case "hm: strict tables beyond 16 partitions" `Quick
+      hm_strict_tables_beyond_16_partitions;
+    Alcotest.test_case "hm: specific overrides wildcard" `Quick
+      hm_specific_overrides_wildcard;
     Alcotest.test_case "hm: log-then thresholds" `Quick
       hm_log_then_threshold_boundaries;
     Alcotest.test_case "sporadic release cadence" `Quick

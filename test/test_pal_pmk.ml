@@ -225,6 +225,33 @@ let pmk_mtf_position () =
   done;
   check Alcotest.int "position" 49 (Pmk.mtf_position pmk)
 
+(* Regression for the clamp-precedence fix in [Pmk.mtf_position]:
+   [max 0 t.ticks - t.last_schedule_switch] parsed as
+   [(max 0 t.ticks) - t.last_schedule_switch] — only the clock was clamped,
+   so the dividend (and the position) could go negative once a schedule
+   switch stamped a nonzero [last_schedule_switch]. The position must stay
+   within [0, MTF) at every observable state, including before the first
+   tick and across arbitrary switch sequences. *)
+let pmk_mtf_position_in_range () =
+  let pmk = make_pmk () in
+  let check_in_range () =
+    let mtf =
+      (Pmk.schedule pmk (Pmk.current_schedule pmk)).Schedule.mtf
+    in
+    let pos = Pmk.mtf_position pmk in
+    if pos < 0 || pos >= mtf then
+      Alcotest.failf "mtf_position %d outside [0, %d) at tick %d" pos mtf
+        (Pmk.ticks pmk)
+  in
+  check_in_range ();
+  let rng = Air_sim.Rng.create 0x5eed in
+  for i = 1 to 1000 do
+    if i mod 37 = 0 then
+      ignore (Pmk.request_schedule_switch pmk (sid (Air_sim.Rng.int rng 2)));
+    ignore (Pmk.tick pmk);
+    check_in_range ()
+  done
+
 let suite =
   [ Alcotest.test_case "pal: strict deadline comparison" `Quick
       pal_detects_strictly_past_deadlines;
@@ -245,4 +272,6 @@ let suite =
     Alcotest.test_case "pmk: cancel pending switch" `Quick
       pmk_cancel_pending_switch;
     Alcotest.test_case "pmk: bad requests" `Quick pmk_bad_requests;
-    Alcotest.test_case "pmk: mtf position" `Quick pmk_mtf_position ]
+    Alcotest.test_case "pmk: mtf position" `Quick pmk_mtf_position;
+    Alcotest.test_case "pmk: mtf position stays in range" `Quick
+      pmk_mtf_position_in_range ]
