@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench trace-smoke clean
 
 all: build
 
@@ -17,7 +17,14 @@ check:
 
 # Full benchmark run with committed JSON artifact.
 bench:
-	dune exec bench/main.exe -- --json BENCH_1.json
+	dune exec bench/main.exe -- --json BENCH_2.json
+
+# End-to-end flight-recorder pass: run an example configuration with the
+# recorder attached, export the Chrome trace and replay-check the event
+# trace against the configured schedules (nonzero exit on any violation).
+trace-smoke:
+	dune exec bin/air_run.exe -- examples/configs/leo_satellite.air \
+	  -t 3000 --trace-json /tmp/air_trace.json --check-trace
 
 clean:
 	dune clean

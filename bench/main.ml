@@ -289,6 +289,51 @@ let system_tests =
     [ Test.make ~name:"prototype tick" (prototype_tick ());
       Test.make ~name:"prototype tick (fault active)" (prototype_tick_faulty ()) ]
 
+(* --- flight recorder -------------------------------------------------------- *)
+
+let recorder_tests =
+  (* Raw recording cost: one begin/end pair and one instant, on a bounded
+     recorder so the ring never grows. *)
+  let span_pair () =
+    let r = Air_obs.Span.create ~capacity:4096 () in
+    let now = ref 0 in
+    Staged.stage (fun () ->
+        incr now;
+        Air_obs.Span.begin_span r ~now:!now ~track:0 "w";
+        Air_obs.Span.end_span r ~now:(!now + 1) ~track:0)
+  in
+  let span_instant () =
+    let r = Air_obs.Span.create ~capacity:4096 () in
+    let now = ref 0 in
+    Staged.stage (fun () ->
+        incr now;
+        Air_obs.Span.instant r ~now:!now ~track:0 "i")
+  in
+  (* Instrumentation overhead in situ: the scheduler/dispatcher tick and
+     the full prototype tick with a recorder attached, to be read against
+     the scheduler/* and system/"prototype tick" baselines. *)
+  let pmk_tick_recorded () =
+    let pmk =
+      Air.Pmk.create
+        ~recorder:(Air_obs.Span.create ~capacity:4096 ())
+        ~partition_count:4 (satellite_schedules ())
+    in
+    Staged.stage (fun () -> ignore (Air.Pmk.tick pmk))
+  in
+  let prototype_tick_recorded () =
+    let cfg =
+      { (Air_workload.Satellite.config ()) with
+        Air.System.recorder = Some (Air_obs.Span.create ~capacity:4096 ()) }
+    in
+    let s = Air.System.create cfg in
+    Staged.stage (fun () -> Air.System.step s)
+  in
+  Test.make_grouped ~name:"recorder"
+    [ Test.make ~name:"span begin+end" (span_pair ());
+      Test.make ~name:"span instant" (span_instant ());
+      Test.make ~name:"pmk tick (recorded)" (pmk_tick_recorded ());
+      Test.make ~name:"prototype tick (recorded)" (prototype_tick_recorded ()) ]
+
 (* --- multicore + cluster ----------------------------------------------------- *)
 
 let extension_tests =
@@ -465,7 +510,7 @@ let () =
     "main.exe [--json FILE] [--quota SECONDS] [--dry-run]";
   let groups =
     [ scheduler_tests; store_tests; pal_tests; ipc_tests; mmu_tests;
-      analysis_tests; system_tests; extension_tests ]
+      analysis_tests; system_tests; recorder_tests; extension_tests ]
   in
   let all_rows =
     List.concat_map

@@ -44,7 +44,8 @@ let is_cluster_document path =
     true
   | Ok _ | Error _ -> false
 
-let run_file path ticks show_trace show_gantt export metrics_json =
+let run_file path ticks show_trace show_gantt export metrics_json trace_json
+    check_trace timeline =
   if is_cluster_document path then run_cluster path ticks
   else
   match Air_config.Loader.load_file path with
@@ -52,6 +53,13 @@ let run_file path ticks show_trace show_gantt export metrics_json =
     Format.eprintf "%s: %s@." path e;
     1
   | Ok cfg ->
+    (* The flight recorder is only attached when some output needs it. *)
+    let cfg =
+      if (trace_json <> None || timeline) && cfg.Air.System.recorder = None
+      then
+        { cfg with Air.System.recorder = Some (Air_obs.Span.create ()) }
+      else cfg
+    in
     let system = Air.System.create cfg in
     Air.System.run system ~ticks;
     let trace = Air.System.trace system in
@@ -133,7 +141,59 @@ let run_file path ticks show_trace show_gantt export metrics_json =
           Format.eprintf "%s@." msg;
           false)
     in
-    if not (metrics_ok && trace_ok) then 1
+    if timeline then begin
+      Format.printf "@.flight recorder timeline:@.";
+      let opens =
+        match Air.System.recorder system with
+        | None -> []
+        | Some r -> Air_obs.Span.open_spans r ~now:(Air.System.now system)
+      in
+      print_string
+        (Air_vitral.Timeline.render
+           ~tracks:(Air.System.track_names system)
+           (Air.System.spans system @ opens))
+    end;
+    let chrome_ok =
+      match trace_json with
+      | None -> true
+      | Some file -> (
+        try
+          Out_channel.with_open_text file (fun oc ->
+              Out_channel.output_string oc (Air.System.chrome_trace system);
+              Out_channel.output_char oc '\n');
+          Format.printf "chrome trace exported to %s@." file;
+          true
+        with Sys_error msg ->
+          Format.eprintf "%s@." msg;
+          false)
+    in
+    let check_ok =
+      if not check_trace then true
+      else begin
+        if Air_sim.Trace.total trace > Air_sim.Trace.length trace then
+          Format.eprintf
+            "warning: bounded trace dropped %d events; replay check needs \
+             the full trace from tick 0@."
+            (Air_sim.Trace.total trace - Air_sim.Trace.length trace);
+        let violations =
+          Air_analysis.Trace_check.check
+            ?initial_schedule:cfg.Air.System.initial_schedule
+            ~network:cfg.Air.System.network
+            ~until:(Air.System.now system + 1)
+            ~schedules:cfg.Air.System.schedules
+            (Air_sim.Trace.to_list trace)
+        in
+        Format.printf "trace check: %d violation%s@."
+          (List.length violations)
+          (if List.length violations = 1 then "" else "s");
+        List.iter
+          (fun v ->
+            Format.printf "  %a@." Air_analysis.Trace_check.pp_violation v)
+          violations;
+        violations = []
+      end
+    in
+    if not (metrics_ok && trace_ok && chrome_ok && check_ok) then 1
     else if Air.System.halted system = None then 0
     else 2
 
@@ -162,11 +222,31 @@ let metrics_json_arg =
   Arg.(
     value & opt (some string) None & info [ "metrics-json" ] ~docv:"FILE" ~doc)
 
+let trace_json_arg =
+  let doc =
+    "Record the run with the flight recorder and write it as Chrome \
+     trace-event JSON to $(docv) (loadable in chrome://tracing or Perfetto)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE" ~doc)
+
+let check_trace_arg =
+  let doc =
+    "Replay the event trace against the configured schedules and report \
+     temporal-invariant violations (nonzero exit when any is found)."
+  in
+  Arg.(value & flag & info [ "check-trace" ] ~doc)
+
+let timeline_flag =
+  let doc = "Print the flight-recorder spans as a text timeline." in
+  Arg.(value & flag & info [ "timeline" ] ~doc)
+
 let cmd =
   let doc = "run an AIR module from its integration configuration" in
   Cmd.v
     (Cmd.info "air_run" ~doc)
     Term.(const run_file $ path_arg $ ticks_arg $ trace_flag $ gantt_flag
-          $ export_arg $ metrics_json_arg)
+          $ export_arg $ metrics_json_arg $ trace_json_arg $ check_trace_arg
+          $ timeline_flag)
 
 let () = exit (Cmd.eval' cmd)

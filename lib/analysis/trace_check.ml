@@ -1,0 +1,314 @@
+(* Temporal-invariant replay checker: event-driven reconstruction of the
+   scheduling state (current schedule, last switch, active partition) with
+   tick-exact window conformance over each constant segment. *)
+
+open Air_sim
+open Air_model
+open Ident
+
+type violation =
+  | Outside_window of {
+      time : Time.t;
+      partition : Partition_id.t;
+      expected : Partition_id.t option;
+    }
+  | Mid_mtf_switch of {
+      time : Time.t;
+      from : Schedule_id.t;
+      to_ : Schedule_id.t;
+      offset : Time.t;
+    }
+  | Change_action_unexpected of { time : Time.t; partition : Partition_id.t }
+  | Change_action_missing of { time : Time.t; partition : Partition_id.t }
+  | Unmatched_deadline_miss of { time : Time.t; process : Process_id.t }
+  | Receive_without_message of { time : Time.t; port : Port_name.t }
+  | Sampling_read_before_write of { time : Time.t; port : Port_name.t }
+
+let pp_violation ppf = function
+  | Outside_window { time; partition; expected } ->
+    Format.fprintf ppf
+      "[%a] %a ran outside its window (scheduling table grants %a)" Time.pp
+      time Partition_id.pp partition
+      (fun ppf -> function
+        | None -> Format.pp_print_string ppf "nobody"
+        | Some p -> Partition_id.pp ppf p)
+      expected
+  | Mid_mtf_switch { time; from; to_; offset } ->
+    Format.fprintf ppf
+      "[%a] schedule switch %a → %a %a ticks into the major time frame"
+      Time.pp time Schedule_id.pp from Schedule_id.pp to_ Time.pp offset
+  | Change_action_unexpected { time; partition } ->
+    Format.fprintf ppf
+      "[%a] change action delivered to %a with none armed" Time.pp time
+      Partition_id.pp partition
+  | Change_action_missing { time; partition } ->
+    Format.fprintf ppf
+      "[%a] %a dispatched without its armed schedule-change action" Time.pp
+      time Partition_id.pp partition
+  | Unmatched_deadline_miss { time; process } ->
+    Format.fprintf ppf
+      "[%a] deadline miss of %a never reached the health monitor" Time.pp
+      time Process_id.pp process
+  | Receive_without_message { time; port } ->
+    Format.fprintf ppf
+      "[%a] queuing port %s handed out a message never delivered to it"
+      Time.pp time port
+  | Sampling_read_before_write { time; port } ->
+    Format.fprintf ppf "[%a] sampling port %s read before any write" Time.pp
+      time port
+
+(* --- IPC bookkeeping ----------------------------------------------------- *)
+
+type ipc = {
+  (* Destination queuing port → messages delivered minus received. *)
+  balance : (Port_name.t, int) Hashtbl.t;
+  (* Destination port → time of its last tentative credit (to attribute a
+     same-tick overflow to the send that caused it). *)
+  last_credit : (Port_name.t, Time.t) Hashtbl.t;
+  (* Source port → its queuing destinations / its sampling destinations. *)
+  queuing_dests : (Port_name.t, Port_name.t list) Hashtbl.t;
+  sampling_dests : (Port_name.t, Port_name.t list) Hashtbl.t;
+  (* Destination port kinds, for the inject path (Port_send names the
+     destination itself) and the receive checks. *)
+  queuing_dest : (Port_name.t, unit) Hashtbl.t;
+  sampling_dest : (Port_name.t, unit) Hashtbl.t;
+  written : (Port_name.t, unit) Hashtbl.t;
+}
+
+let ipc_of_network (net : Air_ipc.Port.network) =
+  let ipc =
+    { balance = Hashtbl.create 8;
+      last_credit = Hashtbl.create 8;
+      queuing_dests = Hashtbl.create 8;
+      sampling_dests = Hashtbl.create 8;
+      queuing_dest = Hashtbl.create 8;
+      sampling_dest = Hashtbl.create 8;
+      written = Hashtbl.create 8 }
+  in
+  let kind_of name =
+    List.find_opt
+      (fun (c : Air_ipc.Port.config) -> String.equal c.name name)
+      net.ports
+  in
+  List.iter
+    (fun (c : Air_ipc.Port.config) ->
+      match (c.direction, c.kind) with
+      | Air_ipc.Port.Destination, Air_ipc.Port.Queuing _ ->
+        Hashtbl.replace ipc.queuing_dest c.name ();
+        Hashtbl.replace ipc.balance c.name 0
+      | Air_ipc.Port.Destination, Air_ipc.Port.Sampling _ ->
+        Hashtbl.replace ipc.sampling_dest c.name ()
+      | Air_ipc.Port.Source, _ -> ())
+    net.ports;
+  List.iter
+    (fun (ch : Air_ipc.Port.channel) ->
+      let queuing, sampling =
+        List.partition
+          (fun d ->
+            match kind_of d with
+            | Some { Air_ipc.Port.kind = Air_ipc.Port.Queuing _; _ } -> true
+            | _ -> false)
+          ch.destinations
+      in
+      if queuing <> [] then Hashtbl.replace ipc.queuing_dests ch.source queuing;
+      if sampling <> [] then
+        Hashtbl.replace ipc.sampling_dests ch.source sampling)
+    net.channels;
+  ipc
+
+(* --- The checker ---------------------------------------------------------- *)
+
+let check ?initial_schedule ?network ?until ~schedules trace =
+  if schedules = [] then invalid_arg "Trace_check.check: no schedules";
+  let n = List.length schedules in
+  let table = Array.make n (List.hd schedules) in
+  List.iter
+    (fun (s : Schedule.t) ->
+      let i = Schedule_id.index s.id in
+      if i >= n then
+        invalid_arg "Trace_check.check: schedule identifiers must be dense";
+      table.(i) <- s)
+    schedules;
+  let violations = ref [] in
+  let report v = violations := v :: !violations in
+  (* Scheduling state. *)
+  let cur =
+    ref
+      (match initial_schedule with
+      | None -> 0
+      | Some id ->
+        let i = Schedule_id.index id in
+        if i >= n then
+          invalid_arg "Trace_check.check: initial schedule out of range";
+        i)
+  in
+  let last_switch = ref Time.zero in
+  let active = ref None in
+  let seg_start = ref Time.zero in
+  (* Change actions armed by the last switch (partition index → switch
+     time) and awaiting confirmation at first dispatch (partition index →
+     dispatch time). *)
+  let armed : (int, Time.t) Hashtbl.t = Hashtbl.create 4 in
+  let expecting : (int, Time.t) Hashtbl.t = Hashtbl.create 4 in
+  (* Deadline misses not yet matched by an HM error. *)
+  let pending_miss = ref [] in
+  let ipc = Option.map ipc_of_network network in
+  (* Window conformance over [s, e): the active partition must own the
+     window covering every tick. One violation per segment keeps the
+     output proportional to the number of distinct excursions. *)
+  let check_segment s e =
+    match !active with
+    | None -> ()
+    | Some p ->
+      let sched = table.(!cur) in
+      let rec scan tau =
+        if Time.(tau < e) then begin
+          let expected =
+            Option.map
+              (fun (w : Schedule.window) -> w.partition)
+              (Schedule.window_at sched (tau - !last_switch))
+          in
+          match expected with
+          | Some q when Partition_id.equal q p -> scan (tau + 1)
+          | _ -> report (Outside_window { time = tau; partition = p; expected })
+        end
+      in
+      scan s
+  in
+  (* Expected-change-action entries older than [t] never got their event:
+     the first dispatch completed without the armed action. *)
+  let flush_expecting t =
+    let stale =
+      Hashtbl.fold
+        (fun p when_ acc -> if Time.(when_ < t) then (p, when_) :: acc else acc)
+        expecting []
+    in
+    List.iter
+      (fun (p, when_) ->
+        Hashtbl.remove expecting p;
+        report
+          (Change_action_missing
+             { time = when_; partition = Partition_id.make p }))
+      stale
+  in
+  let last_time = ref Time.zero in
+  List.iter
+    (fun (time, ev) ->
+      last_time := Stdlib.max !last_time time;
+      flush_expecting time;
+      match (ev : Event.t) with
+      | Event.Context_switch { from = _; to_ } ->
+        check_segment !seg_start time;
+        active := to_;
+        seg_start := time;
+        (match to_ with
+        | Some p ->
+          let pi = Partition_id.index p in
+          (match Hashtbl.find_opt armed pi with
+          | Some _ ->
+            Hashtbl.remove armed pi;
+            Hashtbl.replace expecting pi time
+          | None -> ())
+        | None -> ())
+      | Event.Schedule_switch { from; to_ } ->
+        check_segment !seg_start time;
+        let old = table.(!cur) in
+        let offset = (time - !last_switch) mod old.Schedule.mtf in
+        if offset <> 0 then
+          report (Mid_mtf_switch { time; from; to_; offset });
+        let i = Schedule_id.index to_ in
+        if i < n then begin
+          cur := i;
+          (* Arm the new schedule's change actions, as Algorithm 1 does. *)
+          let s = table.(i) in
+          List.iter
+            (fun pid ->
+              match Schedule.change_action_for s pid with
+              | Schedule.No_action -> ()
+              | Schedule.Warm_restart_partition
+              | Schedule.Cold_restart_partition ->
+                Hashtbl.replace armed (Partition_id.index pid) time)
+            (Schedule.partitions s)
+        end;
+        last_switch := time;
+        seg_start := time
+      | Event.Change_action { partition; action = _ } ->
+        let pi = Partition_id.index partition in
+        (match Hashtbl.find_opt expecting pi with
+        | Some when_ when Time.equal when_ time -> Hashtbl.remove expecting pi
+        | Some _ | None ->
+          report (Change_action_unexpected { time; partition }))
+      | Event.Deadline_violation { process; deadline = _ } ->
+        pending_miss := (time, process) :: !pending_miss
+      | Event.Hm_error { code = Error.Deadline_missed; process = Some p; _ }
+        ->
+        let rec remove_first = function
+          | [] -> []
+          | (_, q) :: rest when Process_id.equal q p -> rest
+          | entry :: rest -> entry :: remove_first rest
+        in
+        pending_miss := remove_first !pending_miss
+      | Event.Port_send { port; _ } -> (
+        match ipc with
+        | None -> ()
+        | Some ipc ->
+          let credit d =
+            if Hashtbl.mem ipc.queuing_dest d then begin
+              Hashtbl.replace ipc.balance d
+                (Option.value ~default:0 (Hashtbl.find_opt ipc.balance d) + 1);
+              Hashtbl.replace ipc.last_credit d time
+            end
+          in
+          (match Hashtbl.find_opt ipc.queuing_dests port with
+          | Some dests -> List.iter credit dests
+          | None -> ());
+          (match Hashtbl.find_opt ipc.sampling_dests port with
+          | Some dests ->
+            List.iter (fun d -> Hashtbl.replace ipc.written d ()) dests
+          | None -> ());
+          (* The inject path names the destination port directly. *)
+          if Hashtbl.mem ipc.queuing_dest port then credit port;
+          if Hashtbl.mem ipc.sampling_dest port then
+            Hashtbl.replace ipc.written port ())
+      | Event.Port_overflow { port } -> (
+        match ipc with
+        | None -> ()
+        | Some ipc -> (
+          (* Undo the same-tick tentative credit of the send that
+             overflowed; an inject-path overflow credited nothing. *)
+          match Hashtbl.find_opt ipc.last_credit port with
+          | Some t when Time.equal t time ->
+            Hashtbl.replace ipc.balance port
+              (Option.value ~default:0 (Hashtbl.find_opt ipc.balance port) - 1);
+            Hashtbl.remove ipc.last_credit port
+          | Some _ | None -> ()))
+      | Event.Port_receive { port; _ } -> (
+        match ipc with
+        | None -> ()
+        | Some ipc ->
+          if Hashtbl.mem ipc.queuing_dest port then begin
+            let b =
+              Option.value ~default:0 (Hashtbl.find_opt ipc.balance port) - 1
+            in
+            if b < 0 then begin
+              report (Receive_without_message { time; port });
+              Hashtbl.replace ipc.balance port 0
+            end
+            else Hashtbl.replace ipc.balance port b
+          end
+          else if
+            Hashtbl.mem ipc.sampling_dest port
+            && not (Hashtbl.mem ipc.written port)
+          then report (Sampling_read_before_write { time; port }))
+      | _ -> ())
+    trace;
+  (* Close the last segment and flush stragglers. *)
+  let horizon =
+    match until with Some u -> u | None -> !last_time + 1
+  in
+  check_segment !seg_start horizon;
+  flush_expecting (horizon + 1);
+  List.iter
+    (fun (time, process) -> report (Unmatched_deadline_miss { time; process }))
+    (List.rev !pending_miss);
+  List.rev !violations

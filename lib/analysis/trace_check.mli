@@ -1,0 +1,73 @@
+(** Temporal-invariant replay checker.
+
+    Walks a recorded event trace against the configured scheduling tables
+    and mechanically asserts the AIR paper's temporal claims:
+
+    - {b window conformance} — no partition holds the processor outside a
+      time window of the schedule in force (eq. (20): the dispatcher only
+      grants the processor per the PST);
+    - {b MTF-boundary switches} — a mode-based schedule switch becomes
+      effective only at the start of a major time frame (Algorithm 1,
+      lines 3–7);
+    - {b change-action delivery} — a schedule's [ScheduleChangeAction] is
+      applied exactly once, at the partition's first dispatch after the
+      switch (Sect. 4.3);
+    - {b supervised deadlines} — every deadline violation detected by the
+      PAL (Algorithm 3) reaches the Health Monitor as a
+      [Deadline_missed] process-level error;
+    - {b IPC conservation} — a queuing destination port never hands out
+      more messages than were delivered to it (sends minus overflows plus
+      injections), and a sampling destination is never read before its
+      slot was ever written. Requires the port [network]; IPC checks are
+      skipped when it is omitted.
+
+    The checker is event-driven but verifies window conformance tick by
+    tick, so a clean result really does mean "at no clock tick did a
+    partition run outside its window". *)
+
+open Air_sim
+open Air_model
+open Ident
+
+type violation =
+  | Outside_window of {
+      time : Time.t;
+      partition : Partition_id.t;
+      expected : Partition_id.t option;
+          (** Owner of the window covering [time], [None] for an idle gap. *)
+    }
+  | Mid_mtf_switch of {
+      time : Time.t;
+      from : Schedule_id.t;
+      to_ : Schedule_id.t;
+      offset : Time.t;  (** Nonzero offset into the old schedule's MTF. *)
+    }
+  | Change_action_unexpected of {
+      time : Time.t;
+      partition : Partition_id.t;
+          (** Change action delivered with none armed (duplicate, or no
+              preceding schedule switch). *)
+    }
+  | Change_action_missing of {
+      time : Time.t;  (** First dispatch that should have carried it. *)
+      partition : Partition_id.t;
+    }
+  | Unmatched_deadline_miss of { time : Time.t; process : Process_id.t }
+  | Receive_without_message of { time : Time.t; port : Port_name.t }
+  | Sampling_read_before_write of { time : Time.t; port : Port_name.t }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check :
+  ?initial_schedule:Schedule_id.t ->
+  ?network:Air_ipc.Port.network ->
+  ?until:Time.t ->
+  schedules:Schedule.t list ->
+  (Time.t * Event.t) list ->
+  violation list
+(** [check ~schedules trace] replays [trace] (oldest first, as produced by
+    {!Air_sim.Trace.to_list}) and returns the violations found, in trace
+    order. [initial_schedule] defaults to id 0; [until] bounds the final
+    window-conformance segment (default: one past the last event's time).
+    The trace must be complete from tick 0 — feeding the retained tail of
+    a bounded trace yields spurious results. *)

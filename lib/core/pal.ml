@@ -8,10 +8,12 @@ type t = {
   m_unregistered : Air_obs.Metrics.counter;
   m_violations : Air_obs.Metrics.counter;
   m_store_size : Air_obs.Metrics.gauge;
+  recorder : Air_obs.Span.t option;
+  track : int;
 }
 
-let create ?metrics ?(store = Deadline_store.Linked_list_impl) ~partition ()
-    =
+let create ?metrics ?recorder ?(store = Deadline_store.Linked_list_impl)
+    ~partition () =
   let reg =
     match metrics with
     | Some reg -> reg
@@ -27,7 +29,9 @@ let create ?metrics ?(store = Deadline_store.Linked_list_impl) ~partition ()
     m_store_size =
       Air_obs.Metrics.gauge reg
         (Printf.sprintf "pal.store_size.p%d"
-           (Ident.Partition_id.index partition)) }
+           (Ident.Partition_id.index partition));
+    recorder;
+    track = Ident.Partition_id.index partition }
 
 let partition t = t.partition
 
@@ -61,6 +65,17 @@ let announce_ticks t ~now ~elapsed ~announce_to_pos =
      the number of ticks elapsed since the partition last held the
      processing resources. *)
   announce_to_pos ~elapsed;
+  (* Flight recorder: one supervision instant per announcement. The
+     common case (elapsed = 1, the partition kept the processor) records
+     with an empty detail to stay allocation-light on the tick path. *)
+  (* Per-tick announcements would swamp the recorder; only the surrogate
+     catch-up after a preemption gap (elapsed > 1, Algorithm 3 run with a
+     multi-tick argument) is worth a mark. *)
+  (match t.recorder with
+  | Some r when elapsed > 1 ->
+    Air_obs.Span.instant r ~now ~track:t.track "pal.catch-up"
+      ~detail:(Printf.sprintf "elapsed=%d" elapsed)
+  | Some _ | None -> ());
   (* Lines 2–8: verify the earliest deadline(s); only in the presence of a
      violation are further deadlines checked. *)
   let rec verify acc =
@@ -68,6 +83,12 @@ let announce_ticks t ~now ~elapsed ~announce_to_pos =
     | Some (process, deadline) when Time.(deadline < now) ->
       Deadline_store.remove_earliest t.store;
       Air_obs.Metrics.incr t.m_violations;
+      (match t.recorder with
+      | None -> ()
+      | Some r ->
+        Air_obs.Span.instant r ~now ~track:t.track ~sub:process
+          ~detail:(Printf.sprintf "deadline=%d" deadline)
+          "pal.deadline-miss");
       verify ({ process; deadline } :: acc)
     | Some _ | None -> List.rev acc
   in

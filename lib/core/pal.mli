@@ -17,6 +17,7 @@ type t
 
 val create :
   ?metrics:Air_obs.Metrics.t ->
+  ?recorder:Air_obs.Span.t ->
   ?store:Deadline_store.impl ->
   partition:Ident.Partition_id.t ->
   unit ->
@@ -24,7 +25,12 @@ val create :
 (** [store] defaults to the paper's sorted linked list. [metrics] receives
     the [pal.*] series — registration/violation counters shared across
     PALs on the same registry, plus a per-partition store-size gauge
-    ([pal.store_size.pN]); a private registry is used when omitted. *)
+    ([pal.store_size.pN]); a private registry is used when omitted.
+    [recorder], when given, receives a [pal.catch-up] instant whenever a
+    surrogate announcement covers more than one elapsed tick (the wake-up
+    after a preemption gap) and a [pal.deadline-miss] instant (with the
+    process as sub-lane) per detected violation, on the partition's
+    track. *)
 
 val partition : t -> Ident.Partition_id.t
 

@@ -25,9 +25,13 @@ type t = {
   m_dispatcher_elapsed : Air_obs.Metrics.histogram;
       (* Distribution of elapsed-tick gaps accounted at dispatch — the
          quantity Algorithm 2 hands to the PAL. *)
+  recorder : Air_obs.Span.t option;
+      (* Flight recorder: partition-window spans opened/closed by the
+         dispatcher, schedule-switch and change-action instants. *)
 }
 
-let create ?metrics ?initial_schedule ~partition_count schedules_list =
+let create ?metrics ?recorder ?initial_schedule ~partition_count
+    schedules_list =
   (match Validate.validate_set schedules_list with
   | [] -> ()
   | d :: _ ->
@@ -83,7 +87,8 @@ let create ?metrics ?initial_schedule ~partition_count schedules_list =
     m_schedule_switches = Air_obs.Metrics.counter reg "pmk.schedule_switches";
     m_context_switches = Air_obs.Metrics.counter reg "pmk.context_switches";
     m_dispatcher_elapsed =
-      Air_obs.Metrics.histogram reg "pmk.dispatcher_elapsed" }
+      Air_obs.Metrics.histogram reg "pmk.dispatcher_elapsed";
+    recorder }
 
 let schedule_count t = Array.length t.schedules
 let schedules t = Array.copy t.schedules
@@ -145,6 +150,14 @@ let partition_scheduler t =
       t.table_iterator <- 0;
       Air_obs.Metrics.incr t.m_schedule_switches;
       switched := Some (from, t.schedules.(t.current_schedule).Schedule.id);
+      (match t.recorder with
+      | None -> ()
+      | Some r ->
+        Air_obs.Span.instant r ~now:t.ticks ~track:(-1) "schedule-switch"
+          ~detail:
+            (Printf.sprintf "%s -> %s"
+               (t.schedules.(Schedule_id.index from)).Schedule.name
+               (t.schedules.(t.current_schedule)).Schedule.name));
       (* Arm each partition's ScheduleChangeAction, applied at its first
          dispatch under the new schedule (Sect. 4.3). *)
       let s = t.schedules.(t.current_schedule) in
@@ -191,6 +204,22 @@ let partition_dispatcher t =
     (match previous with
     | Some p -> t.last_tick.(Partition_id.index p) <- t.ticks - 1
     | None -> ());
+    (* Flight recorder: close the outgoing partition's window span, open
+       the heir's. The span interval [dispatch, preemption) matches the
+       scheduling-table window [offset, offset + duration). *)
+    (match t.recorder with
+    | None -> ()
+    | Some r ->
+      (match previous with
+      | Some p ->
+        Air_obs.Span.end_span r ~now:t.ticks ~track:(Partition_id.index p)
+      | None -> ());
+      (match t.heir_partition with
+      | Some h ->
+        Air_obs.Span.begin_span r ~now:t.ticks ~track:(Partition_id.index h)
+          ~detail:(t.schedules.(t.current_schedule)).Schedule.name
+          "partition-window"
+      | None -> ()));
     let elapsed, change_action =
       match t.heir_partition with
       | None -> (Time.zero, None)
@@ -204,6 +233,13 @@ let partition_dispatcher t =
           match t.pending_action.(hi) with
           | Some a ->
             t.pending_action.(hi) <- None;
+            (match t.recorder with
+            | None -> ()
+            | Some r ->
+              Air_obs.Span.instant r ~now:t.ticks ~track:hi
+                ~detail:
+                  (Format.asprintf "%a" Schedule.pp_change_action a)
+                "schedule-change-action");
             Some (h, a)
           | None -> None
         in

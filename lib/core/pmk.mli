@@ -20,6 +20,7 @@ type t
 
 val create :
   ?metrics:Air_obs.Metrics.t ->
+  ?recorder:Air_obs.Span.t ->
   ?initial_schedule:Schedule_id.t ->
   partition_count:int ->
   Schedule.t list ->
@@ -29,7 +30,11 @@ val create :
     [Invalid_argument] otherwise. [initial_schedule] defaults to id 0.
     [metrics] receives the [pmk.*] series (ticks, schedule/context
     switches, dispatcher elapsed histogram); a private registry is used
-    when omitted. *)
+    when omitted. [recorder], when given, receives flight-recorder spans:
+    a [partition-window] span per dispatch interval (on the partition's
+    track), a [schedule-switch] instant on the module track at every
+    effective mode switch, and a [schedule-change-action] instant when a
+    pending action is delivered at first dispatch. *)
 
 val schedule_count : t -> int
 val schedules : t -> Schedule.t array

@@ -83,13 +83,14 @@ type config = {
   network : Port.network;
   hm_tables : Hm.tables;
   trace_capacity : int option;
+  recorder : Air_obs.Span.t option;
 }
 
 let config ?initial_schedule ?(network = { Port.ports = []; channels = [] })
-    ?(hm_tables = Hm.default_tables) ?trace_capacity ~partitions ~schedules
-    () =
+    ?(hm_tables = Hm.default_tables) ?trace_capacity ?recorder ~partitions
+    ~schedules () =
   { partitions; schedules; initial_schedule; network; hm_tables;
-    trace_capacity }
+    trace_capacity; recorder }
 
 type task = {
   mutable pc : int;
@@ -124,6 +125,20 @@ let now t = Stdlib.max 0 (Pmk.ticks t.pmk)
 let emit t ev =
   Trace.record t.trace (now t) ev;
   Air_obs.Event.record t.events ~time:(now t) ~kind:(Event.label ev) ev
+
+(* Flight recorder: a Health Monitor handler invocation becomes a span on
+   the affected track (simulated time does not advance during handling, so
+   the span is zero-width — it still shows nesting and ordering). *)
+let with_hm_span t ~track ~code name f =
+  match t.cfg.recorder with
+  | None -> f ()
+  | Some r ->
+    Air_obs.Span.begin_span r ~now:(now t) ~track
+      ~detail:(Format.asprintf "%a" Error.pp_code code)
+      name;
+    let result = f () in
+    Air_obs.Span.end_span r ~now:(now t) ~track;
+    result
 
 let prt_of t pid = t.partitions.(Partition_id.index pid)
 
@@ -245,21 +260,23 @@ let report_process_error t prt ~process code ~detail =
          partition = Some partition;
          process = Some (Partition.process_id prt.setup.partition process);
          detail });
-  let action = Hm.resolve_process_error t.hm ~partition ~process ~code in
-  apply_process_action t prt process action;
-  (* Invoke the partition's application error handler, if configured and
-     not already active (and unless the error came from the handler
-     itself). *)
-  match prt.setup.error_handler with
-  | Some name -> (
-    match Kernel.find_by_name prt.kernel name with
-    | Some handler
-      when handler <> process
-           && Process.state_equal (Kernel.state prt.kernel handler)
-                Process.Dormant ->
-      ignore (start_process_internal t prt handler ~delay:Time.zero)
-    | Some _ | None -> ())
-  | None -> ()
+  with_hm_span t ~track:(Partition_id.index partition) ~code
+    "hm.process-error" (fun () ->
+      let action = Hm.resolve_process_error t.hm ~partition ~process ~code in
+      apply_process_action t prt process action;
+      (* Invoke the partition's application error handler, if configured and
+         not already active (and unless the error came from the handler
+         itself). *)
+      match prt.setup.error_handler with
+      | Some name -> (
+        match Kernel.find_by_name prt.kernel name with
+        | Some handler
+          when handler <> process
+               && Process.state_equal (Kernel.state prt.kernel handler)
+                    Process.Dormant ->
+          ignore (start_process_internal t prt handler ~delay:Time.zero)
+        | Some _ | None -> ())
+      | None -> ())
 
 let report_partition_error t prt code ~detail =
   let partition = prt.setup.partition.Partition.id in
@@ -270,8 +287,10 @@ let report_partition_error t prt code ~detail =
          partition = Some partition;
          process = None;
          detail });
-  let action = Hm.resolve_partition_error t.hm ~partition ~code in
-  apply_partition_action t prt action
+  with_hm_span t ~track:(Partition_id.index partition) ~code
+    "hm.partition-error" (fun () ->
+      let action = Hm.resolve_partition_error t.hm ~partition ~code in
+      apply_partition_action t prt action)
 
 let report_module_error t code ~detail =
   emit t
@@ -281,7 +300,8 @@ let report_module_error t code ~detail =
          partition = None;
          process = None;
          detail });
-  apply_module_action t (Hm.resolve_module_error t.hm ~code)
+  with_hm_span t ~track:(-1) ~code "hm.module-error" (fun () ->
+      apply_module_action t (Hm.resolve_module_error t.hm ~code))
 
 (* --- Queuing-port delivery notification -------------------------------- *)
 
@@ -306,6 +326,12 @@ let notify_port_delivery t ports =
           with
           | Ok (Some msg) ->
             emit t (Event.Port_receive { port; bytes = Bytes.length msg });
+            (match t.cfg.recorder with
+            | None -> ()
+            | Some r ->
+              Air_obs.Span.instant r ~now:(now t)
+                ~track:(Partition_id.index cfg.Port.partition) ~sub:q
+                ~detail:port "ipc.deliver");
             (* Deliver through the partition mailbox, as for buffers. *)
             Intra.deliver owner.intra ~process:q msg;
             Kernel.wake owner.kernel ~now:(now t) q ~timed_out:false
@@ -328,11 +354,11 @@ let create (cfg : config) =
      covers the whole module in a single pass. *)
   let metrics = Air_obs.Metrics.create () in
   let pmk =
-    Pmk.create ~metrics ?initial_schedule:cfg.initial_schedule
-      ~partition_count cfg.schedules
+    Pmk.create ~metrics ?recorder:cfg.recorder
+      ?initial_schedule:cfg.initial_schedule ~partition_count cfg.schedules
   in
   let hm = Hm.create ~metrics ~tables:cfg.hm_tables () in
-  let router = Router.create ~metrics cfg.network in
+  let router = Router.create ~metrics ?recorder:cfg.recorder cfg.network in
   let maps =
     Memory.allocate
       (List.map
@@ -355,7 +381,10 @@ let create (cfg : config) =
   in
   let make_prt setup =
     let pid = setup.partition.Partition.id in
-    let pal = Pal.create ~metrics ~store:setup.store ~partition:pid () in
+    let pal =
+      Pal.create ~metrics ?recorder:cfg.recorder ~store:setup.store
+        ~partition:pid ()
+    in
     let emit_ev ev =
       let t = the_system () in
       emit t ev
@@ -703,6 +732,38 @@ let metrics_report t =
 
 let metrics_json t =
   Air_obs.Report.to_json ~events:(event_counts t) (metrics_snapshot t)
+
+let recorder t = t.cfg.recorder
+
+let spans t =
+  match t.cfg.recorder with
+  | None -> []
+  | Some r -> Air_obs.Span.spans r
+
+let track_names t =
+  (-1, "AIR module")
+  :: Array.to_list
+       (Array.map
+          (fun prt ->
+            ( Partition_id.index prt.setup.partition.Partition.id,
+              prt.setup.partition.Partition.name ))
+          t.partitions)
+
+let chrome_trace t =
+  let spans =
+    match t.cfg.recorder with
+    | None -> []
+    | Some r ->
+      Air_obs.Span.spans r @ Air_obs.Span.open_spans r ~now:(now t)
+  in
+  let events =
+    List.map
+      (fun (time, ev) ->
+        (time, Event.label ev, Format.asprintf "%a" Event.pp ev))
+      (Trace.to_list t.trace)
+  in
+  Air_obs.Trace_export.to_chrome ~tracks:(track_names t) ~events spans
+
 let partition_count t = Array.length t.partitions
 
 let partition_ids t =

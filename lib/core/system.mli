@@ -79,6 +79,12 @@ type config = {
   network : Port.network;
   hm_tables : Hm.tables;
   trace_capacity : int option;
+  recorder : Air_obs.Span.t option;
+      (** Flight recorder receiving spans from the PMK scheduler and
+          dispatcher (partition windows, schedule switches, change
+          actions), the PALs (clock-tick supervision, deadline misses),
+          the Health Monitor handlers and the IPC router; [None] disables
+          span recording entirely. *)
 }
 
 val config :
@@ -86,6 +92,7 @@ val config :
   ?network:Port.network ->
   ?hm_tables:Hm.tables ->
   ?trace_capacity:int ->
+  ?recorder:Air_obs.Span.t ->
   partitions:partition_setup list ->
   schedules:Schedule.t list ->
   unit ->
@@ -136,6 +143,21 @@ val metrics_report : t -> string
 
 val metrics_json : t -> string
 (** The same snapshot as a JSON object ({!Air_obs.Report.to_json}). *)
+
+val recorder : t -> Air_obs.Span.t option
+(** The flight recorder the module was configured with, if any. *)
+
+val spans : t -> Air_obs.Span.span list
+(** Retained completed flight-recorder spans; [[]] without a recorder. *)
+
+val track_names : t -> (int * string) list
+(** Display names for flight-recorder tracks: [(-1, "AIR module")] plus
+    one entry per partition (track = partition index). *)
+
+val chrome_trace : t -> string
+(** The run as Chrome trace-event JSON ({!Air_obs.Trace_export}):
+    flight-recorder spans (when a recorder is configured) merged with the
+    retained event trace, loadable in [chrome://tracing] or Perfetto. *)
 
 val partition_count : t -> int
 val partition_ids : t -> Partition_id.t list

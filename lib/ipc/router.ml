@@ -38,6 +38,10 @@ type t = {
   overflows : Air_obs.Metrics.counter;
   stale_reads : Air_obs.Metrics.counter;
       (** Sampling reads whose slot content had outlived its refresh. *)
+  recorder : Air_obs.Span.t option;
+      (** Flight recorder: send-side delivery instants on the caller's
+          track ([ipc.write-sampling], [ipc.send-queuing]) and [ipc.inject]
+          instants on the module track for bus arrivals. *)
 }
 
 type validity = Valid | Invalid
@@ -46,7 +50,7 @@ let pp_validity ppf v =
   Format.pp_print_string ppf
     (match v with Valid -> "valid" | Invalid -> "invalid")
 
-let create ?metrics (net : Port.network) =
+let create ?metrics ?recorder (net : Port.network) =
   (match Port.validate net with
   | [] -> ()
   | d :: _ -> invalid_arg ("Router.create: " ^ d));
@@ -79,7 +83,13 @@ let create ?metrics (net : Port.network) =
     messages_received = Air_obs.Metrics.counter reg "ipc.messages_received";
     bytes_copied = Air_obs.Metrics.counter reg "ipc.bytes_copied";
     overflows = Air_obs.Metrics.counter reg "ipc.overflows";
-    stale_reads = Air_obs.Metrics.counter reg "ipc.stale_reads" }
+    stale_reads = Air_obs.Metrics.counter reg "ipc.stale_reads";
+    recorder }
+
+let record_instant t ~now ~track ~port name =
+  match t.recorder with
+  | None -> ()
+  | Some r -> Air_obs.Span.instant r ~now ~track ~detail:port name
 
 let port_config t name =
   Option.map (fun e -> e.config) (Hashtbl.find_opt t.endpoints name)
@@ -131,6 +141,8 @@ let write_sampling t ~caller ~port ~now msg =
         | Some _ | None -> ())
       (destinations t port);
     Air_obs.Metrics.incr t.messages_sent;
+    record_instant t ~now ~track:(Partition_id.index caller) ~port
+      "ipc.write-sampling";
     Ok ()
 
 let read_sampling t ~caller ~port ~now =
@@ -182,6 +194,8 @@ let send_queuing t ~caller ~port ~now msg =
         | Some _ | None -> ())
       (destinations t port);
     Air_obs.Metrics.incr t.messages_sent;
+    record_instant t ~now ~track:(Partition_id.index caller) ~port
+      "ipc.send-queuing";
     Ok { delivered = List.rev !delivered; overflowed = List.rev !overflowed }
 
 let receive_queuing t ~caller ~port =
@@ -224,6 +238,7 @@ let inject t ~port ~now msg =
       | Sampling_slot slot ->
         slot.content <- Some (Bytes.copy msg, now);
         Air_obs.Metrics.add t.bytes_copied (Bytes.length msg);
+        record_instant t ~now ~track:(-1) ~port "ipc.inject";
         Injected
       | Queuing_buffer { depth; queue } ->
         if Queue.length queue >= depth then begin
@@ -233,6 +248,7 @@ let inject t ~port ~now msg =
         else begin
           Queue.push (Bytes.copy msg, now) queue;
           Air_obs.Metrics.add t.bytes_copied (Bytes.length msg);
+          record_instant t ~now ~track:(-1) ~port "ipc.inject";
           Injected
         end
       | Source_end -> Inject_bad_port

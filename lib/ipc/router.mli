@@ -23,11 +23,15 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
-val create : ?metrics:Air_obs.Metrics.t -> Port.network -> t
+val create :
+  ?metrics:Air_obs.Metrics.t -> ?recorder:Air_obs.Span.t -> Port.network -> t
 (** Raises [Invalid_argument] when {!Port.validate} reports diagnostics.
     [metrics] receives the [ipc.*] counter series (messages, bytes,
     overflows, stale sampling reads); a private registry is used when
-    omitted. *)
+    omitted. [recorder], when given, receives delivery instants:
+    [ipc.write-sampling] / [ipc.send-queuing] on the sending partition's
+    track and [ipc.inject] on the module track, each carrying the port
+    name as detail. *)
 
 val port_config : t -> Port_name.t -> Port.config option
 

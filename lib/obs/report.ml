@@ -44,9 +44,27 @@ let to_string ?events snapshot =
 
 (* --- S-expression -------------------------------------------------------- *)
 
+(* Quoted atoms escape the quote and backslash characters so that names
+   containing them round-trip through the sexp reader. *)
 let sexp_atom name =
-  if String.exists (fun c -> c = ' ' || c = '(' || c = ')') name then
-    "\"" ^ name ^ "\""
+  if
+    String.equal name ""
+    || String.exists
+         (fun c -> c = ' ' || c = '(' || c = ')' || c = '"' || c = '\\')
+         name
+  then begin
+    let buf = Buffer.create (String.length name + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | c -> Buffer.add_char buf c)
+      name;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
   else name
 
 let to_sexp ?(events = []) (snapshot : Metrics.snapshot) =

@@ -20,3 +20,8 @@ val to_sexp : ?events:(string * int) list -> Metrics.snapshot -> string
 val to_json : ?events:(string * int) list -> Metrics.snapshot -> string
 (** A single JSON object: [{"metrics":{NAME:{"kind":...},...},
     "events":{KIND:N,...}}]. Hand-rolled — no JSON library dependency. *)
+
+val json_escape : string -> string
+(** JSON string-content escaping: quotes, backslashes and every control
+    character below [0x20] (as [\uXXXX]); shared by every hand-rolled JSON
+    writer in the repository. *)

@@ -1,0 +1,31 @@
+(** Chrome trace-event export of flight-recorder spans.
+
+    Serializes {!Span.span}s (plus optional point events from an event
+    sink or trace) to the Trace Event Format understood by
+    [chrome://tracing] and Perfetto: a JSON array of events with [ph]
+    (phase), [pid], [tid] and [ts] fields. Hand-rolled JSON — no external
+    dependency.
+
+    Mapping:
+    - span [track] [-1] (module level) → [pid] 0; partition track [i] →
+      [pid] [i + 1] (matching the paper's 1-based [P1..Pn] notation);
+    - span [sub] [s] → [tid] [s + 1];
+    - [Complete] spans → one ["X"] event with [dur = stop - start];
+    - [Instant] spans → ["X"] with [dur = 0];
+    - [Open] spans → a lone ["B"] event (rendered by Perfetto as a slice
+      that did not finish);
+    - point events from [~events] → ["X"] with [dur = 0] on [pid] 0,
+      [tid] 2 (a dedicated "events" lane);
+    - track names from [~tracks] → ["M"] [process_name] metadata.
+
+    Integer clock ticks are exported one-to-one as microsecond timestamps
+    ([ts]), the unit the viewers assume. *)
+
+val to_chrome :
+  ?tracks:(int * string) list ->
+  ?events:(int * string * string) list ->
+  Span.span list ->
+  string
+(** [to_chrome ~tracks ~events spans] renders the trace. [tracks] maps a
+    span track index to a display name; [events] is a [(time, name,
+    detail)] list of point events. Events are sorted by timestamp. *)

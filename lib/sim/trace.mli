@@ -29,7 +29,10 @@ val iter : (Time.t -> 'a -> unit) -> 'a t -> unit
 val filter : (Time.t -> 'a -> bool) -> 'a t -> (Time.t * 'a) list
 
 val between : 'a t -> Time.t -> Time.t -> (Time.t * 'a) list
-(** Events with time in the inclusive-exclusive interval [\[from, until)]. *)
+(** [between t from until] — events with [from <= time < until], oldest
+    first. The interval is half-open: an event stamped exactly [until] is
+    excluded, so consecutive calls with [(a, b)] and [(b, c)] partition
+    the events without overlap. Empty when [until <= from]. *)
 
 val count : ('a -> bool) -> 'a t -> int
 

@@ -1,0 +1,74 @@
+open Air_obs
+
+let phase_mark = function
+  | Span.Complete -> "■"
+  | Span.Instant -> "·"
+  | Span.Open -> "▶"
+
+(* Sorted by start (ties: wider span first, so parents precede children),
+   with nesting depth recovered from interval containment. *)
+let layout spans =
+  let ordered =
+    List.stable_sort
+      (fun (a : Span.span) (b : Span.span) ->
+        match compare a.start b.start with
+        | 0 -> compare b.stop a.stop
+        | c -> c)
+      spans
+  in
+  let rec place stack acc = function
+    | [] -> List.rev acc
+    | (s : Span.span) :: rest ->
+      let stack = List.filter (fun stop -> stop > s.start) stack in
+      let depth = List.length stack in
+      let stack =
+        match s.phase with
+        | Span.Complete | Span.Open when s.stop > s.start -> s.stop :: stack
+        | _ -> stack
+      in
+      place stack ((depth, s) :: acc) rest
+  in
+  place [] [] ordered
+
+let render ?(tracks = []) spans =
+  let by_track = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Span.span) ->
+      let prev =
+        Option.value ~default:[] (Hashtbl.find_opt by_track s.track)
+      in
+      Hashtbl.replace by_track s.track (s :: prev))
+    spans;
+  let track_ids =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) by_track [])
+  in
+  let name_of track =
+    match List.assoc_opt track tracks with
+    | Some n -> n
+    | None -> Printf.sprintf "track %d" track
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun track ->
+      Buffer.add_string buf
+        (Printf.sprintf "── %s ──\n" (name_of track));
+      List.iter
+        (fun (depth, (s : Span.span)) ->
+          let indent = String.make (2 * depth) ' ' in
+          let interval =
+            match s.phase with
+            | Span.Instant -> Printf.sprintf "@%6d        " s.start
+            | Span.Complete -> Printf.sprintf "@%6d ‥%6d" s.start s.stop
+            | Span.Open -> Printf.sprintf "@%6d ‥  open" s.start
+          in
+          let sub = if s.sub = 0 then "" else Printf.sprintf " #%d" s.sub in
+          let detail =
+            if String.equal s.detail "" then ""
+            else "  (" ^ s.detail ^ ")"
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  %s %s %s%s%s%s\n" interval (phase_mark s.phase)
+               indent s.name sub detail))
+        (layout (List.rev (Hashtbl.find by_track track))))
+    track_ids;
+  Buffer.contents buf

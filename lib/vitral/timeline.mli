@@ -1,0 +1,12 @@
+(** Compact text rendering of flight-recorder spans.
+
+    The companion of {!Air_obs.Trace_export} for terminals: one section per
+    track (the AIR module first, then each partition), one line per span in
+    chronological order, with nesting shown by indentation. Complete spans
+    print their half-open tick interval, instants a single tick, and spans
+    still open at the end of the run are marked as such. *)
+
+val render : ?tracks:(int * string) list -> Air_obs.Span.span list -> string
+(** [render ~tracks spans] — [tracks] maps track numbers to display names
+    (as {!Air.System.track_names} produces); unnamed tracks print as
+    ["track <n>"]. Spans may be given in any order. *)

@@ -1,0 +1,142 @@
+(* A minimal JSON syntax checker for validating the artifacts our
+   hand-rolled writers produce (metrics snapshots, Chrome traces). It
+   accepts exactly RFC 8259 grammar — no extensions, no trailing commas —
+   and returns the parse position of the first error. Values are not
+   materialized; we only care that the text is well-formed. *)
+
+type state = { s : string; mutable i : int }
+
+exception Bad of int * string
+
+let error st msg = raise (Bad (st.i, msg))
+let peek st = if st.i < String.length st.s then Some st.s.[st.i] else None
+
+let skip_ws st =
+  while
+    st.i < String.length st.s
+    && (match st.s.[st.i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    st.i <- st.i + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> st.i <- st.i + 1
+  | _ -> error st (Printf.sprintf "expected '%c'" c)
+
+let literal st word =
+  let n = String.length word in
+  if st.i + n <= String.length st.s && String.sub st.s st.i n = word then
+    st.i <- st.i + n
+  else error st ("expected " ^ word)
+
+let string_ st =
+  expect st '"';
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' -> st.i <- st.i + 1
+    | Some '\\' -> (
+      st.i <- st.i + 1;
+      match peek st with
+      | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+        st.i <- st.i + 1;
+        go ()
+      | Some 'u' ->
+        st.i <- st.i + 1;
+        for _ = 1 to 4 do
+          match peek st with
+          | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> st.i <- st.i + 1
+          | _ -> error st "bad \\u escape"
+        done;
+        go ()
+      | _ -> error st "bad escape")
+    | Some c when Char.code c < 0x20 -> error st "raw control character"
+    | Some _ ->
+      st.i <- st.i + 1;
+      go ()
+  in
+  go ()
+
+let number st =
+  if peek st = Some '-' then st.i <- st.i + 1;
+  let digits () =
+    let start = st.i in
+    while
+      match peek st with Some '0' .. '9' -> true | _ -> false
+    do
+      st.i <- st.i + 1
+    done;
+    if st.i = start then error st "expected digit"
+  in
+  digits ();
+  if peek st = Some '.' then begin
+    st.i <- st.i + 1;
+    digits ()
+  end;
+  (match peek st with
+  | Some ('e' | 'E') ->
+    st.i <- st.i + 1;
+    (match peek st with
+    | Some ('+' | '-') -> st.i <- st.i + 1
+    | _ -> ());
+    digits ()
+  | _ -> ())
+
+let rec value st =
+  skip_ws st;
+  match peek st with
+  | Some '{' ->
+    st.i <- st.i + 1;
+    skip_ws st;
+    if peek st = Some '}' then st.i <- st.i + 1
+    else begin
+      let rec members () =
+        skip_ws st;
+        string_ st;
+        skip_ws st;
+        expect st ':';
+        value st;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.i <- st.i + 1;
+          members ()
+        | _ -> expect st '}'
+      in
+      members ()
+    end
+  | Some '[' ->
+    st.i <- st.i + 1;
+    skip_ws st;
+    if peek st = Some ']' then st.i <- st.i + 1
+    else begin
+      let rec elements () =
+        value st;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.i <- st.i + 1;
+          elements ()
+        | _ -> expect st ']'
+      in
+      elements ()
+    end
+  | Some '"' -> string_ st
+  | Some 't' -> literal st "true"
+  | Some 'f' -> literal st "false"
+  | Some 'n' -> literal st "null"
+  | Some ('-' | '0' .. '9') -> number st
+  | _ -> error st "expected a JSON value"
+
+let check text =
+  let st = { s = text; i = 0 } in
+  try
+    value st;
+    skip_ws st;
+    if st.i <> String.length text then
+      Error (Printf.sprintf "trailing garbage at offset %d" st.i)
+    else Ok ()
+  with Bad (i, msg) -> Error (Printf.sprintf "offset %d: %s" i msg)
+
+let is_valid text = check text = Ok ()

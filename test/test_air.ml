@@ -15,6 +15,7 @@ let () =
       ("apex", Test_apex.suite);
       ("multicore", Test_multicore.suite);
       ("obs", Test_obs.suite);
+      ("trace", Test_trace.suite);
       ("misc", Test_misc.suite);
       ("properties", Test_properties.suite);
       ("arinc", Test_arinc.suite);

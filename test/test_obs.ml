@@ -114,6 +114,40 @@ let report_renders_all_kinds () =
       check Alcotest.bool (needle ^ " in json") true (contains ~needle json))
     [ "\"c\""; "\"counter\""; "\"gauge\""; "\"histogram\""; "\"tick\":4" ]
 
+(* Control characters in event labels and metric names must not corrupt
+   the JSON report (regression: a raw newline in a label used to pass
+   through json_escape unescaped). *)
+let json_escapes_control_chars () =
+  let reg = Metrics.create () in
+  Metrics.incr (Metrics.counter reg "line\nbreak");
+  let json =
+    Report.to_json ~events:[ ("tab\there", 1) ] (Metrics.snapshot reg)
+  in
+  check Alcotest.bool "valid JSON" true (Json_lint.is_valid json);
+  check Alcotest.bool "newline escaped" true (contains ~needle:"\\n" json);
+  check Alcotest.bool "tab escaped" true (contains ~needle:"\\t" json);
+  check Alcotest.bool "no raw newline" false (contains ~needle:"\n" json);
+  check Alcotest.string "escape function itself" "a\\nb\\u0001c"
+    (Report.json_escape "a\nb\x01c")
+
+(* Metric names with spaces, quotes or parens must come out of the sexp
+   report as quoted atoms the configuration parser reads back intact. *)
+let sexp_escapes_awkward_names () =
+  let reg = Metrics.create () in
+  let awkward = "latency (p99) \"worst\" \\path" in
+  Metrics.incr (Metrics.counter reg awkward);
+  let sexp = Report.to_sexp (Metrics.snapshot reg) in
+  match Air_config.Sexp.parse_one sexp with
+  | Error e -> Alcotest.failf "report does not re-parse: %a"
+                 Air_config.Sexp.pp_error e
+  | Ok doc ->
+    let rec atoms = function
+      | Air_config.Sexp.Atom a -> [ a ]
+      | Air_config.Sexp.List l -> List.concat_map atoms l
+    in
+    check Alcotest.bool "name round-trips" true
+      (List.mem awkward (atoms doc))
+
 (* --- System integration ----------------------------------------------------- *)
 
 let pid = Ident.Partition_id.make
@@ -187,6 +221,20 @@ let system_event_counts_mirror_trace () =
   check Alcotest.bool "report mentions scheduler metrics" true
     (contains ~needle:"pmk.ticks" (Air.System.metrics_report sys))
 
+(* The exact artifact [air_run --metrics-json] writes: well-formed JSON
+   carrying both the metric snapshot and the per-kind event counts. *)
+let system_metrics_json_artifact () =
+  let sys = small_system () in
+  Air.System.run sys ~ticks:100;
+  let json = Air.System.metrics_json sys in
+  (match Json_lint.check json with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid JSON: %s" e);
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (needle ^ " present") true (contains ~needle json))
+    [ "\"pmk.ticks\""; "\"events\""; "\"context-switch\"" ]
+
 let suite =
   [ Alcotest.test_case "metrics: counters" `Quick counter_basics;
     Alcotest.test_case "metrics: gauges" `Quick gauge_basics;
@@ -197,7 +245,13 @@ let suite =
       event_sink_counts_and_ring;
     Alcotest.test_case "report: text, sexp, json" `Quick
       report_renders_all_kinds;
+    Alcotest.test_case "report: control chars escaped" `Quick
+      json_escapes_control_chars;
+    Alcotest.test_case "report: sexp atoms round-trip" `Quick
+      sexp_escapes_awkward_names;
     Alcotest.test_case "system: one shared registry" `Quick
       system_shares_one_registry;
     Alcotest.test_case "system: event counts mirror trace" `Quick
-      system_event_counts_mirror_trace ]
+      system_event_counts_mirror_trace;
+    Alcotest.test_case "system: metrics-json artifact" `Quick
+      system_metrics_json_artifact ]

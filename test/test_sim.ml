@@ -202,6 +202,24 @@ let trace_basics () =
     "find_last" (Some (9, "c"))
     (Trace.find_last (fun _ -> true) tr)
 
+(* [between] is half-open [from, until): the boundary event at [until] is
+   excluded, the one at [from] included, and adjacent intervals tile the
+   trace without overlap. *)
+let trace_between_half_open () =
+  let tr = Trace.create () in
+  List.iter (fun t -> Trace.record tr t (string_of_int t)) [ 0; 2; 5; 9 ];
+  check Alcotest.(list (pair int string)) "event at until excluded"
+    [ (2, "2"); (5, "5") ]
+    (Trace.between tr 2 9);
+  check Alcotest.(list (pair int string)) "event at from included"
+    [ (9, "9") ]
+    (Trace.between tr 9 10);
+  check Alcotest.(list (pair int string)) "empty interval" []
+    (Trace.between tr 5 5);
+  let tiled = Trace.between tr 0 5 @ Trace.between tr 5 10 in
+  check Alcotest.(list (pair int string)) "adjacent intervals tile"
+    (Trace.to_list tr) tiled
+
 let trace_capacity () =
   let tr = Trace.create ~capacity:2 () in
   Trace.record tr 1 "a";
@@ -238,4 +256,6 @@ let suite =
     Alcotest.test_case "heap: ordering" `Quick heap_ordering;
     qcheck qcheck_heap_sorts;
     Alcotest.test_case "trace: basics" `Quick trace_basics;
+    Alcotest.test_case "trace: between is half-open" `Quick
+      trace_between_half_open;
     Alcotest.test_case "trace: capacity" `Quick trace_capacity ]

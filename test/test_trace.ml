@@ -1,0 +1,431 @@
+(* Flight-recorder tests: span recording semantics, Chrome trace-event
+   export, the temporal-invariant replay checker, and the end-to-end
+   System integration. *)
+
+open Air_model
+open Air_pos
+open Air_obs
+
+(* [open Air_obs] shadows the model's event type with the event sink. *)
+module Event = Air_model.Event
+
+let check = Alcotest.check
+let contains hay needle = Astring_contains.contains hay needle
+let pid = Ident.Partition_id.make
+let sid = Ident.Schedule_id.make
+let proc m q = Ident.Process_id.make (pid m) q
+
+(* --- Span recorder --------------------------------------------------------- *)
+
+let span_nesting () =
+  let r = Span.create () in
+  Span.begin_span r ~now:0 ~track:0 "outer";
+  Span.begin_span r ~now:2 ~track:0 "inner";
+  Span.end_span r ~now:5 ~track:0;
+  Span.end_span r ~now:9 ~track:0;
+  match Span.spans r with
+  | [ inner; outer ] ->
+    check Alcotest.string "innermost closes first" "inner" inner.Span.name;
+    check Alcotest.int "inner start" 2 inner.Span.start;
+    check Alcotest.int "inner stop" 5 inner.Span.stop;
+    check Alcotest.string "outer closes last" "outer" outer.Span.name;
+    check Alcotest.int "outer start" 0 outer.Span.start;
+    check Alcotest.int "outer stop" 9 outer.Span.stop;
+    check Alcotest.bool "both complete" true
+      (inner.Span.phase = Span.Complete && outer.Span.phase = Span.Complete)
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let span_tracks_are_independent () =
+  let r = Span.create () in
+  Span.begin_span r ~now:0 ~track:0 "a";
+  Span.begin_span r ~now:1 ~track:3 "b";
+  Span.end_span r ~now:2 ~track:0;
+  check Alcotest.int "track 3 still open" 1 (Span.depth r ~track:3);
+  check Alcotest.int "track 0 closed" 0 (Span.depth r ~track:0);
+  check Alcotest.int "one completed" 1 (Span.length r);
+  check Alcotest.int "no mismatch" 0 (Span.mismatches r)
+
+let span_mismatched_end () =
+  let r = Span.create () in
+  Span.end_span r ~now:4 ~track:1;
+  check Alcotest.int "counted" 1 (Span.mismatches r);
+  check Alcotest.int "nothing recorded" 0 (Span.length r)
+
+let span_bounded_retention () =
+  let r = Span.create ~capacity:3 () in
+  for i = 0 to 9 do
+    Span.instant r ~now:i ~track:0 "i"
+  done;
+  check Alcotest.int "retains capacity" 3 (Span.length r);
+  check Alcotest.int "total keeps counting" 10 (Span.total r);
+  check
+    Alcotest.(list int)
+    "keeps the most recent, oldest first" [ 7; 8; 9 ]
+    (List.map (fun s -> s.Span.start) (Span.spans r))
+
+let span_open_spans () =
+  let r = Span.create () in
+  Span.begin_span r ~now:0 ~track:0 "outer";
+  Span.begin_span r ~now:3 ~track:0 "inner";
+  (match Span.open_spans r ~now:7 with
+  | [ outer; inner ] ->
+    check Alcotest.string "outermost first" "outer" outer.Span.name;
+    check Alcotest.int "horizon stop" 7 outer.Span.stop;
+    check Alcotest.bool "marked open" true
+      (outer.Span.phase = Span.Open && inner.Span.phase = Span.Open)
+  | spans -> Alcotest.failf "expected 2 open, got %d" (List.length spans));
+  (* Observation does not consume the stacks. *)
+  check Alcotest.int "still open" 2 (Span.depth r ~track:0)
+
+(* --- Chrome export --------------------------------------------------------- *)
+
+let chrome_spans () =
+  [ { Span.name = "partition-window"; track = 0; sub = 0; start = 0;
+      stop = 10; detail = "S"; phase = Span.Complete };
+    { Span.name = "mark"; track = -1; sub = 0; start = 4; stop = 4;
+      detail = ""; phase = Span.Instant };
+    { Span.name = "running"; track = 1; sub = 2; start = 6; stop = 9;
+      detail = ""; phase = Span.Open } ]
+
+let export_is_valid_json () =
+  let json =
+    Trace_export.to_chrome
+      ~tracks:[ (-1, "AIR module"); (0, "P1") ]
+      ~events:[ (3, "tick", "detail with \"quotes\"\nand newline") ]
+      (chrome_spans ())
+  in
+  (match Json_lint.check json with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid JSON: %s" e);
+  (* The structural mapping: partition track 0 → pid 1, module → pid 0,
+     sub 2 → tid 3, open span → lone B, instants/events → dur 0. *)
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (needle ^ " present") true (contains json needle))
+    [ "\"ph\":\"X\"";
+      "\"ph\":\"B\"";
+      "\"ph\":\"M\"";
+      "\"pid\":1,\"tid\":1";
+      "\"pid\":2,\"tid\":3";
+      "\"dur\":10";
+      "\"name\":\"AIR module\"";
+      "\\n" ];
+  check Alcotest.bool "no raw newline inside strings" true
+    (not (contains json "quotes\"\nand"))
+
+let export_sorts_by_timestamp () =
+  let json =
+    Trace_export.to_chrome
+      [ { Span.name = "late"; track = 0; sub = 0; start = 9; stop = 9;
+          detail = ""; phase = Span.Instant };
+        { Span.name = "early"; track = 0; sub = 0; start = 1; stop = 1;
+          detail = ""; phase = Span.Instant } ]
+  in
+  let find needle =
+    let n = String.length needle and l = String.length json in
+    let rec go i = if i + n > l then -1
+      else if String.sub json i n = needle then i else go (i + 1)
+    in
+    go 0
+  in
+  let i_early = find "\"early\"" and i_late = find "\"late\"" in
+  check Alcotest.bool "both present" true (i_early >= 0 && i_late >= 0);
+  check Alcotest.bool "early before late" true (i_early < i_late)
+
+(* --- Replay checker -------------------------------------------------------- *)
+
+(* Two-partition scheduling tables: S0 runs P0 then P1 over an MTF of 20;
+   S1 swaps the order and warm-restarts P0 at its first dispatch. *)
+let s0 =
+  Schedule.make ~id:(sid 0) ~name:"S0" ~mtf:20
+    ~requirements:
+      [ { Schedule.partition = pid 0; cycle = 20; duration = 10 };
+        { Schedule.partition = pid 1; cycle = 20; duration = 10 } ]
+    [ { Schedule.partition = pid 0; offset = 0; duration = 10 };
+      { Schedule.partition = pid 1; offset = 10; duration = 10 } ]
+
+let s1 =
+  Schedule.make ~id:(sid 1) ~name:"S1" ~mtf:20
+    ~change_actions:[ (pid 0, Schedule.Warm_restart_partition) ]
+    ~requirements:
+      [ { Schedule.partition = pid 1; cycle = 20; duration = 10 };
+        { Schedule.partition = pid 0; cycle = 20; duration = 10 } ]
+    [ { Schedule.partition = pid 1; offset = 0; duration = 10 };
+      { Schedule.partition = pid 0; offset = 10; duration = 10 } ]
+
+let schedules = [ s0; s1 ]
+let cs from to_ = Event.Context_switch { from; to_ }
+
+let run_check ?network ?until trace =
+  Air_analysis.Trace_check.check ?network ?until ~schedules trace
+
+let checker_accepts_clean_trace () =
+  let trace =
+    [ (0, cs None (Some (pid 0)));
+      (10, cs (Some (pid 0)) (Some (pid 1)));
+      (20, cs (Some (pid 1)) (Some (pid 0)));
+      (30, cs (Some (pid 0)) (Some (pid 1))) ]
+  in
+  check Alcotest.int "no violations" 0
+    (List.length (run_check ~until:40 trace))
+
+let checker_flags_out_of_window () =
+  (* P1 grabs the processor at tick 5, in the middle of P0's window. *)
+  let trace =
+    [ (0, cs None (Some (pid 0))); (5, cs (Some (pid 0)) (Some (pid 1))) ]
+  in
+  match run_check ~until:10 trace with
+  | [ Air_analysis.Trace_check.Outside_window { time; partition; expected } ]
+    ->
+    check Alcotest.int "at the excursion" 5 time;
+    check Alcotest.bool "names the intruder" true
+      (Ident.Partition_id.equal partition (pid 1));
+    check Alcotest.bool "names the owner" true
+      (expected = Some (pid 0))
+  | vs ->
+    Alcotest.failf "expected one Outside_window, got %d violation(s)"
+      (List.length vs)
+
+let checker_flags_mid_mtf_switch () =
+  let trace =
+    [ (0, cs None (Some (pid 0)));
+      (10, cs (Some (pid 0)) (Some (pid 1)));
+      (15, Event.Schedule_switch { from = sid 0; to_ = sid 1 });
+      (15, cs (Some (pid 1)) (Some (pid 1))) ]
+  in
+  match run_check ~until:20 trace with
+  | [ Air_analysis.Trace_check.Mid_mtf_switch { time; offset; _ } ] ->
+    check Alcotest.int "at the switch" 15 time;
+    check Alcotest.int "offset into the MTF" 15 offset
+  | vs ->
+    Alcotest.failf "expected one Mid_mtf_switch, got %d violation(s)"
+      (List.length vs)
+
+let change_action_trace ~with_action =
+  [ (0, cs None (Some (pid 0)));
+    (10, cs (Some (pid 0)) (Some (pid 1)));
+    (20, Event.Schedule_switch { from = sid 0; to_ = sid 1 });
+    (30, cs (Some (pid 1)) (Some (pid 0))) ]
+  @ (if with_action then
+       [ (30,
+          Event.Change_action
+            { partition = pid 0;
+              action = Schedule.Warm_restart_partition }) ]
+     else [])
+
+let checker_flags_missing_change_action () =
+  match run_check ~until:40 (change_action_trace ~with_action:false) with
+  | [ Air_analysis.Trace_check.Change_action_missing { time; partition } ] ->
+    check Alcotest.int "at the first dispatch" 30 time;
+    check Alcotest.bool "names the partition" true
+      (Ident.Partition_id.equal partition (pid 0))
+  | vs ->
+    Alcotest.failf "expected one Change_action_missing, got %d violation(s)"
+      (List.length vs)
+
+let checker_accepts_delivered_change_action () =
+  check Alcotest.int "no violations" 0
+    (List.length (run_check ~until:40 (change_action_trace ~with_action:true)))
+
+let checker_flags_unexpected_change_action () =
+  let trace =
+    [ (0, cs None (Some (pid 0)));
+      (5,
+       Event.Change_action
+         { partition = pid 0; action = Schedule.Warm_restart_partition }) ]
+  in
+  match run_check ~until:10 trace with
+  | [ Air_analysis.Trace_check.Change_action_unexpected { time; _ } ] ->
+    check Alcotest.int "at the stray action" 5 time
+  | vs ->
+    Alcotest.failf
+      "expected one Change_action_unexpected, got %d violation(s)"
+      (List.length vs)
+
+let checker_matches_deadline_misses () =
+  let violation =
+    (3, Event.Deadline_violation { process = proc 0 0; deadline = 2 })
+  in
+  let hm =
+    (3,
+     Event.Hm_error
+       { level = Error.Process_level;
+         code = Error.Deadline_missed;
+         partition = Some (pid 0);
+         process = Some (proc 0 0);
+         detail = "" })
+  in
+  let base = [ (0, cs None (Some (pid 0))) ] in
+  (match run_check ~until:10 (base @ [ violation ]) with
+  | [ Air_analysis.Trace_check.Unmatched_deadline_miss { time; process } ] ->
+    check Alcotest.int "at the miss" 3 time;
+    check Alcotest.bool "names the process" true
+      (Ident.Process_id.equal process (proc 0 0))
+  | vs ->
+    Alcotest.failf
+      "expected one Unmatched_deadline_miss, got %d violation(s)"
+      (List.length vs));
+  check Alcotest.int "HM event settles it" 0
+    (List.length (run_check ~until:10 (base @ [ violation; hm ])))
+
+(* A 1:1 queuing channel and a fan-out sampling channel for IPC checks. *)
+let network =
+  { Air_ipc.Port.ports =
+      [ Air_ipc.Port.queuing_port ~name:"Q_SRC" ~partition:(pid 0)
+          ~direction:Air_ipc.Port.Source ~depth:4 ~max_message_size:32;
+        Air_ipc.Port.queuing_port ~name:"Q_DST" ~partition:(pid 1)
+          ~direction:Air_ipc.Port.Destination ~depth:4 ~max_message_size:32;
+        Air_ipc.Port.sampling_port ~name:"S_SRC" ~partition:(pid 0)
+          ~direction:Air_ipc.Port.Source ~refresh:10 ~max_message_size:32;
+        Air_ipc.Port.sampling_port ~name:"S_DST" ~partition:(pid 1)
+          ~direction:Air_ipc.Port.Destination ~refresh:10 ~max_message_size:32
+      ];
+    channels =
+      [ { Air_ipc.Port.source = "Q_SRC"; destinations = [ "Q_DST" ] };
+        { Air_ipc.Port.source = "S_SRC"; destinations = [ "S_DST" ] } ]
+  }
+
+let checker_flags_receive_without_message () =
+  let trace = [ (4, Event.Port_receive { port = "Q_DST"; bytes = 8 }) ] in
+  (match run_check ~network ~until:10 trace with
+  | [ Air_analysis.Trace_check.Receive_without_message { time; port } ] ->
+    check Alcotest.int "at the receive" 4 time;
+    check Alcotest.string "names the port" "Q_DST" port
+  | vs ->
+    Alcotest.failf
+      "expected one Receive_without_message, got %d violation(s)"
+      (List.length vs));
+  (* A send through the channel's source balances the receive. *)
+  let balanced =
+    [ (2, Event.Port_send { port = "Q_SRC"; bytes = 8 });
+      (4, Event.Port_receive { port = "Q_DST"; bytes = 8 }) ]
+  in
+  check Alcotest.int "send-then-receive is clean" 0
+    (List.length (run_check ~network ~until:10 balanced));
+  (* An overflow at the same tick voids the delivery. *)
+  let overflowed =
+    [ (2, Event.Port_send { port = "Q_SRC"; bytes = 8 });
+      (2, Event.Port_overflow { port = "Q_DST" });
+      (4, Event.Port_receive { port = "Q_DST"; bytes = 8 }) ]
+  in
+  check Alcotest.int "overflowed send does not count" 1
+    (List.length (run_check ~network ~until:10 overflowed))
+
+let checker_flags_sampling_read_before_write () =
+  let trace = [ (3, Event.Port_receive { port = "S_DST"; bytes = 8 }) ] in
+  (match run_check ~network ~until:10 trace with
+  | [ Air_analysis.Trace_check.Sampling_read_before_write { port; _ } ] ->
+    check Alcotest.string "names the port" "S_DST" port
+  | vs ->
+    Alcotest.failf
+      "expected one Sampling_read_before_write, got %d violation(s)"
+      (List.length vs));
+  let written =
+    [ (1, Event.Port_send { port = "S_SRC"; bytes = 8 });
+      (3, Event.Port_receive { port = "S_DST"; bytes = 8 }) ]
+  in
+  check Alcotest.int "write-then-read is clean" 0
+    (List.length (run_check ~network ~until:10 written))
+
+(* --- System integration ----------------------------------------------------- *)
+
+let recorded_system () =
+  let p name i =
+    Partition.make ~id:(pid i) ~name
+      [ Process.spec ~periodicity:(Process.Periodic 20) ~time_capacity:20
+          ~wcet:4 ~base_priority:5 "work" ]
+  in
+  let script =
+    { Script.body = [| Script.Compute 4; Script.Periodic_wait |];
+      on_end = Script.Repeat }
+  in
+  let recorder = Span.create () in
+  let sys =
+    Air.System.create
+      (Air.System.config ~recorder
+         ~partitions:
+           [ Air.System.partition_setup (p "A" 0) [ script ];
+             Air.System.partition_setup (p "B" 1) [ script ] ]
+         ~schedules:[ s0 ] ())
+  in
+  (sys, recorder)
+
+let system_records_partition_windows () =
+  let sys, recorder = recorded_system () in
+  Air.System.run sys ~ticks:100;
+  let windows =
+    List.filter
+      (fun s -> String.equal s.Span.name "partition-window")
+      (Air.System.spans sys)
+  in
+  (* 100 ticks of a 20-tick MTF with two 10-tick windows: the dispatcher
+     closes a window at every context switch; the last one stays open. *)
+  check Alcotest.bool "several windows recorded" true
+    (List.length windows >= 8);
+  List.iter
+    (fun w ->
+      check Alcotest.int "window spans are 10 ticks" 10
+        (w.Span.stop - w.Span.start))
+    windows;
+  check Alcotest.int "one still open" 1
+    (List.length (Span.open_spans recorder ~now:(Air.System.now sys)))
+
+let system_chrome_trace_is_valid () =
+  let sys, _ = recorded_system () in
+  Air.System.run sys ~ticks:100;
+  let json = Air.System.chrome_trace sys in
+  (match Json_lint.check json with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid JSON: %s" e);
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (needle ^ " present") true (contains json needle))
+    [ "partition-window"; "context-switch"; "\"ph\":\"M\"" ]
+
+let system_trace_passes_checker () =
+  let sys, _ = recorded_system () in
+  Air.System.run sys ~ticks:200;
+  let violations =
+    Air_analysis.Trace_check.check ~schedules:[ s0 ]
+      ~until:(Air.System.now sys + 1)
+      (Air_sim.Trace.to_list (Air.System.trace sys))
+  in
+  check Alcotest.int "a real run satisfies the invariants" 0
+    (List.length violations)
+
+let suite =
+  [ Alcotest.test_case "span: nesting" `Quick span_nesting;
+    Alcotest.test_case "span: independent tracks" `Quick
+      span_tracks_are_independent;
+    Alcotest.test_case "span: mismatched end" `Quick span_mismatched_end;
+    Alcotest.test_case "span: bounded retention" `Quick
+      span_bounded_retention;
+    Alcotest.test_case "span: open spans" `Quick span_open_spans;
+    Alcotest.test_case "export: valid chrome JSON" `Quick
+      export_is_valid_json;
+    Alcotest.test_case "export: timestamp order" `Quick
+      export_sorts_by_timestamp;
+    Alcotest.test_case "check: clean trace" `Quick
+      checker_accepts_clean_trace;
+    Alcotest.test_case "check: out-of-window" `Quick
+      checker_flags_out_of_window;
+    Alcotest.test_case "check: mid-MTF switch" `Quick
+      checker_flags_mid_mtf_switch;
+    Alcotest.test_case "check: missing change action" `Quick
+      checker_flags_missing_change_action;
+    Alcotest.test_case "check: delivered change action" `Quick
+      checker_accepts_delivered_change_action;
+    Alcotest.test_case "check: unexpected change action" `Quick
+      checker_flags_unexpected_change_action;
+    Alcotest.test_case "check: deadline-miss matching" `Quick
+      checker_matches_deadline_misses;
+    Alcotest.test_case "check: queuing conservation" `Quick
+      checker_flags_receive_without_message;
+    Alcotest.test_case "check: sampling before write" `Quick
+      checker_flags_sampling_read_before_write;
+    Alcotest.test_case "system: partition windows" `Quick
+      system_records_partition_windows;
+    Alcotest.test_case "system: chrome trace valid" `Quick
+      system_chrome_trace_is_valid;
+    Alcotest.test_case "system: real run passes checker" `Quick
+      system_trace_passes_checker ]
