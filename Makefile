@@ -1,4 +1,4 @@
-.PHONY: all build test check bench trace-smoke clean
+.PHONY: all build test check bench trace-smoke telemetry-smoke clean
 
 all: build
 
@@ -17,7 +17,7 @@ check:
 
 # Full benchmark run with committed JSON artifact.
 bench:
-	dune exec bench/main.exe -- --json BENCH_2.json
+	dune exec bench/main.exe -- --json BENCH_3.json
 
 # End-to-end flight-recorder pass: run an example configuration with the
 # recorder attached, export the Chrome trace and replay-check the event
@@ -25,6 +25,17 @@ bench:
 trace-smoke:
 	dune exec bin/air_run.exe -- examples/configs/leo_satellite.air \
 	  -t 3000 --trace-json /tmp/air_trace.json --check-trace
+
+# End-to-end telemetry pass: run an example configuration with the frame
+# accumulator attached, export CSV + JSON, and validate both artifacts
+# (JSON well-formedness, schema marker, CSV column discipline).
+telemetry-smoke:
+	dune build test/telemetry_smoke.exe
+	dune exec bin/air_run.exe -- examples/configs/leo_satellite.air \
+	  -t 8000 --telemetry-json /tmp/air_telemetry.json \
+	  --telemetry-csv /tmp/air_telemetry.csv
+	dune exec test/telemetry_smoke.exe -- \
+	  /tmp/air_telemetry.json /tmp/air_telemetry.csv
 
 clean:
 	dune clean

@@ -334,6 +334,67 @@ let recorder_tests =
       Test.make ~name:"pmk tick (recorded)" (pmk_tick_recorded ());
       Test.make ~name:"prototype tick (recorded)" (prototype_tick_recorded ()) ]
 
+(* --- telemetry --------------------------------------------------------------- *)
+
+let telemetry_tests =
+  (* Raw hot-path hook costs: one histogram record, and one tick
+     accounted into the frame accumulator. *)
+  let quantile_record () =
+    let h = Air_obs.Quantile.create () in
+    let now = ref 0 in
+    Staged.stage (fun () ->
+        incr now;
+        Air_obs.Quantile.record h (!now land 1023))
+  in
+  let accumulator_tick () =
+    let t = Air_obs.Telemetry.create ~partition_count:4 () in
+    Air_obs.Telemetry.prime t ~schedule:0 ~allotted:[| 650; 650; 650; 650 |];
+    Staged.stage (fun () -> Air_obs.Telemetry.on_tick t ~active:(Some 1))
+  in
+  (* Frame-close cost (snapshot + ring push) on a bounded ring. *)
+  let frame_close () =
+    let t =
+      Air_obs.Telemetry.create
+        ~config:(Air_obs.Telemetry.config ~retention:64 ())
+        ~partition_count:4 ()
+    in
+    Air_obs.Telemetry.prime t ~schedule:0 ~allotted:[| 650; 650; 650; 650 |];
+    let now = ref 0 in
+    Staged.stage (fun () ->
+        incr now;
+        Air_obs.Telemetry.on_tick t ~active:(Some 0);
+        ignore
+          (Air_obs.Telemetry.close_frame t ~now:!now ~next_schedule:0
+             ~next_allotted:[| 650; 650; 650; 650 |]))
+  in
+  (* Instrumentation overhead in situ, to be read against the scheduler/*
+     and system/"prototype tick" baselines (and the recorder/* rows from
+     the flight-recorder PR). *)
+  let pmk_tick_telemetry () =
+    let tel = Air_obs.Telemetry.create ~partition_count:4 () in
+    let pmk =
+      Air.Pmk.create ~telemetry:tel ~partition_count:4
+        (satellite_schedules ())
+    in
+    Staged.stage (fun () -> ignore (Air.Pmk.tick pmk))
+  in
+  let prototype_tick_telemetry () =
+    let cfg =
+      { (Air_workload.Satellite.config ()) with
+        Air.System.telemetry =
+          Some (Air_obs.Telemetry.config ~retention:64 ()) }
+    in
+    let s = Air.System.create cfg in
+    Staged.stage (fun () -> Air.System.step s)
+  in
+  Test.make_grouped ~name:"telemetry"
+    [ Test.make ~name:"quantile record" (quantile_record ());
+      Test.make ~name:"accumulator tick" (accumulator_tick ());
+      Test.make ~name:"frame close (4 partitions)" (frame_close ());
+      Test.make ~name:"pmk tick (telemetry)" (pmk_tick_telemetry ());
+      Test.make ~name:"prototype tick (telemetry)"
+        (prototype_tick_telemetry ()) ]
+
 (* --- multicore + cluster ----------------------------------------------------- *)
 
 let extension_tests =
@@ -510,7 +571,8 @@ let () =
     "main.exe [--json FILE] [--quota SECONDS] [--dry-run]";
   let groups =
     [ scheduler_tests; store_tests; pal_tests; ipc_tests; mmu_tests;
-      analysis_tests; system_tests; recorder_tests; extension_tests ]
+      analysis_tests; system_tests; recorder_tests; telemetry_tests;
+      extension_tests ]
   in
   let all_rows =
     List.concat_map

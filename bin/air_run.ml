@@ -45,7 +45,7 @@ let is_cluster_document path =
   | Ok _ | Error _ -> false
 
 let run_file path ticks show_trace show_gantt export metrics_json trace_json
-    check_trace timeline =
+    check_trace timeline telemetry_csv telemetry_json watch =
   if is_cluster_document path then run_cluster path ticks
   else
   match Air_config.Loader.load_file path with
@@ -60,8 +60,44 @@ let run_file path ticks show_trace show_gantt export metrics_json trace_json
         { cfg with Air.System.recorder = Some (Air_obs.Span.create ()) }
       else cfg
     in
+    (* Likewise telemetry: any downlink flag attaches a default frame
+       accumulator unless the document configured one itself. *)
+    let wants_telemetry =
+      telemetry_csv <> None || telemetry_json <> None || watch <> None
+    in
+    let cfg =
+      if wants_telemetry && cfg.Air.System.telemetry = None then
+        { cfg with
+          Air.System.telemetry = Some Air_obs.Telemetry.default_config }
+      else cfg
+    in
     let system = Air.System.create cfg in
-    Air.System.run system ~ticks;
+    let partition_names =
+      List.filter (fun (i, _) -> i >= 0) (Air.System.track_names system)
+    in
+    let schedule_names =
+      List.mapi (fun i s -> (i, s.Schedule.name)) cfg.Air.System.schedules
+    in
+    let print_dashboard () =
+      print_string
+        (Air_vitral.Dashboard.render ~schedules:schedule_names
+           ~partitions:partition_names
+           (Air.System.telemetry_frames system))
+    in
+    (match watch with
+    | None -> Air.System.run system ~ticks
+    | Some every ->
+      let every = max 1 every in
+      (* Watch mode advances whole MTFs so every dashboard refresh lines
+         up with a frame boundary; the run therefore covers at least
+         [ticks] ticks, rounded up to the boundary. *)
+      while Air.System.now system + 1 < ticks do
+        Air.System.run_mtfs system every;
+        print_dashboard ()
+      done);
+    let ticks =
+      if watch = None then ticks else Air.System.now system + 1
+    in
     let trace = Air.System.trace system in
     Format.printf "ran %d ticks%s@." ticks
       (match Air.System.halted system with
@@ -167,6 +203,45 @@ let run_file path ticks show_trace show_gantt export metrics_json trace_json
           Format.eprintf "%s@." msg;
           false)
     in
+    let telemetry_ok =
+      if not wants_telemetry then true
+      else begin
+        (* Close the trailing partial frame so the exports cover the whole
+           run even when it does not end on an MTF boundary. *)
+        (match Air.System.telemetry_flush system with
+        | Some _ when watch <> None -> print_dashboard ()
+        | Some _ | None -> ());
+        let frames = Air.System.telemetry_frames system in
+        let write file contents what =
+          try
+            Out_channel.with_open_text file (fun oc ->
+                Out_channel.output_string oc contents;
+                if
+                  String.length contents = 0
+                  || contents.[String.length contents - 1] <> '\n'
+                then Out_channel.output_char oc '\n');
+            Format.printf "%s exported to %s (%d frames)@." what file
+              (List.length frames);
+            true
+          with Sys_error msg ->
+            Format.eprintf "%s@." msg;
+            false
+        in
+        let json_ok =
+          match telemetry_json with
+          | None -> true
+          | Some file ->
+            write file (Air_obs.Telemetry.to_json frames) "telemetry JSON"
+        in
+        let csv_ok =
+          match telemetry_csv with
+          | None -> true
+          | Some file ->
+            write file (Air_obs.Telemetry.to_csv frames) "telemetry CSV"
+        in
+        json_ok && csv_ok
+      end
+    in
     let check_ok =
       if not check_trace then true
       else begin
@@ -193,7 +268,8 @@ let run_file path ticks show_trace show_gantt export metrics_json trace_json
         violations = []
       end
     in
-    if not (metrics_ok && trace_ok && chrome_ok && check_ok) then 1
+    if not (metrics_ok && trace_ok && chrome_ok && telemetry_ok && check_ok)
+    then 1
     else if Air.System.halted system = None then 0
     else 2
 
@@ -241,12 +317,37 @@ let timeline_flag =
   let doc = "Print the flight-recorder spans as a text timeline." in
   Arg.(value & flag & info [ "timeline" ] ~doc)
 
+let telemetry_csv_arg =
+  let doc =
+    "Write the per-MTF telemetry frames as CSV (one row per frame and \
+     partition) to $(docv)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry-csv" ] ~docv:"FILE" ~doc)
+
+let telemetry_json_arg =
+  let doc = "Write the per-MTF telemetry frames as JSON to $(docv)." in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry-json" ] ~docv:"FILE" ~doc)
+
+let watch_arg =
+  let doc =
+    "Run in whole major time frames and print the telemetry dashboard \
+     every $(docv) MTFs (the run is rounded up to an MTF boundary)."
+  in
+  Arg.(value & opt (some int) None & info [ "watch" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "run an AIR module from its integration configuration" in
   Cmd.v
     (Cmd.info "air_run" ~doc)
     Term.(const run_file $ path_arg $ ticks_arg $ trace_flag $ gantt_flag
           $ export_arg $ metrics_json_arg $ trace_json_arg $ check_trace_arg
-          $ timeline_flag)
+          $ timeline_flag $ telemetry_csv_arg $ telemetry_json_arg
+          $ watch_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -287,6 +287,43 @@ let encode_hm names (tables : Air.Hm.tables) =
               (if module_entries = [] then []
                else [ field "module-errors" module_entries ]) ]))
 
+let encode_watchdog ~schedule (w : Air_obs.Telemetry.watchdog) =
+  let threshold name v =
+    match v with None -> [] | Some n -> [ field name [ int n ] ]
+  in
+  list
+    (atom "watchdog"
+    :: field "schedule" [ atom schedule ]
+    :: List.concat
+         [ threshold "min-slack" w.Air_obs.Telemetry.min_slack;
+           threshold "max-jitter-p99" w.Air_obs.Telemetry.max_jitter_p99;
+           threshold "max-catch-up" w.Air_obs.Telemetry.max_catch_up;
+           threshold "max-deadline-misses"
+             w.Air_obs.Telemetry.max_deadline_misses ])
+
+let encode_telemetry names (c : Air_obs.Telemetry.config) =
+  let retention =
+    match c.Air_obs.Telemetry.retention with
+    | None -> []
+    | Some r -> [ field "retention" [ int r ] ]
+  in
+  let watchdogs =
+    (if Air_obs.Telemetry.watchdog_is_trivial
+          c.Air_obs.Telemetry.default_watchdog
+     then []
+     else
+       [ encode_watchdog ~schedule:"*" c.Air_obs.Telemetry.default_watchdog ])
+    @ List.map
+        (fun (i, w) ->
+          if i >= Array.length names.schedules then
+            invalid_arg "Encode: telemetry schedule index out of range"
+          else encode_watchdog ~schedule:names.schedules.(i) w)
+        c.Air_obs.Telemetry.schedule_watchdogs
+  in
+  field "telemetry"
+    (retention
+    @ match watchdogs with [] -> [] | ws -> [ field "watchdogs" ws ])
+
 let encode (cfg : Air.System.config) =
   let names =
     { partitions =
@@ -326,6 +363,11 @@ let encode (cfg : Air.System.config) =
     match encode_hm names cfg.Air.System.hm_tables with
     | None -> fields
     | Some hm -> fields @ [ hm ]
+  in
+  let fields =
+    match cfg.Air.System.telemetry with
+    | None -> fields
+    | Some c -> fields @ [ encode_telemetry names c ]
   in
   list (atom "air-system" :: fields)
 

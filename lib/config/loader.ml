@@ -388,6 +388,7 @@ let decode_error_code s =
   | "hardware-fault" -> Ok Error.Hardware_fault
   | "power-failure" -> Ok Error.Power_failure
   | "configuration-error" -> Ok Error.Configuration_error
+  | "temporal-degradation" -> Ok Error.Temporal_degradation
   | _ -> error "unknown error code %s" a
 
 let rec decode_process_action s =
@@ -490,6 +491,81 @@ let decode_hm env args =
       process_defaults = wildcard process_entries;
       partition_defaults = wildcard partition_entries }
 
+(* --- Telemetry ----------------------------------------------------------- *)
+
+(* (watchdog (schedule *|NAME) (min-slack N) (max-jitter-p99 N)
+             (max-catch-up N) (max-deadline-misses N))
+   A "*" (or omitted) schedule makes the entry the default watchdog;
+   named entries override it for frames run under that schedule. *)
+let decode_watchdog env s =
+  let* body = tagged "watchdog" s in
+  let* f = fields_of ~context:"watchdog" body in
+  let* schedule = with_default f "schedule" (one atom) "*" in
+  let* min_slack = optional f "min-slack" (one int) in
+  let* max_jitter_p99 = optional f "max-jitter-p99" (one int) in
+  let* max_catch_up = optional f "max-catch-up" (one int) in
+  let* max_deadline_misses = optional f "max-deadline-misses" (one int) in
+  let* () =
+    assert_no_extra f
+      ~known:
+        [ "schedule"; "min-slack"; "max-jitter-p99"; "max-catch-up";
+          "max-deadline-misses" ]
+  in
+  let wd =
+    Air_obs.Telemetry.watchdog ?min_slack ?max_jitter_p99 ?max_catch_up
+      ?max_deadline_misses ()
+  in
+  if String.equal schedule "*" then Ok (`Default wd)
+  else
+    let* i = index_of env.schedule_names "schedule" schedule in
+    Ok (`Schedule (i, wd))
+
+let decode_telemetry env args =
+  let* f = fields_of ~context:"telemetry" args in
+  let* retention = optional f "retention" (one int) in
+  let* () =
+    match retention with
+    | Some r when r <= 0 -> error "telemetry.retention must be positive"
+    | Some _ | None -> Ok ()
+  in
+  let* entries =
+    match rest_of f "watchdogs" with
+    | [] -> Ok []
+    | forms -> map_all (decode_watchdog env) forms
+  in
+  let* () = assert_no_extra f ~known:[ "retention"; "watchdogs" ] in
+  let* default_watchdog =
+    List.fold_left
+      (fun acc e ->
+        let* acc = acc in
+        match e with
+        | `Default wd ->
+          if Option.is_some acc then
+            error "telemetry: duplicate default (schedule *) watchdog"
+          else Ok (Some wd)
+        | `Schedule _ -> Ok acc)
+      (Ok None) entries
+  in
+  let schedule_watchdogs =
+    List.filter_map
+      (function `Schedule (i, wd) -> Some (i, wd) | `Default _ -> None)
+      entries
+  in
+  let* () =
+    let rec dup = function
+      | [] -> Ok ()
+      | (i, _) :: rest ->
+        if List.mem_assoc i rest then
+          error "telemetry: duplicate watchdog for schedule %s"
+            (List.nth env.schedule_names i)
+        else dup rest
+    in
+    dup schedule_watchdogs
+  in
+  Ok
+    (Air_obs.Telemetry.config ?retention
+       ?default_watchdog ~schedule_watchdogs ())
+
 (* --- Toplevel ------------------------------------------------------------ *)
 
 let name_field context s =
@@ -534,16 +610,23 @@ let decode_system s =
     | Some args -> decode_hm env args
     | None -> Ok Air.Hm.default_tables
   in
+  let* telemetry =
+    match rest_of f "telemetry" with
+    | [] -> Ok None
+    | args ->
+      let* c = decode_telemetry env args in
+      Ok (Some c)
+  in
   let* () =
     assert_no_extra f
       ~known:
         [ "partitions"; "schedules"; "ports"; "channels"; "initial-schedule";
-          "hm" ]
+          "hm"; "telemetry" ]
   in
   Ok
     (Air.System.config ?initial_schedule
        ~network:{ Port.ports; channels }
-       ~hm_tables ~partitions ~schedules ())
+       ~hm_tables ?telemetry ~partitions ~schedules ())
 
 let load input =
   match Sexp.parse_one input with

@@ -195,7 +195,10 @@ let send_queuing_message env ~process ~port msg =
   | Error e -> router_error env ~process e
 
 let receive_queuing_message env ~process ~port ~timeout =
-  match Router.receive_queuing env.router ~caller:(caller env) ~port with
+  match
+    Router.receive_queuing ~now:(env.now ()) env.router ~caller:(caller env)
+      ~port
+  with
   | Ok (Some msg) ->
     env.emit (Event.Port_receive { port; bytes = Bytes.length msg });
     Msg (msg, No_error)

@@ -9,11 +9,12 @@ type t = {
   m_violations : Air_obs.Metrics.counter;
   m_store_size : Air_obs.Metrics.gauge;
   recorder : Air_obs.Span.t option;
+  telemetry : Air_obs.Telemetry.t option;
   track : int;
 }
 
-let create ?metrics ?recorder ?(store = Deadline_store.Linked_list_impl)
-    ~partition () =
+let create ?metrics ?recorder ?telemetry
+    ?(store = Deadline_store.Linked_list_impl) ~partition () =
   let reg =
     match metrics with
     | Some reg -> reg
@@ -31,6 +32,7 @@ let create ?metrics ?recorder ?(store = Deadline_store.Linked_list_impl)
         (Printf.sprintf "pal.store_size.p%d"
            (Ident.Partition_id.index partition));
     recorder;
+    telemetry;
     track = Ident.Partition_id.index partition }
 
 let partition t = t.partition
@@ -76,6 +78,10 @@ let announce_ticks t ~now ~elapsed ~announce_to_pos =
     Air_obs.Span.instant r ~now ~track:t.track "pal.catch-up"
       ~detail:(Printf.sprintf "elapsed=%d" elapsed)
   | Some _ | None -> ());
+  (match t.telemetry with
+  | Some tel when elapsed > 1 ->
+    Air_obs.Telemetry.on_catch_up tel ~partition:t.track ~depth:elapsed
+  | Some _ | None -> ());
   (* Lines 2–8: verify the earliest deadline(s); only in the presence of a
      violation are further deadlines checked. *)
   let rec verify acc =
@@ -83,6 +89,9 @@ let announce_ticks t ~now ~elapsed ~announce_to_pos =
     | Some (process, deadline) when Time.(deadline < now) ->
       Deadline_store.remove_earliest t.store;
       Air_obs.Metrics.incr t.m_violations;
+      (match t.telemetry with
+      | None -> ()
+      | Some tel -> Air_obs.Telemetry.on_deadline_miss tel ~partition:t.track);
       (match t.recorder with
       | None -> ()
       | Some r ->

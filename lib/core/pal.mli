@@ -18,6 +18,7 @@ type t
 val create :
   ?metrics:Air_obs.Metrics.t ->
   ?recorder:Air_obs.Span.t ->
+  ?telemetry:Air_obs.Telemetry.t ->
   ?store:Deadline_store.impl ->
   partition:Ident.Partition_id.t ->
   unit ->
@@ -30,7 +31,8 @@ val create :
     surrogate announcement covers more than one elapsed tick (the wake-up
     after a preemption gap) and a [pal.deadline-miss] instant (with the
     process as sub-lane) per detected violation, on the partition's
-    track. *)
+    track. [telemetry], when given, receives the same two signals as
+    catch-up depth and deadline-miss samples of the partition's frame. *)
 
 val partition : t -> Ident.Partition_id.t
 

@@ -28,9 +28,16 @@ type t = {
   recorder : Air_obs.Span.t option;
       (* Flight recorder: partition-window spans opened/closed by the
          dispatcher, schedule-switch and change-action instants. *)
+  telemetry : Air_obs.Telemetry.t option;
+      (* Telemetry accumulator: fed one occupancy sample per tick plus a
+         dispatch-jitter sample per context switch; its frame is closed at
+         every MTF boundary. *)
+  allotted : int array array;
+      (* Per schedule: each partition's total window time per MTF —
+         precomputed so frame close stays off the window lists. *)
 }
 
-let create ?metrics ?recorder ?initial_schedule ~partition_count
+let create ?metrics ?recorder ?telemetry ?initial_schedule ~partition_count
     schedules_list =
   (match Validate.validate_set schedules_list with
   | [] -> ()
@@ -66,6 +73,17 @@ let create ?metrics ?recorder ?initial_schedule ~partition_count
       i
   in
   let tables = Array.map Schedule.preemption_table schedules in
+  let allotted =
+    Array.map
+      (fun s ->
+        Array.init partition_count (fun i ->
+            Schedule.total_window_time s (Partition_id.make i)))
+      schedules
+  in
+  (match telemetry with
+  | Some tel ->
+    Air_obs.Telemetry.prime tel ~schedule:initial ~allotted:allotted.(initial)
+  | None -> ());
   let reg =
     match metrics with
     | Some reg -> reg
@@ -88,7 +106,9 @@ let create ?metrics ?recorder ?initial_schedule ~partition_count
     m_context_switches = Air_obs.Metrics.counter reg "pmk.context_switches";
     m_dispatcher_elapsed =
       Air_obs.Metrics.histogram reg "pmk.dispatcher_elapsed";
-    recorder }
+    recorder;
+    telemetry;
+    allotted }
 
 let schedule_count t = Array.length t.schedules
 let schedules t = Array.copy t.schedules
@@ -122,6 +142,7 @@ type tick_outcome = {
   context_switch : (Partition_id.t option * Partition_id.t option) option;
   elapsed : Time.t;
   change_action : (Partition_id.t * Schedule.change_action) option;
+  frame_closed : Air_obs.Telemetry.frame option;
 }
 
 let mtf_position t =
@@ -196,7 +217,8 @@ let partition_dispatcher t =
     { schedule_switched = None;
       context_switch = None;
       elapsed;
-      change_action = None }
+      change_action = None;
+      frame_closed = None }
   end
   else begin
     let previous = t.active_partition in
@@ -227,6 +249,21 @@ let partition_dispatcher t =
         let hi = Partition_id.index h in
         let elapsed = t.ticks - t.last_tick.(hi) in
         Air_obs.Metrics.observe t.m_dispatcher_elapsed elapsed;
+        (* Telemetry: dispatch jitter — ticks between the scheduling-table
+           window start (the preemption point the scheduler just consumed)
+           and this context switch. The discrete PMK dispatches in the same
+           tick as the preemption point, so any nonzero value is a real
+           anomaly worth a watchdog. *)
+        (match t.telemetry with
+        | None -> ()
+        | Some tel ->
+          let mtf = t.schedules.(t.current_schedule).Schedule.mtf in
+          let table = t.tables.(t.current_schedule) in
+          let len = Array.length table in
+          let entry = table.((t.table_iterator + len - 1) mod len) in
+          let off = Stdlib.max 0 (t.ticks - t.last_schedule_switch) mod mtf in
+          let jitter = (((off - entry.Schedule.tick) mod mtf) + mtf) mod mtf in
+          Air_obs.Telemetry.on_dispatch tel ~partition:hi ~jitter);
         t.last_tick.(hi) <- t.ticks;
         (* PENDINGSCHEDULECHANGEACTION(heirPartition). *)
         let action =
@@ -250,13 +287,36 @@ let partition_dispatcher t =
     { schedule_switched = None;
       context_switch = Some (previous, t.active_partition);
       elapsed;
-      change_action }
+      change_action;
+      frame_closed = None }
   end
 
 let tick t =
   let switched = partition_scheduler t in
+  (* Telemetry frame close at the MTF boundary: the boundary tick opens the
+     new frame, so the close runs after the scheduler (which may have made
+     a pending schedule switch effective — the new frame runs under the new
+     schedule) and before this tick's occupancy is accumulated. *)
+  let frame_closed =
+    match t.telemetry with
+    | None -> None
+    | Some tel ->
+      let mtf = t.schedules.(t.current_schedule).Schedule.mtf in
+      let off = Stdlib.max 0 (t.ticks - t.last_schedule_switch) mod mtf in
+      if off = 0 && t.ticks > Air_obs.Telemetry.frame_start tel then
+        Some
+          (Air_obs.Telemetry.close_frame tel ~now:t.ticks
+             ~next_schedule:t.current_schedule
+             ~next_allotted:t.allotted.(t.current_schedule))
+      else None
+  in
   let outcome = partition_dispatcher t in
-  { outcome with schedule_switched = switched }
+  (match t.telemetry with
+  | None -> ()
+  | Some tel ->
+    Air_obs.Telemetry.on_tick tel
+      ~active:(Option.map Partition_id.index t.active_partition));
+  { outcome with schedule_switched = switched; frame_closed }
 
 let pp ppf t =
   Format.fprintf ppf

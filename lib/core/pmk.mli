@@ -21,6 +21,7 @@ type t
 val create :
   ?metrics:Air_obs.Metrics.t ->
   ?recorder:Air_obs.Span.t ->
+  ?telemetry:Air_obs.Telemetry.t ->
   ?initial_schedule:Schedule_id.t ->
   partition_count:int ->
   Schedule.t list ->
@@ -34,7 +35,11 @@ val create :
     a [partition-window] span per dispatch interval (on the partition's
     track), a [schedule-switch] instant on the module track at every
     effective mode switch, and a [schedule-change-action] instant when a
-    pending action is delivered at first dispatch. *)
+    pending action is delivered at first dispatch. [telemetry], when
+    given, is primed with the initial schedule's per-partition window
+    allotments and then fed one occupancy sample per {!tick} plus a
+    dispatch-jitter sample per context switch; its frame is closed at
+    every MTF boundary (see {!tick_outcome.frame_closed}). *)
 
 val schedule_count : t -> int
 val schedules : t -> Schedule.t array
@@ -75,6 +80,13 @@ type tick_outcome = {
       (** Pending ScheduleChangeAction to apply to the dispatched partition
           (first dispatch after a switch; [No_action] entries are not
           reported). *)
+  frame_closed : Air_obs.Telemetry.frame option;
+      (** The telemetry frame closed by this tick's MTF boundary, when a
+          telemetry accumulator is attached. The boundary tick itself is
+          accumulated into the {e new} frame; after a mode-based schedule
+          switch the closed frame still carries the {e old} schedule's
+          index, so watchdogs judge each frame against the schedule it ran
+          under. *)
 }
 
 val tick : t -> tick_outcome

@@ -84,13 +84,14 @@ type config = {
   hm_tables : Hm.tables;
   trace_capacity : int option;
   recorder : Air_obs.Span.t option;
+  telemetry : Air_obs.Telemetry.config option;
 }
 
 let config ?initial_schedule ?(network = { Port.ports = []; channels = [] })
-    ?(hm_tables = Hm.default_tables) ?trace_capacity ?recorder ~partitions
-    ~schedules () =
+    ?(hm_tables = Hm.default_tables) ?trace_capacity ?recorder ?telemetry
+    ~partitions ~schedules () =
   { partitions; schedules; initial_schedule; network; hm_tables;
-    trace_capacity; recorder }
+    trace_capacity; recorder; telemetry }
 
 type task = {
   mutable pc : int;
@@ -116,6 +117,7 @@ type t = {
   trace : Event.t Trace.t;
   metrics : Air_obs.Metrics.t;
   events : Event.t Air_obs.Event.t;
+  telemetry : Air_obs.Telemetry.t option;
   partitions : prt array;
   mutable halt_reason : string option;
 }
@@ -141,6 +143,13 @@ let with_hm_span t ~track ~code name f =
     result
 
 let prt_of t pid = t.partitions.(Partition_id.index pid)
+
+(* Telemetry: count every Health Monitor invocation against the frame
+   being accumulated (module-level errors carry no partition). *)
+let note_hm_invocation t ~partition =
+  match t.telemetry with
+  | None -> ()
+  | Some tel -> Air_obs.Telemetry.on_hm_error tel ~partition
 
 (* --- Partition lifecycle ----------------------------------------------- *)
 
@@ -260,6 +269,7 @@ let report_process_error t prt ~process code ~detail =
          partition = Some partition;
          process = Some (Partition.process_id prt.setup.partition process);
          detail });
+  note_hm_invocation t ~partition:(Some (Partition_id.index partition));
   with_hm_span t ~track:(Partition_id.index partition) ~code
     "hm.process-error" (fun () ->
       let action = Hm.resolve_process_error t.hm ~partition ~process ~code in
@@ -287,6 +297,7 @@ let report_partition_error t prt code ~detail =
          partition = Some partition;
          process = None;
          detail });
+  note_hm_invocation t ~partition:(Some (Partition_id.index partition));
   with_hm_span t ~track:(Partition_id.index partition) ~code
     "hm.partition-error" (fun () ->
       let action = Hm.resolve_partition_error t.hm ~partition ~code in
@@ -300,6 +311,7 @@ let report_module_error t code ~detail =
          partition = None;
          process = None;
          detail });
+  note_hm_invocation t ~partition:None;
   with_hm_span t ~track:(-1) ~code "hm.module-error" (fun () ->
       apply_module_action t (Hm.resolve_module_error t.hm ~code))
 
@@ -322,7 +334,8 @@ let notify_port_delivery t ports =
         | [] -> ()
         | q :: _ -> (
           match
-            Router.receive_queuing t.router ~caller:cfg.Port.partition ~port
+            Router.receive_queuing ~now:(now t) t.router
+              ~caller:cfg.Port.partition ~port
           with
           | Ok (Some msg) ->
             emit t (Event.Port_receive { port; bytes = Bytes.length msg });
@@ -353,12 +366,22 @@ let create (cfg : config) =
   (* One registry shared by every component, so the end-of-run snapshot
      covers the whole module in a single pass. *)
   let metrics = Air_obs.Metrics.create () in
+  let telemetry =
+    Option.map
+      (fun c -> Air_obs.Telemetry.create ~config:c ~partition_count ())
+      cfg.telemetry
+  in
   let pmk =
-    Pmk.create ~metrics ?recorder:cfg.recorder
+    Pmk.create ~metrics ?recorder:cfg.recorder ?telemetry
       ?initial_schedule:cfg.initial_schedule ~partition_count cfg.schedules
   in
   let hm = Hm.create ~metrics ~tables:cfg.hm_tables () in
   let router = Router.create ~metrics ?recorder:cfg.recorder cfg.network in
+  (match telemetry with
+  | None -> ()
+  | Some tel ->
+    Router.set_delivery_observer router (fun ~latency ->
+        Air_obs.Telemetry.on_ipc_delivery tel ~latency));
   let maps =
     Memory.allocate
       (List.map
@@ -382,8 +405,8 @@ let create (cfg : config) =
   let make_prt setup =
     let pid = setup.partition.Partition.id in
     let pal =
-      Pal.create ~metrics ?recorder:cfg.recorder ~store:setup.store
-        ~partition:pid ()
+      Pal.create ~metrics ?recorder:cfg.recorder ?telemetry
+        ~store:setup.store ~partition:pid ()
     in
     let emit_ev ev =
       let t = the_system () in
@@ -457,8 +480,8 @@ let create (cfg : config) =
     Array.of_list (List.map make_prt cfg.partitions)
   in
   let t =
-    { cfg; pmk; hm; router; protection; trace; metrics; events; partitions;
-      halt_reason = None }
+    { cfg; pmk; hm; router; protection; trace; metrics; events; telemetry;
+      partitions; halt_reason = None }
   in
   system_ref := Some t;
   t
@@ -631,6 +654,49 @@ let run_task_tick t prt q =
 
 (* --- The system clock tick --------------------------------------------- *)
 
+(* Temporal-health watchdogs: a frame just closed at the MTF boundary;
+   judge it against the watchdog of the schedule it ran under (after a
+   mode-based switch the new frame is judged by the new schedule's
+   watchdog) and raise one Temporal_degradation error per offending scope —
+   at most one module-level error and one per breaching partition per
+   frame, so a configured HM action fires exactly once per offending
+   frame. *)
+let handle_closed_frame t (frame : Air_obs.Telemetry.frame) =
+  match t.telemetry with
+  | None -> ()
+  | Some tel ->
+    let wd = Air_obs.Telemetry.watchdog_for tel ~schedule:frame.f_schedule in
+    (match Air_obs.Telemetry.breaches wd frame with
+    | [] -> ()
+    | breaches ->
+      let detail scope_breaches =
+        Format.asprintf "frame %d: %a" frame.f_index
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+             Air_obs.Telemetry.pp_breach)
+          scope_breaches
+      in
+      let module_breaches, partition_breaches =
+        List.partition
+          (fun b -> Air_obs.Telemetry.breach_partition b = None)
+          breaches
+      in
+      if module_breaches <> [] then
+        report_module_error t Error.Temporal_degradation
+          ~detail:(detail module_breaches);
+      Array.iteri
+        (fun i prt ->
+          match
+            List.filter
+              (fun b -> Air_obs.Telemetry.breach_partition b = Some i)
+              partition_breaches
+          with
+          | [] -> ()
+          | mine ->
+            report_partition_error t prt Error.Temporal_degradation
+              ~detail:(detail mine))
+        t.partitions)
+
 let step t =
   match t.halt_reason with
   | Some _ -> ()
@@ -654,6 +720,9 @@ let step t =
         begin_restart t prt Partition.Warm_start
       | Schedule.Cold_restart_partition ->
         begin_restart t prt Partition.Cold_start)
+    | None -> ());
+    (match outcome.Pmk.frame_closed with
+    | Some frame -> handle_closed_frame t frame
     | None -> ());
     (match Pmk.active_partition t.pmk with
     | None -> ()
@@ -734,6 +803,20 @@ let metrics_json t =
   Air_obs.Report.to_json ~events:(event_counts t) (metrics_snapshot t)
 
 let recorder t = t.cfg.recorder
+let telemetry t = t.telemetry
+
+let telemetry_frames t =
+  match t.telemetry with
+  | None -> []
+  | Some tel -> Air_obs.Telemetry.frames tel
+
+(* Close the final partial frame so the tail of a run that does not end
+   exactly on an MTF boundary still reaches the exported frame list.
+   Watchdogs are deliberately not evaluated on a flushed partial frame. *)
+let telemetry_flush t =
+  match t.telemetry with
+  | None -> None
+  | Some tel -> Air_obs.Telemetry.flush tel ~now:(now t + 1)
 
 let spans t =
   match t.cfg.recorder with
@@ -859,7 +942,8 @@ let drain_remote t ~port =
   | None -> None
   | Some cfg -> (
     match
-      Router.receive_queuing t.router ~caller:cfg.Port.partition ~port
+      Router.receive_queuing ~now:(now t) t.router ~caller:cfg.Port.partition
+        ~port
     with
     | Ok (Some msg) -> Some msg
     | Ok None | Error _ -> None)

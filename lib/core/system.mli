@@ -85,6 +85,14 @@ type config = {
           actions), the PALs (clock-tick supervision, deadline misses),
           the Health Monitor handlers and the IPC router; [None] disables
           span recording entirely. *)
+  telemetry : Air_obs.Telemetry.config option;
+      (** Telemetry downlink: when set, the module aggregates per-MTF
+          frames (per-partition utilization, slack, dispatch-jitter and
+          IPC-latency percentiles, catch-up depth, deadline misses, HM
+          invocations) and evaluates the configured temporal-health
+          watchdogs at every frame close, raising
+          {!Air_model.Error.Temporal_degradation} through the HM tables on
+          a breach. [None] disables telemetry entirely. *)
 }
 
 val config :
@@ -93,6 +101,7 @@ val config :
   ?hm_tables:Hm.tables ->
   ?trace_capacity:int ->
   ?recorder:Air_obs.Span.t ->
+  ?telemetry:Air_obs.Telemetry.config ->
   partitions:partition_setup list ->
   schedules:Schedule.t list ->
   unit ->
@@ -146,6 +155,18 @@ val metrics_json : t -> string
 
 val recorder : t -> Air_obs.Span.t option
 (** The flight recorder the module was configured with, if any. *)
+
+val telemetry : t -> Air_obs.Telemetry.t option
+(** The telemetry accumulator, when the config enabled telemetry. *)
+
+val telemetry_frames : t -> Air_obs.Telemetry.frame list
+(** Retained closed frames, oldest first; [[]] without telemetry. *)
+
+val telemetry_flush : t -> Air_obs.Telemetry.frame option
+(** Close the final partial frame (a run rarely ends exactly on an MTF
+    boundary) so exports cover the whole run. Watchdogs are not evaluated
+    on the flushed frame — its slack is meaningless. [None] without
+    telemetry or when no tick was accumulated since the last close. *)
 
 val spans : t -> Air_obs.Span.span list
 (** Retained completed flight-recorder spans; [[]] without a recorder. *)

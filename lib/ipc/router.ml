@@ -38,6 +38,11 @@ type t = {
   overflows : Air_obs.Metrics.counter;
   stale_reads : Air_obs.Metrics.counter;
       (** Sampling reads whose slot content had outlived its refresh. *)
+  delivery_latency : Air_obs.Metrics.histogram;
+      (** Queuing receive latency: ticks between enqueue and receive, for
+          receives that pass the current time ([receive_queuing ~now]). *)
+  mutable on_delivery : (latency:int -> unit) option;
+      (** Telemetry observer, invoked with the same latencies. *)
   recorder : Air_obs.Span.t option;
       (** Flight recorder: send-side delivery instants on the caller's
           track ([ipc.write-sampling], [ipc.send-queuing]) and [ipc.inject]
@@ -84,7 +89,11 @@ let create ?metrics ?recorder (net : Port.network) =
     bytes_copied = Air_obs.Metrics.counter reg "ipc.bytes_copied";
     overflows = Air_obs.Metrics.counter reg "ipc.overflows";
     stale_reads = Air_obs.Metrics.counter reg "ipc.stale_reads";
+    delivery_latency = Air_obs.Metrics.histogram reg "ipc.delivery_latency";
+    on_delivery = None;
     recorder }
+
+let set_delivery_observer t f = t.on_delivery <- Some f
 
 let record_instant t ~now ~track ~port name =
   match t.recorder with
@@ -198,7 +207,7 @@ let send_queuing t ~caller ~port ~now msg =
       "ipc.send-queuing";
     Ok { delivered = List.rev !delivered; overflowed = List.rev !overflowed }
 
-let receive_queuing t ~caller ~port =
+let receive_queuing ?now t ~caller ~port =
   let* e = find t port in
   let* e = check_owner caller e in
   let* e = check_direction Port.Destination e in
@@ -206,8 +215,18 @@ let receive_queuing t ~caller ~port =
   | Queuing_buffer { queue; _ } ->
     if Queue.is_empty queue then Ok None
     else begin
-      let msg, _ = Queue.pop queue in
+      let msg, sent = Queue.pop queue in
       Air_obs.Metrics.incr t.messages_received;
+      (* Delivery latency: ticks the message spent queued. Only callers
+         passing the current time contribute a sample. *)
+      (match now with
+      | None -> ()
+      | Some now ->
+        let latency = Stdlib.max 0 (now - sent) in
+        Air_obs.Metrics.observe t.delivery_latency latency;
+        (match t.on_delivery with
+        | None -> ()
+        | Some f -> f ~latency));
       Ok (Some msg)
     end
   | Sampling_slot _ | Source_end -> Error (Wrong_mode port)

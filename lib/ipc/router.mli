@@ -26,12 +26,17 @@ val pp_error : Format.formatter -> error -> unit
 val create :
   ?metrics:Air_obs.Metrics.t -> ?recorder:Air_obs.Span.t -> Port.network -> t
 (** Raises [Invalid_argument] when {!Port.validate} reports diagnostics.
-    [metrics] receives the [ipc.*] counter series (messages, bytes,
-    overflows, stale sampling reads); a private registry is used when
-    omitted. [recorder], when given, receives delivery instants:
-    [ipc.write-sampling] / [ipc.send-queuing] on the sending partition's
-    track and [ipc.inject] on the module track, each carrying the port
-    name as detail. *)
+    [metrics] receives the [ipc.*] series (message/byte/overflow/stale
+    counters plus the [ipc.delivery_latency] histogram); a private registry
+    is used when omitted. [recorder], when given, receives delivery
+    instants: [ipc.write-sampling] / [ipc.send-queuing] on the sending
+    partition's track and [ipc.inject] on the module track, each carrying
+    the port name as detail. *)
+
+val set_delivery_observer : t -> (latency:int -> unit) -> unit
+(** Install the observer invoked with each queuing delivery latency sample
+    (see {!receive_queuing}); the telemetry layer uses this to feed its
+    per-frame latency percentiles without the router depending on it. *)
 
 val port_config : t -> Port_name.t -> Port.config option
 
@@ -81,12 +86,16 @@ val send_queuing :
   (send_outcome, error) result
 
 val receive_queuing :
+  ?now:Time.t ->
   t ->
   caller:Partition_id.t ->
   port:Port_name.t ->
   (bytes option, error) result
 (** [Ok None] when the queue is empty (the APEX layer maps it to
-    NOT_AVAILABLE or blocks the caller). FIFO order. *)
+    NOT_AVAILABLE or blocks the caller). FIFO order. When [now] is given,
+    the popped message contributes a delivery-latency sample
+    ([now - enqueue time]) to the [ipc.delivery_latency] histogram and the
+    {!set_delivery_observer} observer. *)
 
 val pending : t -> port:Port_name.t -> int
 (** Messages currently queued at a destination port (0 for sampling and

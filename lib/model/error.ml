@@ -8,11 +8,12 @@ type code =
   | Hardware_fault
   | Power_failure
   | Configuration_error
+  | Temporal_degradation
 
 let all_codes =
   [ Deadline_missed; Application_error; Numeric_error; Illegal_request;
     Stack_overflow; Memory_violation; Hardware_fault; Power_failure;
-    Configuration_error ]
+    Configuration_error; Temporal_degradation ]
 
 let code_equal a b =
   match (a, b) with
@@ -24,11 +25,12 @@ let code_equal a b =
   | Memory_violation, Memory_violation
   | Hardware_fault, Hardware_fault
   | Power_failure, Power_failure
-  | Configuration_error, Configuration_error ->
+  | Configuration_error, Configuration_error
+  | Temporal_degradation, Temporal_degradation ->
     true
   | ( ( Deadline_missed | Application_error | Numeric_error | Illegal_request
       | Stack_overflow | Memory_violation | Hardware_fault | Power_failure
-      | Configuration_error ),
+      | Configuration_error | Temporal_degradation ),
       _ ) ->
     false
 
@@ -43,7 +45,8 @@ let pp_code ppf c =
     | Memory_violation -> "memory-violation"
     | Hardware_fault -> "hardware-fault"
     | Power_failure -> "power-failure"
-    | Configuration_error -> "configuration-error")
+    | Configuration_error -> "configuration-error"
+    | Temporal_degradation -> "temporal-degradation")
 
 type level = Process_level | Partition_level | Module_level
 

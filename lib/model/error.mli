@@ -16,6 +16,10 @@ type code =
   | Hardware_fault
   | Power_failure
   | Configuration_error    (** Detected at initialization. *)
+  | Temporal_degradation
+      (** A telemetry watchdog threshold crossed at frame close (slack,
+          jitter, catch-up depth or deadline-miss count) — degradation
+          detected before or alongside a hard fault. *)
 
 val code_equal : code -> code -> bool
 val pp_code : Format.formatter -> code -> unit

@@ -161,6 +161,32 @@ let find t name =
 
 let cardinal t = Hashtbl.length t.instruments
 
+(* Percentile estimate from the fixed buckets: the bucket holding the rank
+   ceil(observations * num / den) answers with its inclusive upper bound;
+   ranks landing in the +inf bucket answer with the exact peak. Integer
+   arithmetic only, like everything else here. *)
+let view_quantile (h : histogram_view) ~num ~den =
+  if num < 0 || den <= 0 || num > den then
+    invalid_arg "Metrics.view_quantile: need 0 <= num <= den, den > 0";
+  if h.view_observations = 0 then 0
+  else begin
+    let rank = ((h.view_observations * num) + den - 1) / den in
+    let rank = if rank < 1 then 1 else rank in
+    let n = Array.length h.view_buckets in
+    let rec walk i seen =
+      if i >= n then h.view_peak
+      else begin
+        let seen = seen + h.view_buckets.(i) in
+        if seen >= rank then
+          if i < Array.length h.view_bounds then
+            Stdlib.min h.view_bounds.(i) h.view_peak
+          else h.view_peak
+        else walk (i + 1) seen
+      end
+    in
+    walk 0 0
+  end
+
 let pp_value ppf = function
   | Counter_value n -> Format.fprintf ppf "%d" n
   | Gauge_value n -> Format.fprintf ppf "%d (gauge)" n

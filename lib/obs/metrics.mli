@@ -75,4 +75,12 @@ val snapshot : t -> snapshot
 
 val find : t -> string -> value option
 val cardinal : t -> int
+
+val view_quantile : histogram_view -> num:int -> den:int -> int
+(** Estimated value at quantile [num/den], from the fixed buckets: the
+    inclusive upper bound of the bucket holding rank
+    [ceil(observations * num / den)], clamped to the exact peak (ranks in
+    the +inf bucket answer with the peak). 0 when the view is empty. Raises
+    [Invalid_argument] unless [0 <= num <= den] and [den > 0]. *)
+
 val pp_value : Format.formatter -> value -> unit

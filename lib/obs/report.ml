@@ -5,6 +5,11 @@
 let pp_histogram_line ppf (h : Metrics.histogram_view) =
   Format.fprintf ppf "n=%d total=%d peak=%d" h.view_observations h.view_total
     h.view_peak;
+  if h.view_observations > 0 then
+    Format.fprintf ppf " p50=%d p90=%d p99=%d"
+      (Metrics.view_quantile h ~num:1 ~den:2)
+      (Metrics.view_quantile h ~num:9 ~den:10)
+      (Metrics.view_quantile h ~num:99 ~den:100);
   if h.view_observations > 0 then begin
     Format.fprintf ppf " buckets=[";
     Array.iteri
@@ -81,8 +86,13 @@ let to_sexp ?(events = []) (snapshot : Metrics.snapshot) =
           (Printf.sprintf "\n  (gauge %s %d)" (sexp_atom name) n)
       | Metrics.Histogram_value h ->
         Buffer.add_string buf
-          (Printf.sprintf "\n  (histogram %s (n %d) (total %d) (peak %d))"
-             (sexp_atom name) h.view_observations h.view_total h.view_peak))
+          (Printf.sprintf
+             "\n  (histogram %s (n %d) (total %d) (peak %d) (p50 %d) \
+              (p90 %d) (p99 %d))"
+             (sexp_atom name) h.view_observations h.view_total h.view_peak
+             (Metrics.view_quantile h ~num:1 ~den:2)
+             (Metrics.view_quantile h ~num:9 ~den:10)
+             (Metrics.view_quantile h ~num:99 ~den:100)))
     snapshot;
   List.iter
     (fun (kind, n) ->
@@ -124,8 +134,11 @@ let to_json ?(events = []) (snapshot : Metrics.snapshot) =
       | Metrics.Histogram_value h ->
         Printf.sprintf
           "{\"kind\":\"histogram\",\"count\":%d,\"total\":%d,\"peak\":%d,\
-           \"bounds\":%s,\"buckets\":%s}"
+           \"p50\":%d,\"p90\":%d,\"p99\":%d,\"bounds\":%s,\"buckets\":%s}"
           h.view_observations h.view_total h.view_peak
+          (Metrics.view_quantile h ~num:1 ~den:2)
+          (Metrics.view_quantile h ~num:9 ~den:10)
+          (Metrics.view_quantile h ~num:99 ~den:100)
           (json_ints h.view_bounds) (json_ints h.view_buckets)
     in
     Printf.sprintf "\"%s\":%s" (json_escape name) body

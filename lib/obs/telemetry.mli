@@ -1,0 +1,203 @@
+(** Per-MTF telemetry frames with temporal-health watchdogs.
+
+    An accumulator fed from the PMK clock tick (per-partition window
+    occupancy, dispatch jitter), the PAL (catch-up depth, deadline misses),
+    the Health Monitor (error invocations) and the IPC router (queuing
+    delivery latency). The PMK closes a frame at each major-time-frame
+    boundary; the closed frame snapshots per-partition utilization,
+    idle slack, and p50/p90/p99/max percentiles extracted from {!Quantile}
+    histograms, and is retained on a bounded ring (same discipline as
+    [Sim.Trace] / {!Span}).
+
+    Watchdogs express temporal-health thresholds evaluated against each
+    closed frame; the system layer maps {!breaches} to Health Monitor
+    errors so degradation trends are handled by the configured recovery
+    actions before (or alongside) hard deadline misses. *)
+
+(** {1 Configuration} *)
+
+(** Thresholds evaluated at frame close; [None] disables a check. *)
+type watchdog = {
+  min_slack : int option;  (** Breach when frame idle ticks fall below. *)
+  max_jitter_p99 : int option;
+      (** Breach when the frame's dispatch-jitter p99 exceeds this. *)
+  max_catch_up : int option;
+      (** Per partition: breach when the deepest PAL catch-up (elapsed
+          ticks announced in one go after a preemption gap) exceeds this. *)
+  max_deadline_misses : int option;
+      (** Per partition: breach when deadline misses in the frame exceed
+          this ([Some 0] = any miss breaches). *)
+}
+
+val watchdog :
+  ?min_slack:int ->
+  ?max_jitter_p99:int ->
+  ?max_catch_up:int ->
+  ?max_deadline_misses:int ->
+  unit ->
+  watchdog
+
+val no_watchdog : watchdog
+(** All thresholds disabled. *)
+
+val watchdog_is_trivial : watchdog -> bool
+
+type config = {
+  retention : int option;
+      (** Closed frames kept on the ring; [None] retains everything. *)
+  default_watchdog : watchdog;
+  schedule_watchdogs : (int * watchdog) list;
+      (** Per-schedule overrides (schedule index → watchdog); schedules
+          without an entry use [default_watchdog]. *)
+}
+
+val config :
+  ?retention:int ->
+  ?default_watchdog:watchdog ->
+  ?schedule_watchdogs:(int * watchdog) list ->
+  unit ->
+  config
+(** Raises [Invalid_argument] if [retention <= 0]. *)
+
+val default_config : config
+(** Unbounded retention, no watchdogs. *)
+
+(** {1 Frames} *)
+
+type partition_frame = {
+  pf_partition : int;
+  pf_window_ticks : int;  (** Ticks this partition held the processor. *)
+  pf_allotted : int;
+      (** Ticks the scheduling table allots it per MTF (0 when absent from
+          the frame's schedule). *)
+  pf_dispatches : int;
+  pf_jitter_max : int;
+  pf_catch_up_max : int;
+  pf_deadline_misses : int;
+  pf_hm_errors : int;
+}
+
+type frame = {
+  f_index : int;  (** Monotonic frame number since telemetry started. *)
+  f_schedule : int;  (** Schedule index the frame ran under. *)
+  f_start : int;  (** First tick of the frame (inclusive). *)
+  f_stop : int;  (** End of the frame (exclusive). *)
+  f_busy : int;  (** Ticks some partition held the processor. *)
+  f_slack : int;  (** Idle ticks — the frame's remaining slack. *)
+  f_catch_up_max : int;
+  f_deadline_misses : int;
+  f_hm_errors : int;
+  f_jitter_count : int;
+  f_jitter_p50 : int;
+  f_jitter_p90 : int;
+  f_jitter_p99 : int;
+  f_jitter_max : int;
+  f_ipc_count : int;
+  f_ipc_p50 : int;
+  f_ipc_p90 : int;
+  f_ipc_p99 : int;
+  f_ipc_max : int;
+  f_partitions : partition_frame array;
+}
+
+val frame_utilization_permille : partition_frame -> int
+(** [window_ticks * 1000 / allotted]; 0 when nothing was allotted. *)
+
+(** {1 Accumulator} *)
+
+type t
+
+val create : ?config:config -> partition_count:int -> unit -> t
+
+val configuration : t -> config
+val frame_start : t -> int
+val current_schedule : t -> int
+
+val prime : t -> schedule:int -> allotted:int array -> unit
+(** Set the schedule index and per-partition allotted ticks for the frame
+    being accumulated (called at creation and at each schedule switch). *)
+
+(** {2 Hot-path hooks} — O(1), no allocation. *)
+
+val on_tick : t -> active:int option -> unit
+(** One system clock tick executed with [active] holding the processor. *)
+
+val on_dispatch : t -> partition:int -> jitter:int -> unit
+(** A dispatch of [partition], [jitter] ticks after its scheduling-table
+    window start. *)
+
+val on_catch_up : t -> partition:int -> depth:int -> unit
+(** The PAL announced [depth] elapsed ticks in one go (preemption gap). *)
+
+val on_deadline_miss : t -> partition:int -> unit
+val on_hm_error : t -> partition:int option -> unit
+(** An HM error handler invocation ([None] = module level). *)
+
+val on_ipc_delivery : t -> latency:int -> unit
+(** A queuing message received [latency] ticks after it was enqueued. *)
+
+(** {2 Frame lifecycle} *)
+
+val close_frame :
+  t -> now:int -> next_schedule:int -> next_allotted:int array -> frame
+(** Snapshot the accumulated frame ending (exclusively) at [now], push it
+    onto the retention ring, and reset the accumulator for a frame running
+    under [next_schedule]/[next_allotted]. *)
+
+val flush : t -> now:int -> frame option
+(** Close a final partial frame at the end of a run; [None] if no tick was
+    accumulated since the last close. Watchdogs are not evaluated here —
+    a partial frame's slack would trip [min_slack] spuriously. *)
+
+val ticks_accumulated : t -> int
+(** Ticks accumulated in the open frame so far. *)
+
+val frames : t -> frame list
+(** Retained closed frames, oldest first. *)
+
+val last_frame : t -> frame option
+val retained : t -> int
+val total_frames : t -> int
+(** Frames ever closed, including those evicted from the ring. *)
+
+(** {1 Watchdog evaluation} *)
+
+val watchdog_for : t -> schedule:int -> watchdog
+(** The watchdog governing frames of [schedule] (per-schedule override or
+    the default). *)
+
+type breach =
+  | Slack_below of { slack : int; min_slack : int }
+  | Jitter_p99_above of { p99 : int; max_jitter_p99 : int }
+  | Catch_up_above of { partition : int; depth : int; max_catch_up : int }
+  | Deadline_misses_above of {
+      partition : int;
+      misses : int;
+      max_deadline_misses : int;
+    }
+
+val breach_partition : breach -> int option
+(** The partition a breach is attributed to; [None] for module-level
+    breaches (slack, jitter). *)
+
+val breaches : watchdog -> frame -> breach list
+(** Threshold crossings of [frame] against [watchdog]; module-level
+    breaches first, then per-partition ones in partition order. The jitter
+    check is skipped on frames with no dispatches. *)
+
+val pp_breach : Format.formatter -> breach -> unit
+
+(** {1 Export} *)
+
+val schema : string
+(** ["air-telemetry/1"] — stamped into the JSON export. *)
+
+val to_json : frame list -> string
+(** One JSON object: [{"schema":…,"frames":[…]}], each frame carrying its
+    per-partition array (with derived utilization permille). *)
+
+val csv_header : string
+
+val to_csv : frame list -> string
+(** Header plus one row per (frame × partition); frame-level columns are
+    repeated on each of the frame's partition rows. *)

@@ -34,18 +34,32 @@ let min t = t.min
 let max t = t.max
 let sum t = t.sum
 
+(* NaN poisons order statistics silently: polymorphic [compare] leaves it
+   wherever it started, and any comparison against it lies. Both
+   whole-sample entry points reject it up front instead. *)
+let reject_nan ~what xs =
+  Array.iter
+    (fun x ->
+      if Float.is_nan x then
+        invalid_arg (Printf.sprintf "Stats.%s: NaN in sample" what))
+    xs
+
 let quantile xs q =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.quantile: empty sample";
   if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q outside [0,1]";
+  reject_nan ~what:"quantile" xs;
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   if n = 1 then sorted.(0)
   else
     let pos = q *. float_of_int (n - 1) in
     let i = int_of_float pos in
     let frac = pos -. float_of_int i in
     if i >= n - 1 then sorted.(n - 1)
+      (* No interpolation on an exact order statistic: 0 * (next - cur)
+         is NaN when a neighbour is infinite. *)
+    else if frac = 0.0 then sorted.(i)
     else sorted.(i) +. (frac *. (sorted.(i + 1) -. sorted.(i)))
 
 let median xs = quantile xs 0.5
@@ -55,6 +69,7 @@ type histogram = { lo : float; width : float; counts : int array }
 let histogram ~bins xs =
   if bins < 1 then invalid_arg "Stats.histogram: need at least one bin";
   if Array.length xs = 0 then invalid_arg "Stats.histogram: empty sample";
+  reject_nan ~what:"histogram" xs;
   let lo = Array.fold_left Stdlib.min xs.(0) xs in
   let hi = Array.fold_left Stdlib.max xs.(0) xs in
   let span = hi -. lo in

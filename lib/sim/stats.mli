@@ -35,15 +35,16 @@ val sum : t -> float
 val quantile : float array -> float -> float
 (** [quantile xs q] for [q] in [0,1], linear interpolation between order
     statistics. The array is sorted internally (copy; the argument is left
-    intact). Raises [Invalid_argument] on an empty array or [q] outside
-    [0,1]. *)
+    intact). Raises [Invalid_argument] on an empty array, [q] outside
+    [0,1], or a sample containing NaN. *)
 
 val median : float array -> float
 
 type histogram = { lo : float; width : float; counts : int array }
 
 val histogram : bins:int -> float array -> histogram
-(** Equal-width histogram over the sample range. [bins >= 1]. *)
+(** Equal-width histogram over the sample range. [bins >= 1]. Raises
+    [Invalid_argument] when the sample is empty or contains NaN. *)
 
 val pp_histogram : Format.formatter -> histogram -> unit
 (** Text rendering with one bar per bin, used in experiment output. *)

@@ -1,0 +1,83 @@
+open Air_obs
+
+(* Telemetry dashboard: one text block summarizing the retained frames —
+   a module-level header for the latest frame, then one row per partition
+   with utilization, a sparkline of utilization over the retained frames,
+   and the partition's latest-frame counters. *)
+
+let spark_levels = [| "▁"; "▂"; "▃"; "▄"; "▅"; "▆"; "▇"; "█" |]
+
+(* Map a permille utilization to one of 8 glyph levels: 0‰ prints the
+   lowest bar, 1000‰ the full block; partitions absent from a frame's
+   schedule (nothing allotted) print a dot. *)
+let spark_cell (pf : Telemetry.partition_frame) =
+  if pf.Telemetry.pf_allotted <= 0 then "·"
+  else begin
+    let permille = Telemetry.frame_utilization_permille pf in
+    let level = permille * (Array.length spark_levels - 1) / 1000 in
+    let level =
+      if level < 0 then 0
+      else if level >= Array.length spark_levels then
+        Array.length spark_levels - 1
+      else level
+    in
+    spark_levels.(level)
+  end
+
+let partition_cell (f : Telemetry.frame) i =
+  if i < Array.length f.Telemetry.f_partitions then
+    Some f.Telemetry.f_partitions.(i)
+  else None
+
+let sparkline frames i =
+  String.concat ""
+    (List.map
+       (fun f ->
+         match partition_cell f i with
+         | Some pf -> spark_cell pf
+         | None -> " ")
+       frames)
+
+let schedule_name schedules i =
+  match List.assoc_opt i schedules with
+  | Some name -> name
+  | None -> Printf.sprintf "schedule %d" i
+
+let percent_of_permille permille = (permille + 5) / 10
+
+let render ?(schedules = []) ~partitions frames =
+  let b = Buffer.create 1024 in
+  (match List.rev frames with
+  | [] -> Buffer.add_string b "telemetry: no frames closed yet\n"
+  | last :: _ ->
+    let f = last in
+    Buffer.add_string b
+      (Printf.sprintf
+         "telemetry: frame %d [%d‥%d) under %s · %d frame%s retained\n"
+         f.Telemetry.f_index f.Telemetry.f_start f.Telemetry.f_stop
+         (schedule_name schedules f.Telemetry.f_schedule)
+         (List.length frames)
+         (if List.length frames = 1 then "" else "s"));
+    Buffer.add_string b
+      (Printf.sprintf
+         "  busy %d · slack %d · jitter p99 %d · ipc p99 %d (n=%d) · \
+          misses %d · hm %d\n"
+         f.Telemetry.f_busy f.Telemetry.f_slack f.Telemetry.f_jitter_p99
+         f.Telemetry.f_ipc_p99 f.Telemetry.f_ipc_count
+         f.Telemetry.f_deadline_misses f.Telemetry.f_hm_errors);
+    Buffer.add_string b
+      (Printf.sprintf "  %-16s %5s  %-8s %6s %5s %5s %4s  %s\n" "partition"
+         "util%" "disp" "jit.max" "cu.max" "miss" "hm" "trend");
+    List.iter
+      (fun (i, name) ->
+        match partition_cell f i with
+        | None -> ()
+        | Some pf ->
+          Buffer.add_string b
+            (Printf.sprintf "  %-16s %4d%%  %-8d %6d %5d %5d %4d  %s\n" name
+               (percent_of_permille (Telemetry.frame_utilization_permille pf))
+               pf.Telemetry.pf_dispatches pf.Telemetry.pf_jitter_max
+               pf.Telemetry.pf_catch_up_max pf.Telemetry.pf_deadline_misses
+               pf.Telemetry.pf_hm_errors (sparkline frames i)))
+      partitions);
+  Buffer.contents b

@@ -1,0 +1,19 @@
+(** Text dashboard over telemetry frames.
+
+    Renders a module-level header for the most recent frame (busy/slack
+    ticks, jitter and IPC p99, deadline misses, HM invocations) followed by
+    one row per partition: utilization percentage, dispatch count,
+    worst-case jitter and catch-up depth, misses, HM errors, and a
+    sparkline of the partition's utilization across every retained frame
+    (one glyph per frame, [·] where the frame's schedule allots the
+    partition nothing). *)
+
+val render :
+  ?schedules:(int * string) list ->
+  partitions:(int * string) list ->
+  Air_obs.Telemetry.frame list ->
+  string
+(** [render ~partitions frames] with [frames] oldest first (as returned by
+    [System.telemetry_frames]); [partitions] maps partition index to
+    display name (rows render in list order), [schedules] likewise for the
+    header's schedule name. *)

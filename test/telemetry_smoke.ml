@@ -1,0 +1,66 @@
+(* Standalone validator for the telemetry-smoke make target: given the
+   JSON and CSV artifacts `air_run --telemetry-json/--telemetry-csv`
+   produced, check that the JSON is well-formed and carries the telemetry
+   schema with at least one frame, and that every CSV row honours the
+   header's column discipline. Exits nonzero on the first problem. *)
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let read_file path =
+  try In_channel.with_open_text path In_channel.input_all
+  with Sys_error m -> fail "%s" m
+
+let count_occurrences needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i acc =
+    if i + n > h then acc
+    else if String.sub hay i n = needle then go (i + n) (acc + 1)
+    else go (i + 1) acc
+  in
+  if n = 0 then 0 else go 0 0
+
+let check_json path =
+  let text = read_file path in
+  (match Json_lint.check text with
+  | Ok () -> ()
+  | Error e -> fail "%s: invalid JSON: %s" path e);
+  if not (Astring_contains.contains text Air_obs.Telemetry.schema) then
+    fail "%s: missing schema marker %S" path Air_obs.Telemetry.schema;
+  let frames = count_occurrences "\"frame\":" text in
+  if frames = 0 then fail "%s: no frames exported" path;
+  frames
+
+let columns line =
+  List.length (String.split_on_char ',' line)
+
+let check_csv path =
+  let lines =
+    List.filter
+      (fun l -> String.length l > 0)
+      (String.split_on_char '\n' (read_file path))
+  in
+  match lines with
+  | [] -> fail "%s: empty CSV" path
+  | header :: rows ->
+    if not (String.equal header Air_obs.Telemetry.csv_header) then
+      fail "%s: header mismatch:\n  got      %s\n  expected %s" path header
+        Air_obs.Telemetry.csv_header;
+    if rows = [] then fail "%s: no data rows" path;
+    let width = columns header in
+    List.iteri
+      (fun i row ->
+        if columns row <> width then
+          fail "%s: row %d has %d columns, header has %d" path (i + 1)
+            (columns row) width)
+      rows;
+    List.length rows
+
+let () =
+  match Sys.argv with
+  | [| _; json; csv |] ->
+    let frames = check_json json in
+    let rows = check_csv csv in
+    Printf.printf "telemetry smoke OK: %d frames (JSON), %d rows (CSV)\n"
+      frames rows
+  | _ ->
+    fail "usage: %s TELEMETRY.json TELEMETRY.csv" Sys.argv.(0)

@@ -16,6 +16,7 @@ let () =
       ("multicore", Test_multicore.suite);
       ("obs", Test_obs.suite);
       ("trace", Test_trace.suite);
+      ("telemetry", Test_telemetry.suite);
       ("misc", Test_misc.suite);
       ("properties", Test_properties.suite);
       ("arinc", Test_arinc.suite);

@@ -54,6 +54,32 @@ let histogram_basics () =
       (Array.fold_left ( + ) 0 v.Metrics.view_buckets)
   | _ -> Alcotest.fail "expected histogram snapshot"
 
+let histogram_view_quantiles () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "x.lat" in
+  List.iter (Metrics.observe h) [ 0; 1; 3; 100; 5000 ];
+  match Metrics.find reg "x.lat" with
+  | Some (Metrics.Histogram_value v) ->
+    (* Rank 3 of 5 lands in the (2,4] bucket: the estimate is the bucket's
+       inclusive upper bound. *)
+    check Alcotest.int "p50" 4 (Metrics.view_quantile v ~num:1 ~den:2);
+    (* Ranks in the +inf overflow bucket answer with the exact peak. *)
+    check Alcotest.int "p99" 5000 (Metrics.view_quantile v ~num:99 ~den:100);
+    check Alcotest.int "q1 is the peak" 5000
+      (Metrics.view_quantile v ~num:1 ~den:1);
+    Alcotest.check_raises "den = 0"
+      (Invalid_argument "Metrics.view_quantile: need 0 <= num <= den, den > 0")
+      (fun () -> ignore (Metrics.view_quantile v ~num:1 ~den:0))
+  | _ -> Alcotest.fail "expected histogram snapshot"
+
+let empty_view_quantile_is_zero () =
+  let reg = Metrics.create () in
+  ignore (Metrics.histogram reg "x.lat");
+  match Metrics.find reg "x.lat" with
+  | Some (Metrics.Histogram_value v) ->
+    check Alcotest.int "empty" 0 (Metrics.view_quantile v ~num:1 ~den:2)
+  | _ -> Alcotest.fail "expected histogram snapshot"
+
 let kind_mismatch_rejected () =
   let reg = Metrics.create () in
   ignore (Metrics.counter reg "x");
@@ -105,14 +131,17 @@ let report_renders_all_kinds () =
     (fun needle ->
       check Alcotest.bool (needle ^ " in text report") true
         (contains ~needle text))
-    [ "c"; "g"; "h"; "tick" ];
+    [ "c"; "g"; "h"; "tick"; "p50=3 p90=3 p99=3" ];
   let sexp = Report.to_sexp ~events snapshot in
   check Alcotest.bool "sexp shape" true (contains ~needle:"(metrics" sexp);
+  check Alcotest.bool "sexp percentiles" true
+    (contains ~needle:"(p50 3)" sexp);
   let json = Report.to_json ~events snapshot in
   List.iter
     (fun needle ->
       check Alcotest.bool (needle ^ " in json") true (contains ~needle json))
-    [ "\"c\""; "\"counter\""; "\"gauge\""; "\"histogram\""; "\"tick\":4" ]
+    [ "\"c\""; "\"counter\""; "\"gauge\""; "\"histogram\""; "\"tick\":4";
+      "\"p50\":3"; "\"p99\":3" ]
 
 (* Control characters in event labels and metric names must not corrupt
    the JSON report (regression: a raw newline in a label used to pass
@@ -239,6 +268,10 @@ let suite =
   [ Alcotest.test_case "metrics: counters" `Quick counter_basics;
     Alcotest.test_case "metrics: gauges" `Quick gauge_basics;
     Alcotest.test_case "metrics: histograms" `Quick histogram_basics;
+    Alcotest.test_case "metrics: view quantiles" `Quick
+      histogram_view_quantiles;
+    Alcotest.test_case "metrics: empty view quantile" `Quick
+      empty_view_quantile_is_zero;
     Alcotest.test_case "metrics: kind mismatch" `Quick kind_mismatch_rejected;
     Alcotest.test_case "metrics: snapshot order" `Quick snapshot_is_sorted;
     Alcotest.test_case "events: ring and counts" `Quick

@@ -134,6 +134,23 @@ let stats_histogram () =
   check Alcotest.int "total count" 5
     (Array.fold_left ( + ) 0 h.Stats.counts)
 
+let stats_reject_nan () =
+  (* A NaN would silently poison the order statistics under polymorphic
+     [compare] (regression: [quantile] used to sort with it); both
+     whole-sample entry points refuse the sample instead. *)
+  let poisoned = [| 3.0; nan; 1.0 |] in
+  Alcotest.check_raises "quantile"
+    (Invalid_argument "Stats.quantile: NaN in sample")
+    (fun () -> ignore (Stats.quantile poisoned 0.5));
+  Alcotest.check_raises "histogram"
+    (Invalid_argument "Stats.histogram: NaN in sample")
+    (fun () -> ignore (Stats.histogram ~bins:2 poisoned));
+  (* Negative zero and infinities still sort totally. *)
+  check (Alcotest.float 1e-9) "infinities fine" 1.0
+    (Stats.quantile [| infinity; 1.0; neg_infinity |] 0.5);
+  check (Alcotest.float 1e-9) "signed zero" 0.0
+    (Stats.quantile [| 0.0; -0.0; 0.0 |] 0.5)
+
 (* --- Vec ---------------------------------------------------------------- *)
 
 let vec_push_get () =
@@ -250,6 +267,7 @@ let suite =
     Alcotest.test_case "stats: empty" `Quick stats_empty;
     Alcotest.test_case "stats: quantile" `Quick stats_quantile;
     Alcotest.test_case "stats: histogram" `Quick stats_histogram;
+    Alcotest.test_case "stats: NaN rejected" `Quick stats_reject_nan;
     Alcotest.test_case "vec: push/get" `Quick vec_push_get;
     Alcotest.test_case "vec: pop_last" `Quick vec_pop_last;
     Alcotest.test_case "vec: iteration" `Quick vec_iter_fold;
