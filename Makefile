@@ -1,4 +1,4 @@
-.PHONY: all build test check bench trace-smoke telemetry-smoke clean
+.PHONY: all build test check bench trace-smoke telemetry-smoke fault-smoke clean
 
 all: build
 
@@ -17,7 +17,7 @@ check:
 
 # Full benchmark run with committed JSON artifact.
 bench:
-	dune exec bench/main.exe -- --json BENCH_3.json
+	dune exec bench/main.exe -- --json BENCH_4.json
 
 # End-to-end flight-recorder pass: run an example configuration with the
 # recorder attached, export the Chrome trace and replay-check the event
@@ -36,6 +36,19 @@ telemetry-smoke:
 	  --telemetry-csv /tmp/air_telemetry.csv
 	dune exec test/telemetry_smoke.exe -- \
 	  /tmp/air_telemetry.json /tmp/air_telemetry.csv
+
+# End-to-end fault-injection pass: run the example document's seeded
+# campaigns twice through the engine + containment oracle, export both
+# reports, and validate them (JSON well-formedness, schema marker, all
+# campaigns contained and reproducible, byte-identical reruns).
+fault-smoke:
+	dune build test/fault_smoke.exe
+	dune exec bin/air_run.exe -- examples/configs/leo_satellite.air \
+	  --faults --campaign-json /tmp/air_campaign_a.json
+	dune exec bin/air_run.exe -- examples/configs/leo_satellite.air \
+	  --faults --campaign-json /tmp/air_campaign_b.json
+	dune exec test/fault_smoke.exe -- \
+	  /tmp/air_campaign_a.json /tmp/air_campaign_b.json
 
 clean:
 	dune clean

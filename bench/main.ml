@@ -11,6 +11,9 @@
    - ipc/*       (E9): sampling and queuing transfers through the router.
    - mmu/*       (E10): page-table walk vs TLB-served access checks.
    - system/*    : a full prototype tick (all layers compounded).
+   - faults/*    : campaign-engine costs — rate-plan expansion, the spatial
+     and communication injection hooks, and a whole one-MTF campaign
+     (target + baseline + oracle bookkeeping).
 
    Run with: dune exec bench/main.exe *)
 
@@ -395,6 +398,91 @@ let telemetry_tests =
       Test.make ~name:"prototype tick (telemetry)"
         (prototype_tick_telemetry ()) ]
 
+(* --- fault-injection campaigns ----------------------------------------------- *)
+
+let faults_tests =
+  (* Plan expansion: two explicit injections plus two per-MTF rates over a
+     15-MTF horizon — all the randomness a campaign ever spends. *)
+  let plan_expansion () =
+    let spec =
+      Air_faults.Campaign.spec ~name:"bench" ~seed:7 ~horizon:20_000
+        ~injections:
+          [ { Air_faults.Campaign.at = 300;
+              fault =
+                Air_faults.Fault.Wild_access
+                  { partition = 0; section = Air_spatial.Memory.Data;
+                    offset = 64; write = true } };
+            { Air_faults.Campaign.at = 2_500;
+              fault =
+                Air_faults.Fault.Clock_jitter { partition = 1; ticks = 40 } } ]
+        ~rates:
+          [ { Air_faults.Campaign.per_mtf_permille = 400;
+              template =
+                Air_faults.Fault.Port_fault
+                  { port = "ATT_IN"; fault = Air_faults.Fault.Msg_loss } };
+            { Air_faults.Campaign.per_mtf_permille = 250;
+              template =
+                Air_faults.Fault.Port_fault
+                  { port = "TM_IN"; fault = Air_faults.Fault.Msg_duplicate } } ]
+        ()
+    in
+    Staged.stage (fun () -> ignore (Air_faults.Campaign.plan spec ~mtf:1300))
+  in
+  (* The spatial hook end to end: a denied access pays the 3-level walk,
+     the Memory_violation raise and the configured HM recovery action. *)
+  let wild_access_hook () =
+    let s = Air_workload.Satellite.make () in
+    Air.System.run s ~ticks:1;
+    Staged.stage (fun () ->
+        ignore
+          (Air.System.inject_memory_access s Air_workload.Satellite.p1
+             ~access:Air_spatial.Mmu.Write ~address:0x7f00_0000))
+  in
+  (* The communication hook: refill a sampling channel and strike it. *)
+  let port_perturb () =
+    let p0 = Air_model.Ident.Partition_id.make 0
+    and p1 = Air_model.Ident.Partition_id.make 1 in
+    let network =
+      { Air_ipc.Port.ports =
+          [ Air_ipc.Port.sampling_port ~name:"S_OUT" ~partition:p0
+              ~direction:Air_ipc.Port.Source ~refresh:1000
+              ~max_message_size:64;
+            Air_ipc.Port.sampling_port ~name:"S_IN" ~partition:p1
+              ~direction:Air_ipc.Port.Destination ~refresh:1000
+              ~max_message_size:64 ];
+        channels =
+          [ { Air_ipc.Port.source = "S_OUT"; destinations = [ "S_IN" ] } ] }
+    in
+    let r = Air_ipc.Router.create network in
+    let msg = Bytes.make 32 'x' in
+    Staged.stage (fun () ->
+        ignore
+          (Air_ipc.Router.write_sampling r ~caller:p0 ~port:"S_OUT" ~now:0 msg);
+        ignore (Air_ipc.Router.drop_head r ~port:"S_IN"))
+  in
+  (* A whole seeded campaign over one MTF: fresh target + baseline, plan,
+     tick-by-tick execution and outcome matching. *)
+  let campaign_one_mtf () =
+    let spec =
+      Air_faults.Campaign.spec ~name:"bench-mtf" ~seed:3 ~horizon:1300
+        ~injections:
+          [ { Air_faults.Campaign.at = 100;
+              fault =
+                Air_faults.Fault.Runaway_start
+                  { partition = 0;
+                    process = Air_workload.Satellite.faulty_process_name } } ]
+        ()
+    in
+    let make () = Air_faults.Engine.Module (Air_workload.Satellite.make ()) in
+    Staged.stage (fun () -> ignore (Air_faults.Engine.execute ~make spec))
+  in
+  Test.make_grouped ~name:"faults"
+    [ Test.make ~name:"plan (2 inj + 2 rates, 15 MTF)" (plan_expansion ());
+      Test.make ~name:"wild access (inject+detect+recover)"
+        (wild_access_hook ());
+      Test.make ~name:"port perturb (write+drop)" (port_perturb ());
+      Test.make ~name:"campaign execute (1 MTF)" (campaign_one_mtf ()) ]
+
 (* --- multicore + cluster ----------------------------------------------------- *)
 
 let extension_tests =
@@ -572,7 +660,7 @@ let () =
   let groups =
     [ scheduler_tests; store_tests; pal_tests; ipc_tests; mmu_tests;
       analysis_tests; system_tests; recorder_tests; telemetry_tests;
-      extension_tests ]
+      faults_tests; extension_tests ]
   in
   let all_rows =
     List.concat_map

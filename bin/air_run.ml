@@ -38,6 +38,64 @@ let run_cluster path ticks =
       (Air.Cluster.systems cluster);
     0
 
+(* Campaign mode: run every (faults (campaign …)) of the document through
+   the injection engine, judge containment, and print/export the reports.
+   Each engine run gets a fresh system built by reloading the document, so
+   campaign, baseline and reproducibility runs share no mutable state. *)
+let run_campaigns path campaign_json =
+  match Air_config.Loader.load_campaigns_file path with
+  | Error e ->
+    Format.eprintf "%s: %s@." path e;
+    1
+  | Ok [] ->
+    Format.eprintf "%s: no (faults (campaign …)) section@." path;
+    1
+  | Ok specs -> (
+    let make () =
+      match Air_config.Loader.load_file path with
+      | Ok cfg -> Air_faults.Engine.Module (Air.System.create cfg)
+      | Error e -> failwith e
+    in
+    match
+      List.map
+        (fun spec ->
+          let run = Air_faults.Engine.execute ~make spec in
+          let verdict = Air_faults.Oracle.check run in
+          let reproducible = Air_faults.Engine.reproducible ~make spec in
+          Air_faults.Report.make ~reproducible run verdict)
+        specs
+    with
+    | exception Failure e ->
+      Format.eprintf "%s: %s@." path e;
+      1
+    | reports ->
+      List.iter (fun r -> print_string (Air_faults.Report.to_text r)) reports;
+      let json_ok =
+        match campaign_json with
+        | None -> true
+        | Some file -> (
+          try
+            Out_channel.with_open_text file (fun oc ->
+                Out_channel.output_string oc
+                  (Air_faults.Report.document reports);
+                Out_channel.output_char oc '\n');
+            Format.printf "campaign report exported to %s@." file;
+            true
+          with Sys_error msg ->
+            Format.eprintf "%s@." msg;
+            false)
+      in
+      let contained =
+        List.for_all
+          (fun r -> Air_faults.Oracle.passed r.Air_faults.Report.verdict)
+          reports
+      and deterministic =
+        List.for_all
+          (fun r -> r.Air_faults.Report.reproducible = Some true)
+          reports
+      in
+      if not json_ok then 1 else if contained && deterministic then 0 else 2)
+
 let is_cluster_document path =
   match Air_config.Sexp.parse_file path with
   | Ok (Air_config.Sexp.List (Air_config.Sexp.Atom "air-cluster" :: _) :: _) ->
@@ -45,8 +103,15 @@ let is_cluster_document path =
   | Ok _ | Error _ -> false
 
 let run_file path ticks show_trace show_gantt export metrics_json trace_json
-    check_trace timeline telemetry_csv telemetry_json watch =
-  if is_cluster_document path then run_cluster path ticks
+    check_trace timeline telemetry_csv telemetry_json watch faults
+    campaign_json =
+  if faults || campaign_json <> None then
+    if is_cluster_document path then begin
+      Format.eprintf "%s: --faults runs against a module document@." path;
+      1
+    end
+    else run_campaigns path campaign_json
+  else if is_cluster_document path then run_cluster path ticks
   else
   match Air_config.Loader.load_file path with
   | Error e ->
@@ -341,6 +406,25 @@ let watch_arg =
   in
   Arg.(value & opt (some int) None & info [ "watch" ] ~docv:"N" ~doc)
 
+let faults_flag =
+  let doc =
+    "Run the document's (faults …) campaigns through the injection engine \
+     instead of a plain simulation: each campaign is executed over its own \
+     horizon, checked for reproducibility, and judged by the containment \
+     oracle (exit 2 when a campaign breaches containment or diverges)."
+  in
+  Arg.(value & flag & info [ "faults" ] ~doc)
+
+let campaign_json_arg =
+  let doc =
+    "Write the campaign reports as an air-campaign/1 JSON document to \
+     $(docv) (implies $(b,--faults))."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "campaign-json" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "run an AIR module from its integration configuration" in
   Cmd.v
@@ -348,6 +432,6 @@ let cmd =
     Term.(const run_file $ path_arg $ ticks_arg $ trace_flag $ gantt_flag
           $ export_arg $ metrics_json_arg $ trace_json_arg $ check_trace_arg
           $ timeline_flag $ telemetry_csv_arg $ telemetry_json_arg
-          $ watch_arg)
+          $ watch_arg $ faults_flag $ campaign_json_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -566,6 +566,166 @@ let decode_telemetry env args =
     (Air_obs.Telemetry.config ?retention
        ?default_watchdog ~schedule_watchdogs ())
 
+(* --- Fault campaigns ------------------------------------------------------ *)
+
+(* (faults
+     (campaign
+       (name nominal-storm)
+       (seed 7)
+       (horizon 20000)
+       (injections
+         (inject (at 1500) (fault (wild-access GNC data write 64)))
+         (inject (at 3000) (fault (clock-jitter CAMERA 40))))
+       (rates
+         (rate (per-mtf-permille 250) (fault (message-loss ATT_OUT)))))
+     (campaign …))
+
+   Fault forms:
+     (runaway-start PARTITION PROCESS)     (process-stop PARTITION PROCESS)
+     (restart-partition PARTITION warm|cold|idle)
+     (request-schedule SCHEDULE)           (clock-jitter PARTITION TICKS)
+     (wild-access PARTITION SECTION read|write [OFFSET])
+     (bit-flip PARTITION SECTION BIT read|write)
+     (message-loss PORT)                   (message-duplicate PORT)
+     (message-corrupt PORT BYTE)           (message-delay PORT TICKS)
+     (message-reorder PORT)
+     (link-loss) (link-duplicate) (link-corrupt BYTE) (link-delay TICKS)
+     (link-reorder)
+     (module-error CODE)
+   with SECTION one of code|data|stack|io. *)
+
+let decode_section s =
+  let* a = atom s in
+  match a with
+  | "code" -> Ok Air_spatial.Memory.Code
+  | "data" -> Ok Air_spatial.Memory.Data
+  | "stack" -> Ok Air_spatial.Memory.Stack
+  | "io" -> Ok Air_spatial.Memory.Io
+  | _ -> error "unknown memory section %s" a
+
+let decode_rw s =
+  let* a = atom s in
+  match a with
+  | "read" -> Ok false
+  | "write" -> Ok true
+  | _ -> error "expected read or write, got %s" a
+
+let decode_restart_mode s =
+  let* a = atom s in
+  match a with
+  | "warm" -> Ok Partition.Warm_start
+  | "cold" -> Ok Partition.Cold_start
+  | "idle" -> Ok Partition.Idle
+  | _ -> error "expected warm, cold or idle, got %s" a
+
+let decode_fault env s =
+  let open Air_faults.Fault in
+  let* tag, args = tag_of s in
+  let partition_index p =
+    let* p = atom p in
+    index_of env.partition_names "partition" p
+  in
+  let port_fault port fault =
+    let* port = atom port in
+    Ok (Port_fault { port; fault })
+  in
+  match (tag, args) with
+  | "runaway-start", [ p; pr ] ->
+    let* partition = partition_index p in
+    let* process = atom pr in
+    Ok (Runaway_start { partition; process })
+  | "process-stop", [ p; pr ] ->
+    let* partition = partition_index p in
+    let* process = atom pr in
+    Ok (Process_stop { partition; process })
+  | "restart-partition", [ p; m ] ->
+    let* partition = partition_index p in
+    let* mode = decode_restart_mode m in
+    Ok (Partition_restart { partition; mode })
+  | "request-schedule", [ s ] ->
+    let* name = atom s in
+    let* schedule = index_of env.schedule_names "schedule" name in
+    Ok (Schedule_request { schedule })
+  | "clock-jitter", [ p; t ] ->
+    let* partition = partition_index p in
+    let* ticks = int t in
+    Ok (Clock_jitter { partition; ticks })
+  | "wild-access", p :: sec :: rw :: rest ->
+    let* partition = partition_index p in
+    let* section = decode_section sec in
+    let* write = decode_rw rw in
+    let* offset =
+      match rest with
+      | [] -> Ok 64
+      | [ o ] -> int o
+      | _ -> error "wild-access: expected PARTITION SECTION read|write [OFFSET]"
+    in
+    Ok (Wild_access { partition; section; offset; write })
+  | "bit-flip", [ p; sec; bit; rw ] ->
+    let* partition = partition_index p in
+    let* section = decode_section sec in
+    let* bit = int bit in
+    let* write = decode_rw rw in
+    Ok (Bit_flip { partition; section; bit; write })
+  | "message-loss", [ port ] -> port_fault port Msg_loss
+  | "message-duplicate", [ port ] -> port_fault port Msg_duplicate
+  | "message-corrupt", [ port; byte ] ->
+    let* byte = int byte in
+    port_fault port (Msg_corrupt { byte })
+  | "message-delay", [ port; ticks ] ->
+    let* ticks = int ticks in
+    port_fault port (Msg_delay { ticks })
+  | "message-reorder", [ port ] -> port_fault port Msg_reorder
+  | "link-loss", [] -> Ok (Link_fault { fault = Msg_loss })
+  | "link-duplicate", [] -> Ok (Link_fault { fault = Msg_duplicate })
+  | "link-corrupt", [ byte ] ->
+    let* byte = int byte in
+    Ok (Link_fault { fault = Msg_corrupt { byte } })
+  | "link-delay", [ ticks ] ->
+    let* ticks = int ticks in
+    Ok (Link_fault { fault = Msg_delay { ticks } })
+  | "link-reorder", [] -> Ok (Link_fault { fault = Msg_reorder })
+  | "module-error", [ code ] ->
+    let* code = decode_error_code code in
+    Ok (Module_error { code })
+  | _, _ -> error "unknown fault form (%s …)" tag
+
+let decode_injection env s =
+  let* body = tagged "inject" s in
+  let* f = fields_of ~context:"inject" body in
+  let* at = required f "at" (one time) in
+  let* fault = required f "fault" (one (decode_fault env)) in
+  let* () = assert_no_extra f ~known:[ "at"; "fault" ] in
+  Ok { Air_faults.Campaign.at; fault }
+
+let decode_rate env s =
+  let* body = tagged "rate" s in
+  let* f = fields_of ~context:"rate" body in
+  let* per_mtf_permille = required f "per-mtf-permille" (one int) in
+  let* template = required f "fault" (one (decode_fault env)) in
+  let* () = assert_no_extra f ~known:[ "per-mtf-permille"; "fault" ] in
+  Ok { Air_faults.Campaign.per_mtf_permille; template }
+
+let decode_campaign env s =
+  let* body = tagged "campaign" s in
+  let* f = fields_of ~context:"campaign" body in
+  let* name = with_default f "name" (one atom) "campaign" in
+  let* seed = required f "seed" (one int) in
+  let* horizon = required f "horizon" (one int) in
+  let* () =
+    if horizon <= 0 then error "campaign %s: horizon must be positive" name
+    else Ok ()
+  in
+  let* injections = map_all (decode_injection env) (rest_of f "injections") in
+  let* rates = map_all (decode_rate env) (rest_of f "rates") in
+  let* () =
+    assert_no_extra f
+      ~known:[ "name"; "seed"; "horizon"; "injections"; "rates" ]
+  in
+  Ok (Air_faults.Campaign.spec ~name ~injections ~rates ~seed ~horizon ())
+
+let decode_faults env args = map_all (decode_campaign env) args
+
 (* --- Toplevel ------------------------------------------------------------ *)
 
 let name_field context s =
@@ -617,11 +777,14 @@ let decode_system s =
       let* c = decode_telemetry env args in
       Ok (Some c)
   in
+  (* Campaigns live in the same document but are not part of the module
+     configuration; validate the grammar here so a typo fails the load. *)
+  let* _campaigns = decode_faults env (rest_of f "faults") in
   let* () =
     assert_no_extra f
       ~known:
         [ "partitions"; "schedules"; "ports"; "channels"; "initial-schedule";
-          "hm"; "telemetry" ]
+          "hm"; "telemetry"; "faults" ]
   in
   Ok
     (Air.System.config ?initial_schedule
@@ -637,6 +800,26 @@ let load_file path =
   match Sexp.parse_file path with
   | Error e -> Error (Format.asprintf "%a" Sexp.pp_error e)
   | Ok [ s ] -> decode_system s
+  | Ok _ -> Error "expected exactly one (air-system …) form"
+
+let campaigns_of doc =
+  let* body = tagged "air-system" doc in
+  let* f = fields_of ~context:"air-system" body in
+  let* partition_names =
+    map_all (name_field "partition") (rest_of f "partitions")
+  in
+  let* schedule_names = map_all (name_field "schedule") (rest_of f "schedules") in
+  decode_faults { partition_names; schedule_names } (rest_of f "faults")
+
+let load_campaigns input =
+  match Sexp.parse_one input with
+  | Error e -> Error (Format.asprintf "%a" Sexp.pp_error e)
+  | Ok s -> campaigns_of s
+
+let load_campaigns_file path =
+  match Sexp.parse_file path with
+  | Error e -> Error (Format.asprintf "%a" Sexp.pp_error e)
+  | Ok [ s ] -> campaigns_of s
   | Ok _ -> Error "expected exactly one (air-system …) form"
 
 (* --- Clusters ------------------------------------------------------------ *)

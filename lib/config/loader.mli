@@ -14,6 +14,34 @@ val load : string -> (Air.System.config, string) result
 
 val load_file : string -> (Air.System.config, string) result
 
+(** {1 Fault campaigns}
+
+    A configuration document may carry a [(faults (campaign …) …)] section
+    describing seeded fault-injection campaigns against the module:
+
+    {v
+(faults
+  (campaign
+    (name nominal-storm)
+    (seed 7)
+    (horizon 20000)
+    (injections
+      (inject (at 1500) (fault (wild-access GNC data write 64))))
+    (rates
+      (rate (per-mtf-permille 250) (fault (message-loss ATT_OUT))))))
+    v}
+
+    The section is validated (partition, schedule and error-code names
+    resolved) but otherwise ignored by {!load}; the campaign engine reads
+    it through the functions below. *)
+
+val load_campaigns : string -> (Air_faults.Campaign.spec list, string) result
+(** Decode the campaigns of a configuration document given as a string
+    (empty list when the document has no [faults] section). *)
+
+val load_campaigns_file :
+  string -> (Air_faults.Campaign.spec list, string) result
+
 (** {1 Clusters}
 
     A cluster document wires several module configurations over a bus:

@@ -123,6 +123,55 @@ let now t = t.clock
 
 let systems t = t.modules
 
+(* --- Fault injection on inter-module links ------------------------------ *)
+
+type bus_fault =
+  | Bus_drop
+  | Bus_duplicate
+  | Bus_delay of Time.t
+  | Bus_corrupt of { byte : int }
+  | Bus_reorder
+
+let pp_bus_fault ppf = function
+  | Bus_drop -> Format.pp_print_string ppf "bus-drop"
+  | Bus_duplicate -> Format.pp_print_string ppf "bus-duplicate"
+  | Bus_delay d -> Format.fprintf ppf "bus-delay %a" Time.pp d
+  | Bus_corrupt { byte } -> Format.fprintf ppf "bus-corrupt byte %d" byte
+  | Bus_reorder -> Format.pp_print_string ppf "bus-reorder"
+
+let inject_bus_fault t fault =
+  match Heap.pop t.in_flight with
+  | None -> false
+  | Some tr ->
+    (match fault with
+    | Bus_reorder -> (
+      (* Swap the arrival instants of the two earliest transfers, so the
+         second overtakes the first on the medium. *)
+      match Heap.pop t.in_flight with
+      | None -> Heap.push t.in_flight tr
+      | Some next ->
+        Heap.push t.in_flight { tr with arrival = next.arrival };
+        Heap.push t.in_flight { next with arrival = tr.arrival })
+    | Bus_drop ->
+      (* The transfer vanishes on the medium; account it as dropped so the
+         cluster's conservation story stays balanced. *)
+      t.dropped <- t.dropped + 1
+    | Bus_duplicate ->
+      Heap.push t.in_flight tr;
+      Heap.push t.in_flight { tr with payload = Bytes.copy tr.payload }
+    | Bus_delay d ->
+      Heap.push t.in_flight
+        { tr with arrival = Time.add tr.arrival (Time.max 0 d) }
+    | Bus_corrupt { byte } ->
+      let len = Bytes.length tr.payload in
+      if len > 0 then begin
+        let i = ((byte mod len) + len) mod len in
+        Bytes.set tr.payload i
+          (Char.chr (Char.code (Bytes.get tr.payload i) lxor 0xff))
+      end;
+      Heap.push t.in_flight tr);
+    true
+
 type stats = {
   transferred : int;
   dropped : int;

@@ -57,3 +57,25 @@ type stats = {
 }
 
 val stats : t -> stats
+
+(** {1 Fault injection on inter-module links}
+
+    Hooks for the fault-injection campaign engine ([Faults]): perturb the
+    earliest in-flight bus transfer. All operate between serialization and
+    delivery — the window in which a real link fault would strike. *)
+
+type bus_fault =
+  | Bus_drop  (** Transfer lost on the medium (counted in [dropped]). *)
+  | Bus_duplicate  (** Delivered twice at the same arrival instant. *)
+  | Bus_delay of Time.t  (** Arrival postponed by the given ticks. *)
+  | Bus_corrupt of { byte : int }
+      (** All bits of payload byte [byte mod length] inverted. *)
+  | Bus_reorder
+      (** The two earliest transfers swap arrival instants (absorbed when
+          fewer than two are in flight). *)
+
+val pp_bus_fault : Format.formatter -> bus_fault -> unit
+
+val inject_bus_fault : t -> bus_fault -> bool
+(** Apply the fault to the transfer with the earliest arrival time; [false]
+    when nothing is in flight (the fault is a no-op). *)

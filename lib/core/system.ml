@@ -106,6 +106,12 @@ type prt = {
   env : Apex.env;
   tasks : task array;
   mutable mode : Partition.mode;
+  mutable jitter_left : int;
+      (** Active ticks whose PAL clock-tick announcement is still being
+          suppressed by an injected clock-jitter fault. *)
+  mutable jitter_deferred : int;
+      (** Elapsed ticks accumulated while suppressed; announced as one
+          catch-up burst when the jitter window ends. *)
 }
 
 type t = {
@@ -177,6 +183,8 @@ let shutdown_partition t prt =
   Intra.reset prt.intra;
   Pal.clear_deadlines prt.pal;
   Array.iter reset_task prt.tasks;
+  prt.jitter_left <- 0;
+  prt.jitter_deferred <- 0;
   set_mode t prt Partition.Idle
 
 let begin_restart t prt mode =
@@ -190,6 +198,8 @@ let begin_restart t prt mode =
     Intra.clear_mailboxes prt.intra);
   Pal.clear_deadlines prt.pal;
   Array.iter reset_task prt.tasks;
+  prt.jitter_left <- 0;
+  prt.jitter_deferred <- 0;
   set_mode t prt mode
 
 (* Partition initialization: performed the first time the partition is
@@ -472,7 +482,9 @@ let create (cfg : config) =
                 | Partition.Cold_start | Partition.Warm_start ->
                   begin_restart t prt mode) };
         tasks;
-        mode = setup.partition.Partition.initial_mode }
+        mode = setup.partition.Partition.initial_mode;
+        jitter_left = 0;
+        jitter_deferred = 0 }
     in
     prt
   in
@@ -737,10 +749,20 @@ let step t =
       | Partition.Normal ->
         let tnow = now t in
         (* PAL surrogate clock tick announcement (Algorithm 3): announce
-           the elapsed ticks to the POS, then verify deadlines. *)
-        if outcome.Pmk.elapsed > 0 then begin
+           the elapsed ticks to the POS, then verify deadlines. An injected
+           clock-jitter fault suppresses the announcement — the tick is
+           lost at the PMK, the running process keeps computing — and the
+           withheld ticks are announced as one catch-up burst when the
+           jitter window ends (exercising the PAL catch-up path). *)
+        if outcome.Pmk.elapsed > 0 && prt.jitter_left > 0 then begin
+          prt.jitter_left <- prt.jitter_left - 1;
+          prt.jitter_deferred <- prt.jitter_deferred + outcome.Pmk.elapsed
+        end
+        else if outcome.Pmk.elapsed > 0 || prt.jitter_deferred > 0 then begin
+          let elapsed = outcome.Pmk.elapsed + prt.jitter_deferred in
+          prt.jitter_deferred <- 0;
           let violations =
-            Pal.announce_ticks prt.pal ~now:tnow ~elapsed:outcome.Pmk.elapsed
+            Pal.announce_ticks prt.pal ~now:tnow ~elapsed
               ~announce_to_pos:(fun ~elapsed:_ ->
                 Kernel.announce_ticks prt.kernel ~now:tnow)
           in
@@ -866,6 +888,11 @@ let region_of t pid section =
       (fun (r : Memory.region) -> Memory.section_equal r.section section)
       map.Memory.regions
 
+let regions_of t pid =
+  match Protection.map_of t.protection pid with
+  | None -> []
+  | Some map -> map.Memory.regions
+
 let violations t =
   List.filter_map
     (fun (time, ev) ->
@@ -949,3 +976,32 @@ let drain_remote t ~port =
     | Ok None | Error _ -> None)
 
 let inject_module_error t code ~detail = report_module_error t code ~detail
+
+(* --- Fault injection ---------------------------------------------------- *)
+
+let note_fault t ~label = emit t (Event.Fault_injected { label })
+
+let inject_memory_access t pid ~access ~address =
+  let prt = prt_of t pid in
+  let granted =
+    match
+      Protection.access t.protection ~partition:pid ~level:Memory.Application
+        ~access address
+    with
+    | Ok () -> true
+    | Error _ -> false
+  in
+  emit t (Event.Memory_access { partition = pid; address; granted });
+  if not granted then
+    report_partition_error t prt Error.Memory_violation
+      ~detail:(Printf.sprintf "address 0x%x (injected)" address);
+  granted
+
+let inject_clock_jitter t pid ~ticks =
+  if ticks > 0 then begin
+    let prt = prt_of t pid in
+    prt.jitter_left <- prt.jitter_left + ticks
+  end
+
+let network t = t.cfg.network
+let hm_tables t = t.cfg.hm_tables

@@ -192,6 +192,11 @@ val region_of :
 (** The partition's allocated region for a section — scripts use it to
     compute legitimate (or deliberately out-of-bounds) addresses. *)
 
+val regions_of : t -> Partition_id.t -> Memory.region list
+(** Every region of the partition's memory map (empty when the partition
+    has none) — the fault injector uses it to compute addresses that lie
+    outside the partition's whole footprint. *)
+
 val violations : t -> (Time.t * Process_id.t * Time.t) list
 (** All deadline violations detected so far: (detection time, process,
     violated deadline). *)
@@ -232,3 +237,34 @@ val inject_module_error : t -> Error.code -> detail:string -> unit
 (** Report a module-level error (e.g. a simulated hardware fault or power
     failure) to the Health Monitor; the configured module action is
     applied — possibly stopping or reinitializing the whole system. *)
+
+(** {1 Fault injection (campaign engine hooks, [Faults])} *)
+
+val note_fault : t -> label:string -> unit
+(** Record a {!Event.Fault_injected} marker in the trace, so campaign
+    reports and replay checks can anchor every injection to an instant. *)
+
+val inject_memory_access :
+  t -> Partition_id.t -> access:Mmu.access_kind -> address:int -> bool
+(** Drive a memory access on behalf of the partition through the full
+    protection path ({!Protection.access}: 3-level table walk + TLB),
+    exactly as the script interpreter does: a {!Event.Memory_access} event
+    is always emitted, and a denied access additionally raises a
+    partition-level [Memory_violation] through the Health Monitor. Returns
+    whether the access was granted — a bit flip landing inside the
+    partition's own region is spatially contained by construction. *)
+
+val inject_clock_jitter : t -> Partition_id.t -> ticks:int -> unit
+(** Suppress the PAL surrogate clock-tick announcement for the partition's
+    next [ticks] active ticks (tick loss at the PMK level): deadline
+    verification and POS timeouts stall while the running process keeps
+    computing, then the withheld ticks arrive as one catch-up burst —
+    strictly a temporal fault local to the partition. Cumulative; cleared
+    by a partition restart or shutdown. *)
+
+val network : t -> Port.network
+(** The interpartition port/channel network the module was built with. *)
+
+val hm_tables : t -> Hm.tables
+(** The Health Monitor configuration tables the module was built with
+    (the containment oracle replays these against the trace). *)

@@ -1,0 +1,50 @@
+open Air_sim
+
+type injection = { at : Time.t; fault : Fault.t }
+type rate = { per_mtf_permille : int; template : Fault.t }
+
+type spec = {
+  name : string;
+  seed : int;
+  horizon : int;
+  injections : injection list;
+  rates : rate list;
+}
+
+let spec ?(name = "campaign") ?(injections = []) ?(rates = []) ~seed ~horizon
+    () =
+  if horizon <= 0 then invalid_arg "Campaign.spec: horizon must be positive";
+  { name; seed; horizon; injections; rates }
+
+let plan spec ~mtf =
+  if mtf <= 0 then invalid_arg "Campaign.plan: mtf must be positive";
+  let root = Rng.create spec.seed in
+  let explicit =
+    List.filter (fun i -> i.at >= 0 && i.at < spec.horizon) spec.injections
+  in
+  let rated =
+    List.concat_map
+      (fun r ->
+        (* One substream per rate: the draws of one rate are a pure
+           function of (seed, rate position), never of the other rates'
+           consumption. *)
+        let stream = Rng.split root in
+        let permille = Stdlib.min 1000 (Stdlib.max 0 r.per_mtf_permille) in
+        let out = ref [] in
+        let start = ref 0 in
+        while !start < spec.horizon do
+          let window = Stdlib.min mtf (spec.horizon - !start) in
+          (* Draw the offset unconditionally so the stream advances the
+             same way whatever the permille threshold. *)
+          let hit = Rng.int stream 1000 < permille in
+          let off = Rng.int stream window in
+          if hit then
+            out := { at = !start + off; fault = r.template } :: !out;
+          start := !start + mtf
+        done;
+        List.rev !out)
+      spec.rates
+  in
+  List.stable_sort
+    (fun a b -> Stdlib.compare a.at b.at)
+    (explicit @ rated)

@@ -1,0 +1,47 @@
+(** Deterministic fault-campaign specification and planning.
+
+    A campaign is a named, seeded set of injections against one module (or
+    cluster) over a bounded horizon. Injections are given either at
+    absolute ticks or as per-MTF rates; {!plan} expands the rates into
+    concrete ticks using independent [Sim.Rng] substreams derived from the
+    campaign seed with [Rng.split], so:
+
+    - the same seed always yields the same plan (bit-reproducible reports);
+    - each rate consumes its own stream — adding or removing one rate never
+      perturbs the draws of the others. *)
+
+open Air_sim
+
+type injection = { at : Time.t; fault : Fault.t }
+
+type rate = {
+  per_mtf_permille : int;
+      (** Probability, in 1/1000, that one injection of [template] lands in
+          any given major time frame (clamped to [0, 1000]). *)
+  template : Fault.t;
+}
+
+type spec = {
+  name : string;
+  seed : int;
+  horizon : int;  (** Ticks to run; injections beyond it are dropped. *)
+  injections : injection list;
+  rates : rate list;
+}
+
+val spec :
+  ?name:string ->
+  ?injections:injection list ->
+  ?rates:rate list ->
+  seed:int ->
+  horizon:int ->
+  unit ->
+  spec
+(** [name] defaults to ["campaign"]. Raises [Invalid_argument] on a
+    non-positive horizon. *)
+
+val plan : spec -> mtf:int -> injection list
+(** Concrete injection schedule: explicit injections within the horizon
+    plus one draw per rate per MTF window, sorted by tick (stable — equal
+    ticks keep specification order, explicit injections first). Raises
+    [Invalid_argument] on a non-positive [mtf]. *)

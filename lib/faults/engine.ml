@@ -1,0 +1,374 @@
+open Air_sim
+open Air_model
+open Air_model.Ident
+
+type target =
+  | Module of Air.System.t
+  | Cluster of Air.Cluster.t * int
+
+type applied = Applied | Absorbed of string | Failed of string
+
+type outcome = {
+  fault : Fault.t;
+  at : Time.t;
+  applied : applied;
+  detected_at : Time.t option;
+  latency : int option;
+  action : string option;
+}
+
+type run = {
+  spec : Campaign.spec;
+  mtf : int;
+  plan : Campaign.injection list;
+  target : target;
+  baseline : target;
+  outcomes : outcome list;
+  fingerprint : string;
+}
+
+let observed = function
+  | Module s -> s
+  | Cluster (c, i) -> (Air.Cluster.systems c).(i)
+
+let step_target = function
+  | Module s -> Air.System.step s
+  | Cluster (c, _) -> Air.Cluster.step c
+
+let system run = observed run.target
+let baseline_system run = observed run.baseline
+
+let mtf_of sys =
+  let pmk = Air.System.pmk sys in
+  (Air.Pmk.schedule pmk (Air.Pmk.current_schedule pmk)).Schedule.mtf
+
+(* --- Injection ---------------------------------------------------------- *)
+
+(* Work queue: planned injections plus delayed-message redeliveries that
+   materialize during the run, ordered by (tick, insertion sequence). *)
+type act = Inject of Fault.t | Redeliver of { port : string; payload : bytes }
+type pending = { p_at : int; p_seq : int; p_act : act }
+
+let pending_cmp a b =
+  match Stdlib.compare a.p_at b.p_at with
+  | 0 -> Stdlib.compare a.p_seq b.p_seq
+  | c -> c
+
+let bus_fault_of_comm (cf : Fault.comm_fault) =
+  match cf with
+  | Fault.Msg_loss -> Air.Cluster.Bus_drop
+  | Fault.Msg_duplicate -> Air.Cluster.Bus_duplicate
+  | Fault.Msg_delay { ticks } -> Air.Cluster.Bus_delay (Stdlib.max 1 ticks)
+  | Fault.Msg_corrupt { byte } -> Air.Cluster.Bus_corrupt { byte }
+  | Fault.Msg_reorder -> Air.Cluster.Bus_reorder
+
+let of_result = function Ok () -> Applied | Error e -> Failed e
+
+let of_perturb = function
+  | Air_ipc.Router.Perturbed -> Applied
+  | Air_ipc.Router.No_message -> Absorbed "no message in transit"
+  | Air_ipc.Router.Perturb_bad_port -> Failed "bad port for perturbation"
+
+(* Apply one fault. [schedule_redelivery] receives delayed payloads. *)
+let apply_fault target ~schedule_redelivery (fault : Fault.t) =
+  let sys = observed target in
+  Air.System.note_fault sys ~label:(Fault.label fault);
+  match fault with
+  | Fault.Runaway_start { partition; process } ->
+    of_result
+      (Air.System.start_process sys (Partition_id.make partition)
+         ~name:process)
+  | Fault.Process_stop { partition; process } ->
+    of_result
+      (Air.System.stop_process sys (Partition_id.make partition)
+         ~name:process)
+  | Fault.Partition_restart { partition; mode } ->
+    of_result
+      (Air.System.restart_partition sys (Partition_id.make partition) mode)
+  | Fault.Schedule_request { schedule } ->
+    of_result (Air.System.request_schedule sys (Schedule_id.make schedule))
+  | Fault.Clock_jitter { partition; ticks } ->
+    if ticks <= 0 then Failed "clock jitter needs a positive tick count"
+    else begin
+      Air.System.inject_clock_jitter sys (Partition_id.make partition) ~ticks;
+      Applied
+    end
+  | Fault.Wild_access { partition; section; offset; write } -> (
+    let pid = Partition_id.make partition in
+    match Air.System.region_of sys pid section with
+    | None -> Failed "partition has no region for that section"
+    | Some r ->
+      (* Past the end of the named region — and past the partition's whole
+         footprint if another of its regions sits right behind it, so the
+         access is genuinely out-of-partition. *)
+      let floor =
+        List.fold_left
+          (fun m (r : Air_spatial.Memory.region) ->
+            Stdlib.max m (Air_spatial.Memory.region_end r))
+          (Air_spatial.Memory.region_end r)
+          (Air.System.regions_of sys pid)
+      in
+      let address = floor + Stdlib.max 0 offset in
+      let access = if write then Air_spatial.Mmu.Write else Air_spatial.Mmu.Read in
+      if Air.System.inject_memory_access sys pid ~access ~address then
+        Absorbed "access unexpectedly granted"
+      else Applied)
+  | Fault.Bit_flip { partition; section; bit; write } -> (
+    let pid = Partition_id.make partition in
+    match Air.System.region_of sys pid section with
+    | None -> Failed "partition has no region for that section"
+    | Some r ->
+      (* Flip one address bit in a legitimate in-region address: low bits
+         stay inside the region (contained by construction), high bits
+         escape it and must be caught by the MMU walk. *)
+      let address = r.Air_spatial.Memory.base lxor (1 lsl (((bit mod 30) + 30) mod 30)) in
+      let access = if write then Air_spatial.Mmu.Write else Air_spatial.Mmu.Read in
+      if Air.System.inject_memory_access sys pid ~access ~address then
+        Absorbed "flipped address stayed in-region"
+      else Applied)
+  | Fault.Port_fault { port; fault = cf } -> (
+    let router = Air.System.router sys in
+    match cf with
+    | Fault.Msg_loss -> of_perturb (Air_ipc.Router.drop_head router ~port)
+    | Fault.Msg_duplicate ->
+      of_perturb (Air_ipc.Router.duplicate_head router ~port)
+    | Fault.Msg_corrupt { byte } ->
+      of_perturb (Air_ipc.Router.corrupt_head router ~port ~byte)
+    | Fault.Msg_reorder ->
+      of_perturb (Air_ipc.Router.reorder_head router ~port)
+    | Fault.Msg_delay { ticks } -> (
+      match Air_ipc.Router.steal_head router ~port with
+      | None -> Absorbed "no message in transit"
+      | Some payload ->
+        schedule_redelivery ~delay:(Stdlib.max 1 ticks) ~port payload;
+        Applied))
+  | Fault.Link_fault { fault = cf } -> (
+    match target with
+    | Module _ -> Failed "link fault requires a cluster target"
+    | Cluster (c, _) ->
+      if Air.Cluster.inject_bus_fault c (bus_fault_of_comm cf) then Applied
+      else Absorbed "no transfer in flight")
+  | Fault.Module_error { code } ->
+    Air.System.inject_module_error sys code
+      ~detail:(Printf.sprintf "injected (%s)" (Fault.label fault));
+    Applied
+
+(* --- Detection matching ------------------------------------------------- *)
+
+(* The HM error code an applied fault is expected to surface as, with the
+   level at which to look for it. *)
+let expected_detection (fault : Fault.t) =
+  match fault with
+  | Fault.Wild_access { partition; _ } | Fault.Bit_flip { partition; _ } ->
+    Some (Error.Memory_violation, `Partition partition)
+  | Fault.Runaway_start { partition; _ } ->
+    Some (Error.Deadline_missed, `Partition partition)
+  | Fault.Clock_jitter { partition; _ } ->
+    Some (Error.Deadline_missed, `Partition partition)
+  | Fault.Module_error { code } -> Some (code, `Module)
+  | Fault.Process_stop _ | Fault.Partition_restart _ | Fault.Schedule_request _
+  | Fault.Port_fault _ | Fault.Link_fault _ ->
+    None
+
+(* Match each (applied) injection to the first not-yet-consumed HM error of
+   the expected code in the right blame scope, at or after the injection
+   instant; then render the action event that answered it. *)
+let match_detections sys working =
+  let events = Array.of_list (Trace.to_list (Air.System.trace sys)) in
+  let consumed = Array.make (Array.length events) false in
+  let find_action ~from ~level =
+    let rec go i =
+      if i >= Array.length events then None
+      else begin
+        let _, ev = events.(i) in
+        match (level, ev) with
+        | `Process, Event.Hm_process_action { action; _ } ->
+          Some (Format.asprintf "%a" Error.pp_process_action action)
+        | `Partition, Event.Hm_partition_action { action; _ } ->
+          Some (Format.asprintf "%a" Error.pp_partition_action action)
+        | `Module, Event.Hm_module_action { action } ->
+          Some (Format.asprintf "%a" Error.pp_module_action action)
+        | _, Event.Hm_error _ -> None (* next incident: stop looking *)
+        | _ -> go (i + 1)
+      end
+    in
+    go (from + 1)
+  in
+  List.map
+    (fun (fault, at, applied, match_from) ->
+      let detected =
+        match (applied, expected_detection fault) with
+        | (Absorbed _ | Failed _), _ | _, None -> None
+        | Applied, Some (code, where) ->
+          let rec scan i =
+            if i >= Array.length events then None
+            else begin
+              let time, ev = events.(i) in
+              match ev with
+              | Event.Hm_error { code = c; partition; level; _ }
+                when (not consumed.(i))
+                     && time >= match_from
+                     && Error.code_equal c code -> (
+                let matches =
+                  match where with
+                  | `Module ->
+                    Error.level_equal level Error.Module_level
+                    && partition = None
+                  | `Partition p -> (
+                    match partition with
+                    | Some pid -> Partition_id.index pid = p
+                    | None -> false)
+                in
+                if matches then begin
+                  consumed.(i) <- true;
+                  let level_key =
+                    match level with
+                    | Error.Process_level -> `Process
+                    | Error.Partition_level -> `Partition
+                    | Error.Module_level -> `Module
+                  in
+                  Some (time, find_action ~from:i ~level:level_key)
+                end
+                else scan (i + 1))
+              | _ -> scan (i + 1)
+            end
+          in
+          scan 0
+      in
+      match detected with
+      | None ->
+        { fault; at; applied; detected_at = None; latency = None;
+          action = None }
+      | Some (time, action) ->
+        { fault;
+          at;
+          applied;
+          detected_at = Some time;
+          latency = Some (Stdlib.max 0 (time - match_from));
+          action })
+    working
+
+(* --- Fingerprint -------------------------------------------------------- *)
+
+let pp_applied ppf = function
+  | Applied -> Format.pp_print_string ppf "applied"
+  | Absorbed why -> Format.fprintf ppf "absorbed (%s)" why
+  | Failed why -> Format.fprintf ppf "failed (%s)" why
+
+let fingerprint_of sys outcomes =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.fprintf ppf "now=%d trace=%d/%d hm=%d violations=%d halt=%s@."
+    (Air.System.now sys)
+    (Trace.length (Air.System.trace sys))
+    (Trace.total (Air.System.trace sys))
+    (Air.Hm.error_count (Air.System.hm sys))
+    (List.length (Air.System.violations sys))
+    (match Air.System.halted sys with None -> "-" | Some r -> r);
+  List.iter
+    (fun pid ->
+      Format.fprintf ppf "mode %a=%a@." Partition_id.pp pid Partition.pp_mode
+        (Air.System.partition_mode sys pid))
+    (Air.System.partition_ids sys);
+  List.iter
+    (fun (k, n) -> Format.fprintf ppf "event %s=%d@." k n)
+    (Air.System.event_counts sys);
+  List.iter
+    (fun o ->
+      Format.fprintf ppf "outcome %s at=%d %a det=%s act=%s@."
+        (Fault.label o.fault) o.at pp_applied o.applied
+        (match o.detected_at with None -> "-" | Some t -> string_of_int t)
+        (match o.action with None -> "-" | Some a -> a))
+    outcomes;
+  Format.pp_print_flush ppf ();
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* --- Execution ---------------------------------------------------------- *)
+
+let run_target make spec =
+  let target = make () in
+  let sys = observed target in
+  let mtf = mtf_of sys in
+  let plan = Campaign.plan spec ~mtf in
+  let seq = ref 0 in
+  let queue =
+    ref
+      (List.map
+         (fun (i : Campaign.injection) ->
+           incr seq;
+           { p_at = i.at; p_seq = !seq; p_act = Inject i.fault })
+         plan)
+  in
+  let cursor = ref 0 in
+  let working = ref [] in
+  let schedule_redelivery ~delay ~port payload =
+    incr seq;
+    let p = { p_at = !cursor + delay; p_seq = !seq; p_act = Redeliver { port; payload } } in
+    queue := List.merge pending_cmp !queue [ p ]
+  in
+  let apply p =
+    match p.p_act with
+    | Inject fault ->
+      let applied = apply_fault target ~schedule_redelivery fault in
+      working := (fault, p.p_at, applied, Air.System.now sys) :: !working
+    | Redeliver { port; payload } ->
+      Air.System.note_fault sys
+        ~label:(Printf.sprintf "redeliver %s" port);
+      ignore (Air.System.deliver_remote sys ~port payload)
+  in
+  let continue = ref true in
+  while !continue do
+    match !queue with
+    | p :: rest when p.p_at <= !cursor ->
+      queue := rest;
+      apply p
+    | _ ->
+      if !cursor >= spec.horizon then begin
+        (* Redeliveries falling beyond the horizon are lost with it. *)
+        queue := [];
+        continue := false
+      end
+      else begin
+        let next =
+          match !queue with
+          | [] -> spec.horizon
+          | p :: _ -> Stdlib.min spec.horizon p.p_at
+        in
+        for _ = 1 to next - !cursor do
+          step_target target
+        done;
+        cursor := next
+      end
+  done;
+  (target, mtf, plan, List.rev !working)
+
+let execute ~make spec =
+  let target, mtf, plan, working = run_target make spec in
+  let sys = observed target in
+  let outcomes = match_detections sys working in
+  let baseline = make () in
+  for _ = 1 to spec.horizon do
+    step_target baseline
+  done;
+  { spec;
+    mtf;
+    plan;
+    target;
+    baseline;
+    outcomes;
+    fingerprint = fingerprint_of sys outcomes }
+
+let detection_latencies run =
+  let q = Air_obs.Quantile.create () in
+  List.iter
+    (fun o ->
+      match o.latency with
+      | Some l -> Air_obs.Quantile.record q l
+      | None -> ())
+    run.outcomes;
+  q
+
+let reproducible ~make spec =
+  let a = execute ~make spec in
+  let b = execute ~make spec in
+  String.equal a.fingerprint b.fingerprint

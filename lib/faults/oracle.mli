@@ -1,0 +1,52 @@
+(** Containment oracle: replay a campaign's trace against the AIR
+    invariants.
+
+    The oracle is a pure function of the completed {!Engine.run} (campaign
+    trace + fault-free baseline of the same target). It blames every
+    disturbance on the scopes of the injected faults ({!Fault.scope}) and
+    reports a finding for anything the injected faults cannot explain:
+
+    - {b deadline containment} — deadline misses only in partitions a
+      fault targeted;
+    - {b HM containment} — partition- and process-level HM errors only in
+      targeted partitions; module-level HM errors only under module-scoped
+      faults;
+    - {b mode containment} — untargeted partitions end in the same mode as
+      in the baseline, and the module only halts under a module-scoped
+      fault;
+    - {b output continuity} — untargeted partitions keep producing their
+      application output (within a configurable tolerance of the baseline
+      count);
+    - {b action matching} — every HM error event in the trace is answered
+      by exactly the action the configured HM tables resolve to, verified
+      by replaying the table lookup (including stateful [Log_then]
+      thresholds) over the trace;
+    - {b guaranteed detection} — faults that must be caught (wild
+      accesses, injected module errors) were caught. *)
+
+type options = {
+  output_tolerance_permille : int;
+      (** Minimum fraction (1/1000) of the baseline output count an
+          untargeted partition must still produce. Default 900. *)
+  output_slack : int;
+      (** Absolute grace in output lines on top of the fraction, absorbing
+          MTF-boundary truncation effects. Default 2. *)
+}
+
+val default_options : options
+
+type finding = {
+  check : string;  (** Stable kebab-case name of the violated invariant. *)
+  detail : string;
+}
+
+type verdict = {
+  findings : finding list;
+  checks : int;  (** Individual assertions evaluated. *)
+}
+
+val passed : verdict -> bool
+
+val check : ?options:options -> Engine.run -> verdict
+
+val pp_finding : Format.formatter -> finding -> unit

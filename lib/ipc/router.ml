@@ -273,6 +273,107 @@ let inject t ~port ~now msg =
       | Source_end -> Inject_bad_port
     end
 
+(* Fault-injection perturbations (communication faults). All operate on a
+   destination buffer — the delivery end of a channel — because that is
+   where a faulty bus or switch corrupts traffic: after the send completed,
+   before the receiver looks. *)
+
+type perturb_outcome = Perturbed | No_message | Perturb_bad_port
+
+let dest_endpoint t ~port =
+  match Hashtbl.find_opt t.endpoints port with
+  | None | Some { buffer = Source_end; _ } -> None
+  | Some e -> Some e
+
+let drop_head t ~port =
+  match dest_endpoint t ~port with
+  | None -> Perturb_bad_port
+  | Some { buffer = Sampling_slot slot; _ } -> (
+    match slot.content with
+    | None -> No_message
+    | Some _ ->
+      slot.content <- None;
+      Perturbed)
+  | Some { buffer = Queuing_buffer { queue; _ }; _ } ->
+    if Queue.is_empty queue then No_message
+    else begin
+      ignore (Queue.pop queue);
+      Perturbed
+    end
+  | Some { buffer = Source_end; _ } -> Perturb_bad_port
+
+let steal_head t ~port =
+  match dest_endpoint t ~port with
+  | None -> None
+  | Some { buffer = Sampling_slot slot; _ } ->
+    let taken = Option.map fst slot.content in
+    slot.content <- None;
+    taken
+  | Some { buffer = Queuing_buffer { queue; _ }; _ } ->
+    if Queue.is_empty queue then None else Some (fst (Queue.pop queue))
+  | Some { buffer = Source_end; _ } -> None
+
+let duplicate_head t ~port =
+  match dest_endpoint t ~port with
+  | None -> Perturb_bad_port
+  | Some { buffer = Sampling_slot slot; _ } ->
+    (* Sampling semantics absorb duplicates: redelivering the same value
+       overwrites the slot with itself. Still counts as applied. *)
+    if Option.is_some slot.content then Perturbed else No_message
+  | Some { buffer = Queuing_buffer { depth; queue }; _ } ->
+    if Queue.is_empty queue then No_message
+    else begin
+      let msg, sent = Queue.peek queue in
+      if Queue.length queue >= depth then
+        (* The duplicate arrives at a full queue and overflows, exactly as
+           a regular late delivery would. *)
+        Air_obs.Metrics.incr t.overflows
+      else begin
+        Queue.push (Bytes.copy msg, sent) queue;
+        Air_obs.Metrics.add t.bytes_copied (Bytes.length msg)
+      end;
+      Perturbed
+    end
+  | Some { buffer = Source_end; _ } -> Perturb_bad_port
+
+let corrupt_head t ~port ~byte =
+  let flip msg =
+    let len = Bytes.length msg in
+    if len = 0 then ()
+    else begin
+      let i = ((byte mod len) + len) mod len in
+      Bytes.set msg i (Char.chr (Char.code (Bytes.get msg i) lxor 0xff))
+    end
+  in
+  match dest_endpoint t ~port with
+  | None -> Perturb_bad_port
+  | Some { buffer = Sampling_slot slot; _ } -> (
+    match slot.content with
+    | None -> No_message
+    | Some (msg, _) ->
+      flip msg;
+      Perturbed)
+  | Some { buffer = Queuing_buffer { queue; _ }; _ } ->
+    if Queue.is_empty queue then No_message
+    else begin
+      (* The queue owns its payloads (enqueue always copies), so the head
+         can be mutated in place. *)
+      flip (fst (Queue.peek queue));
+      Perturbed
+    end
+  | Some { buffer = Source_end; _ } -> Perturb_bad_port
+
+let reorder_head t ~port =
+  match dest_endpoint t ~port with
+  | None | Some { buffer = Sampling_slot _; _ } -> Perturb_bad_port
+  | Some { buffer = Queuing_buffer { queue; _ }; _ } ->
+    if Queue.length queue < 2 then No_message
+    else begin
+      Queue.push (Queue.pop queue) queue;
+      Perturbed
+    end
+  | Some { buffer = Source_end; _ } -> Perturb_bad_port
+
 (* Legacy aggregate view, kept as a thin shim over the [ipc.*] registry
    counters. *)
 type stats = {

@@ -121,6 +121,43 @@ val inject :
     enforced as for local traffic ([Inject_bad_port] also covers oversized
     or empty messages). *)
 
+(** {1 Fault-injection perturbations}
+
+    Hooks for the fault-injection campaign engine ([Faults]): each models a
+    communication fault striking a channel after the send completed and
+    before the receiver looks, so they all act on destination buffers. They
+    bypass ownership/direction checks on purpose — a faulty bus does not
+    ask permission — but never violate spatial separation: payload copies
+    stay inside the router. *)
+
+type perturb_outcome =
+  | Perturbed  (** The fault was applied to an in-transit message. *)
+  | No_message  (** Nothing in transit to perturb; the fault was a no-op. *)
+  | Perturb_bad_port
+      (** Unknown port, a source end, or a mode that cannot express the
+          fault (e.g. reorder on a sampling slot). *)
+
+val drop_head : t -> port:Port_name.t -> perturb_outcome
+(** Message loss: clear a sampling slot / pop the oldest queued message. *)
+
+val duplicate_head : t -> port:Port_name.t -> perturb_outcome
+(** Message duplication: re-enqueue a copy of the queue head at the tail
+    (overflowing queues discard the duplicate, counted as an overflow).
+    Sampling slots absorb duplicates by construction. *)
+
+val corrupt_head : t -> port:Port_name.t -> byte:int -> perturb_outcome
+(** Payload corruption: invert all bits of byte [byte mod length] of the
+    slot content / queue head. *)
+
+val reorder_head : t -> port:Port_name.t -> perturb_outcome
+(** Reordering: rotate the queue head to the tail ([No_message] unless at
+    least two messages are queued; meaningless for sampling ports). *)
+
+val steal_head : t -> port:Port_name.t -> bytes option
+(** Remove and return the slot content / queue head without any accounting;
+    the campaign engine uses this to model delay faults by re-injecting the
+    stolen payload later through {!inject}. *)
+
 (** {1 Accounting} *)
 
 type stats = {

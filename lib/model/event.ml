@@ -50,6 +50,7 @@ type t =
     }
   | Application_output of { partition : Partition_id.t; line : string }
   | Module_halt of { reason : string }
+  | Fault_injected of { label : string }
 
 let label = function
   | Context_switch _ -> "context-switch"
@@ -72,6 +73,7 @@ let label = function
   | Memory_access _ -> "memory-access"
   | Application_output _ -> "application-output"
   | Module_halt _ -> "module-halt"
+  | Fault_injected _ -> "fault-injected"
 
 let pp_opt pp ppf = function
   | None -> Format.pp_print_string ppf "idle"
@@ -138,6 +140,7 @@ let pp ppf = function
   | Application_output { partition; line } ->
     Format.fprintf ppf "out %a: %s" Partition_id.pp partition line
   | Module_halt { reason } -> Format.fprintf ppf "MODULE HALT: %s" reason
+  | Fault_injected { label } -> Format.fprintf ppf "FAULT INJECTED: %s" label
 
 let is_deadline_violation = function
   | Deadline_violation _ -> true

@@ -74,6 +74,9 @@ type t =
       (** A line printed by a partition application — what the prototype's
           per-partition VITRAL windows display. *)
   | Module_halt of { reason : string }
+  | Fault_injected of { label : string }
+      (** An externally injected fault (fault-injection campaign engine);
+          [label] identifies the fault in campaign reports. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -1,0 +1,53 @@
+type row = {
+  at : int;
+  label : string;
+  status : string;
+  detected_at : int option;
+  latency : int option;
+  action : string option;
+}
+
+type latency_summary = {
+  samples : int;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  max : int;
+}
+
+let opt_int = function None -> "-" | Some v -> string_of_int v
+let opt_str = function None -> "-" | Some s -> s
+
+let render ~name ~seed ~horizon ~mtf ~findings ?latency ?reproducible rows =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "campaign %s  seed=%d  horizon=%d  mtf=%d" name seed horizon mtf;
+  (match reproducible with
+  | None -> ()
+  | Some true -> line "deterministic: yes (identical rerun fingerprint)"
+  | Some false -> line "deterministic: NO — rerun diverged");
+  if rows = [] then line "no faults injected"
+  else begin
+    let label_w =
+      List.fold_left (fun w r -> Stdlib.max w (String.length r.label)) 5 rows
+    in
+    line "%8s  %-*s  %-24s %9s %8s  %s" "tick" label_w "fault" "outcome"
+      "detected" "latency" "hm action";
+    List.iter
+      (fun r ->
+        line "%8d  %-*s  %-24s %9s %8s  %s" r.at label_w r.label r.status
+          (opt_int r.detected_at) (opt_int r.latency) (opt_str r.action))
+      rows
+  end;
+  (match latency with
+  | None | Some { samples = 0; _ } -> ()
+  | Some l ->
+    line "detection latency: n=%d p50=%d p90=%d p99=%d max=%d" l.samples
+      l.p50 l.p90 l.p99 l.max);
+  (match findings with
+  | [] -> line "containment: CONTAINED"
+  | fs ->
+    line "containment: BREACHED (%d finding%s)" (List.length fs)
+      (if List.length fs = 1 then "" else "s");
+    List.iter (fun f -> line "  - %s" f) fs);
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** VITRAL campaign summary view.
+
+    Text rendering of a fault-injection campaign report: header (name,
+    seed, horizon, reproducibility), one row per injected fault with its
+    outcome and detection latency, detection-latency percentiles, and the
+    containment verdict. Takes plain data so the renderer does not depend
+    on the [Faults] engine — the engine's [Report] module feeds it. *)
+
+type row = {
+  at : int;  (** Planned injection tick. *)
+  label : string;  (** [Fault.label]. *)
+  status : string;  (** "applied" / "absorbed (...)" / "failed (...)". *)
+  detected_at : int option;
+  latency : int option;
+  action : string option;  (** HM action answering the detection. *)
+}
+
+type latency_summary = {
+  samples : int;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  max : int;
+}
+
+val render :
+  name:string ->
+  seed:int ->
+  horizon:int ->
+  mtf:int ->
+  findings:string list ->
+  ?latency:latency_summary ->
+  ?reproducible:bool ->
+  row list ->
+  string
+(** Empty [findings] renders as a CONTAINED verdict; otherwise the findings
+    are listed under a BREACHED banner. *)

@@ -34,7 +34,7 @@ let feed t time ev =
     stamp t.pmk
   | Event.Deadline_violation _ | Event.Hm_error _ | Event.Hm_process_action _
   | Event.Hm_partition_action _ | Event.Hm_module_action _
-  | Event.Module_halt _ ->
+  | Event.Module_halt _ | Event.Fault_injected _ ->
     stamp t.hm
   | Event.Context_switch _ | Event.Process_state_change _
   | Event.Process_dispatched _ | Event.Deadline_registered _

@@ -1,0 +1,54 @@
+(* Standalone validator for the fault-smoke make target: given two
+   campaign-report JSON files `air_run --campaign-json` produced from the
+   SAME seeded document, check that each is well-formed air-campaign/1
+   JSON whose campaigns were all reproducible and contained, and that the
+   two exports are byte-identical — the seeded-reproducibility acceptance
+   criterion, enforced outside the test harness. Exits nonzero on the
+   first problem. *)
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let read_file path =
+  try In_channel.with_open_text path In_channel.input_all
+  with Sys_error m -> fail "%s" m
+
+let count_occurrences needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i acc =
+    if i + n > h then acc
+    else if String.sub hay i n = needle then go (i + n) (acc + 1)
+    else go (i + 1) acc
+  in
+  if n = 0 then 0 else go 0 0
+
+let check_report path =
+  let text = read_file path in
+  (match Json_lint.check text with
+  | Ok () -> ()
+  | Error e -> fail "%s: invalid JSON: %s" path e);
+  if not (Astring_contains.contains text "\"schema\":\"air-campaign/1\"")
+  then fail "%s: missing air-campaign/1 schema marker" path;
+  let campaigns = count_occurrences "\"seed\":" text in
+  if campaigns = 0 then fail "%s: no campaigns in report" path;
+  let deterministic = count_occurrences "\"deterministic\":true" text in
+  if deterministic <> campaigns then
+    fail "%s: %d of %d campaigns reproducible" path deterministic campaigns;
+  let contained = count_occurrences "\"verdict\":\"contained\"" text in
+  if contained <> campaigns then
+    fail "%s: %d of %d campaigns contained" path contained campaigns;
+  if count_occurrences "\"verdict\":\"breached\"" text <> 0 then
+    fail "%s: report carries a breached verdict" path;
+  (text, campaigns)
+
+let () =
+  match Sys.argv with
+  | [| _; first; second |] ->
+    let a, campaigns = check_report first in
+    let b, _ = check_report second in
+    if not (String.equal a b) then
+      fail "%s and %s differ: same seed must give identical reports" first
+        second;
+    Printf.printf
+      "fault smoke OK: %d campaigns contained, reruns byte-identical\n"
+      campaigns
+  | _ -> fail "usage: %s REPORT_A.json REPORT_B.json" Sys.argv.(0)

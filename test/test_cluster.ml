@@ -282,6 +282,199 @@ let qcheck_conservation =
       = stats.Cluster.transferred + stats.Cluster.dropped
         + stats.Cluster.in_flight + in_gateway)
 
+(* --- Bus fault injection --------------------------------------------------- *)
+
+let bus_drop_accounted () =
+  (* Nothing in flight yet: the injection reports so. *)
+  let cluster =
+    make_cluster ~bus:{ Cluster.latency = 100; bytes_per_tick = 32 } ()
+  in
+  check Alcotest.bool "empty bus absorbs" false
+    (Cluster.inject_bus_fault cluster Cluster.Bus_drop);
+  (* First message is sent around tick 6 and stays in flight for 100
+     ticks; dropping it must show up in the drop counter and leave the
+     conservation ledger balanced. *)
+  Cluster.run cluster ~ticks:50;
+  check Alcotest.bool "in-flight transfer dropped" true
+    (Cluster.inject_bus_fault cluster Cluster.Bus_drop);
+  Cluster.run cluster ~ticks:650;
+  let stats = Cluster.stats cluster in
+  check Alcotest.int "drop counted" 1 stats.Cluster.dropped;
+  let sensor = (Cluster.systems cluster).(0) in
+  let sent =
+    Air_sim.Trace.count
+      (function Event.Port_send { port = "TM_SRC"; _ } -> true | _ -> false)
+      (System.trace sensor)
+  in
+  check Alcotest.int "conservation with drop" sent
+    (stats.Cluster.transferred + stats.Cluster.dropped
+    + stats.Cluster.in_flight
+    + Router.pending (System.router sensor) ~port:"TM_GW")
+
+let bus_duplicate_delivers_twice () =
+  let cluster =
+    make_cluster ~bus:{ Cluster.latency = 100; bytes_per_tick = 32 } ()
+  in
+  Cluster.run cluster ~ticks:50;
+  check Alcotest.bool "in-flight transfer duplicated" true
+    (Cluster.inject_bus_fault cluster Cluster.Bus_duplicate);
+  Cluster.run cluster ~ticks:650;
+  let stats = Cluster.stats cluster in
+  let sensor = (Cluster.systems cluster).(0) in
+  let sent =
+    Air_sim.Trace.count
+      (function Event.Port_send { port = "TM_SRC"; _ } -> true | _ -> false)
+      (System.trace sensor)
+  in
+  (* One extra bus-level delivery beyond what the sensor ever sent. *)
+  check Alcotest.int "one extra delivery" (sent + 1)
+    (stats.Cluster.transferred + stats.Cluster.dropped
+    + stats.Cluster.in_flight
+    + Router.pending (System.router sensor) ~port:"TM_GW");
+  let ground = (Cluster.systems cluster).(1) in
+  let received =
+    Air_sim.Trace.count
+      (function
+        | Event.Application_output { line = "frame received"; _ } -> true
+        | _ -> false)
+      (System.trace ground)
+  in
+  check Alcotest.bool "receiver drained the duplicate too" true
+    (received >= stats.Cluster.transferred - stats.Cluster.dropped)
+
+(* A sensor that sends exactly once — lets delay tests isolate one
+   transfer. *)
+let one_shot_sensor () =
+  let sensor = pid 0 in
+  let network =
+    { Port.ports =
+        [ Port.queuing_port ~name:"TM_SRC" ~partition:sensor
+            ~direction:Port.Source ~depth:8 ~max_message_size:32;
+          Port.queuing_port ~name:"TM_GW" ~partition:sensor
+            ~direction:Port.Destination ~depth:8 ~max_message_size:32 ];
+      channels = [ { Port.source = "TM_SRC"; destinations = [ "TM_GW" ] } ] }
+  in
+  let p =
+    Partition.make ~id:sensor ~name:"SENSOR"
+      [ Process.spec ~base_priority:5 "sample" ]
+  in
+  let schedule =
+    Schedule.make ~id:(sid 0) ~name:"solo" ~mtf:50
+      ~requirements:[ q sensor 50 50 ]
+      [ w sensor 0 50 ]
+  in
+  System.create
+    (System.config ~network
+       ~partitions:
+         [ System.partition_setup p
+             [ Script.make
+                 [ Script.Compute 5;
+                   Script.Send_queuing ("TM_SRC", "m1");
+                   Script.Send_queuing ("TM_SRC", "m2");
+                   (* Script bodies loop: park the process so exactly two
+                      messages ever reach the bus. *)
+                   Script.Timed_wait 100_000 ] ] ]
+       ~schedules:[ schedule ] ())
+
+let bus_delay_wakes_blocked_receiver () =
+  (* The ground process blocks forever on TM_IN; the only message on the
+     bus is delayed by 300 ticks mid-flight. The receiver must sleep
+     through the original arrival instant and still wake when the delayed
+     delivery finally lands. *)
+  let cluster =
+    Cluster.create
+      ~bus:{ Cluster.latency = 20; bytes_per_tick = 32 }
+      ~links:
+        [ { Cluster.from_module = 0; from_port = "TM_GW"; to_module = 1;
+            to_port = "TM_IN" } ]
+      [ one_shot_sensor (); ground_module () ]
+  in
+  Cluster.run cluster ~ticks:10;
+  (* Both of the sensor's messages are in flight; delay each by 300. *)
+  check Alcotest.bool "first transfer delayed" true
+    (Cluster.inject_bus_fault cluster (Cluster.Bus_delay 300));
+  check Alcotest.bool "second transfer delayed" true
+    (Cluster.inject_bus_fault cluster (Cluster.Bus_delay 300));
+  let ground = (Cluster.systems cluster).(1) in
+  let received () =
+    Air_sim.Trace.count
+      (function
+        | Event.Application_output { line = "frame received"; _ } -> true
+        | _ -> false)
+      (System.trace ground)
+  in
+  Cluster.run cluster ~ticks:200;
+  check Alcotest.int "still blocked at the original arrival" 0 (received ());
+  Cluster.run cluster ~ticks:300;
+  check Alcotest.bool "woken by the delayed delivery" true (received () >= 1);
+  check Alcotest.int "nothing dropped" 0 (Cluster.stats cluster).Cluster.dropped
+
+let bus_reorder_swaps_deliveries () =
+  (* Two transfers in flight; a deaf receiver accumulates them, so the
+     delivery order is observable in its destination queue. *)
+  let ground = pid 0 in
+  let network =
+    { Port.ports =
+        [ Port.queuing_port ~name:"TM_IN" ~partition:ground
+            ~direction:Port.Destination ~depth:8 ~max_message_size:32 ];
+      channels = [] }
+  in
+  let p = Partition.make ~id:ground ~name:"DEAF" [ Process.spec "idle" ] in
+  let schedule =
+    Schedule.make ~id:(sid 0) ~name:"solo" ~mtf:50
+      ~requirements:[ q ground 50 50 ]
+      [ w ground 0 50 ]
+  in
+  let deaf =
+    System.create
+      (System.config ~network
+         ~partitions:
+           [ System.partition_setup p
+               [ Script.make [ Script.Timed_wait 100000 ] ] ]
+         ~schedules:[ schedule ] ())
+  in
+  let cluster =
+    Cluster.create
+      ~bus:{ Cluster.latency = 300; bytes_per_tick = 64 }
+      ~links:
+        [ { Cluster.from_module = 0; from_port = "TM_GW"; to_module = 1;
+            to_port = "TM_IN" } ]
+      [ one_shot_sensor (); deaf ]
+  in
+  Cluster.run cluster ~ticks:60;
+  check Alcotest.bool "two transfers reordered" true
+    (Cluster.inject_bus_fault cluster Cluster.Bus_reorder);
+  Cluster.run cluster ~ticks:400;
+  check Alcotest.int "both delivered" 2
+    (Cluster.stats cluster).Cluster.transferred;
+  let router = System.router deaf in
+  let pop () =
+    match Router.steal_head router ~port:"TM_IN" with
+    | Some b -> Bytes.to_string b
+    | None -> Alcotest.fail "destination queue shorter than expected"
+  in
+  check Alcotest.string "second message first" "m2" (pop ());
+  check Alcotest.string "first message last" "m1" (pop ())
+
+let bus_corrupt_flips_payload_byte () =
+  let cluster =
+    Cluster.create
+      ~bus:{ Cluster.latency = 300; bytes_per_tick = 64 }
+      ~links:
+        [ { Cluster.from_module = 0; from_port = "TM_GW"; to_module = 1;
+            to_port = "TM_IN" } ]
+      [ one_shot_sensor (); ground_module () ]
+  in
+  Cluster.run cluster ~ticks:60;
+  check Alcotest.bool "in-flight payload corrupted" true
+    (Cluster.inject_bus_fault cluster (Cluster.Bus_corrupt { byte = 0 }));
+  Cluster.run cluster ~ticks:400;
+  (* The corrupted copy arrived (no drop), but its first byte was
+     inverted: the ground port saw some payload that is not "m1". *)
+  check Alcotest.int "no drops" 0 (Cluster.stats cluster).Cluster.dropped;
+  check Alcotest.int "both delivered" 2
+    (Cluster.stats cluster).Cluster.transferred
+
 let cluster_document_loads () =
   let candidates =
     [ "examples/configs/constellation.air";
@@ -316,5 +509,14 @@ let suite =
     Alcotest.test_case "cluster: duplicate gateway rejected" `Quick
       duplicate_gateway_rejected;
     QCheck_alcotest.to_alcotest qcheck_conservation;
+    Alcotest.test_case "cluster: bus drop accounted" `Quick bus_drop_accounted;
+    Alcotest.test_case "cluster: bus duplicate delivers twice" `Quick
+      bus_duplicate_delivers_twice;
+    Alcotest.test_case "cluster: bus delay wakes blocked receiver" `Quick
+      bus_delay_wakes_blocked_receiver;
+    Alcotest.test_case "cluster: bus reorder swaps deliveries" `Quick
+      bus_reorder_swaps_deliveries;
+    Alcotest.test_case "cluster: bus corrupt flips payload byte" `Quick
+      bus_corrupt_flips_payload_byte;
     Alcotest.test_case "cluster: document loads and runs" `Quick
       cluster_document_loads ]
