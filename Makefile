@@ -1,4 +1,5 @@
-.PHONY: all build test check bench trace-smoke telemetry-smoke fault-smoke clean
+.PHONY: all build test check bench fmt exec-smoke trace-smoke telemetry-smoke \
+  fault-smoke clean
 
 all: build
 
@@ -17,7 +18,30 @@ check:
 
 # Full benchmark run with committed JSON artifact.
 bench:
-	dune exec bench/main.exe -- --json BENCH_4.json
+	dune exec bench/main.exe -- --json BENCH_5.json
+
+# Format gate: the build image carries no ocamlformat, so the gate enforces
+# the cheap invariants every formatter run would — no tab characters and no
+# trailing whitespace in OCaml sources or dune files.
+fmt:
+	@if grep -rnP '\t|[ \t]+$$' --include='*.ml' --include='*.mli' \
+	  --include=dune lib bin test bench; then \
+	  echo 'fmt: tabs or trailing whitespace (listed above)'; exit 1; \
+	else echo 'fmt: clean'; fi
+
+# End-to-end executive pass: the example module sharded over two cores,
+# advanced once under the skip-ahead executive and once per-tick with the
+# telemetry exports compared byte for byte; then the document's seeded
+# fault campaigns through the multicore skip-ahead executive (containment
+# and reproducibility enforced by the exit code).
+exec-smoke:
+	dune exec bin/air_run.exe -- examples/configs/leo_satellite.air \
+	  --cores 2 -t 20000 --speed --telemetry-json /tmp/air_exec_skip.json
+	dune exec bin/air_run.exe -- examples/configs/leo_satellite.air \
+	  --cores 2 -t 20000 --no-skip --telemetry-json /tmp/air_exec_ref.json
+	cmp /tmp/air_exec_skip.json /tmp/air_exec_ref.json
+	dune exec bin/air_run.exe -- examples/configs/leo_satellite.air \
+	  --faults --cores 2 --campaign-json /tmp/air_exec_campaign.json
 
 # End-to-end flight-recorder pass: run an example configuration with the
 # recorder attached, export the Chrome trace and replay-check the event

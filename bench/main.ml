@@ -14,6 +14,8 @@
    - faults/*    : campaign-engine costs — rate-plan expansion, the spatial
      and communication injection hooks, and a whole one-MTF campaign
      (target + baseline + oracle bookkeeping).
+   - exec/*      : the skip-ahead executive against per-tick execution over
+     whole horizons — sparse vs dense workloads, single vs multicore.
 
    Run with: dune exec bench/main.exe *)
 
@@ -559,6 +561,96 @@ let extension_tests =
     [ Test.make ~name:"pmk_mc tick (2 cores)" (pmk_mc_tick ());
       Test.make ~name:"cluster tick (2 modules + bus)" (cluster_tick ()) ]
 
+(* --- exec: per-tick vs skip-ahead ---------------------------------------- *)
+
+(* Whole-horizon runs (creation + advance) under both executives. The
+   beacon workload (one partition, full-MTF window, a 1%-duty periodic
+   process — idle almost the whole horizon) is where skip-ahead collapses
+   quiet spans and wins by the idle fraction; the Taskgen rows show the
+   gain shrinking as window edges and utilization cut the spans short
+   (10%: short windows bound every span; 90%: almost nothing to skip);
+   the multicore rows compound the executive with two Pmk_mc lanes over
+   the Fig. 8 tables. *)
+let exec_tests =
+  let beacon_config ~mtf ~work =
+    let pid = Air_model.Ident.Partition_id.make 0 in
+    let spec =
+      Air_model.Process.spec ~periodicity:(Air_model.Process.Periodic mtf)
+        ~time_capacity:mtf ~wcet:(work + 1) ~base_priority:5 "beacon"
+    in
+    let p = Air_model.Partition.make ~id:pid ~name:"BCN" [ spec ] in
+    let schedule =
+      Air_model.Schedule.make
+        ~id:(Air_model.Ident.Schedule_id.make 0)
+        ~name:"solo" ~mtf
+        ~requirements:
+          [ { Air_model.Schedule.partition = pid; cycle = mtf; duration = mtf } ]
+        [ { Air_model.Schedule.partition = pid; offset = 0; duration = mtf } ]
+    in
+    Air.System.config
+      ~partitions:
+        [ Air.System.partition_setup p
+            [ Air_pos.Script.periodic_body [ Air_pos.Script.Compute work ] ] ]
+      ~schedules:[ schedule ] ()
+  in
+  let taskgen_config ~utilization seed =
+    let rng = Air_sim.Rng.create seed in
+    let gen =
+      Air_workload.Taskgen.generate rng ~n_partitions:3 ~procs_per_partition:2
+        ~utilization
+    in
+    let schedule =
+      match
+        Air_analysis.Synthesis.synthesize gen.Air_workload.Taskgen.requirements
+      with
+      | Ok s -> s
+      | Error f ->
+        Format.kasprintf failwith "synthesis: %a"
+          Air_analysis.Synthesis.pp_failure f
+    in
+    ( Air.System.config
+        ~partitions:
+          (List.map
+             (fun (p, scripts) -> Air.System.partition_setup p scripts)
+             gen.Air_workload.Taskgen.partitions)
+        ~schedules:[ schedule ] (),
+      schedule.Air_model.Schedule.mtf )
+  in
+  let advance ~skip_ahead config ~ticks =
+    Staged.stage (fun () ->
+        let engine =
+          Air_exec.Engine.create ~skip_ahead (Air.System.create config)
+        in
+        Air_exec.Engine.advance engine ~ticks)
+  in
+  let beacon = beacon_config ~mtf:10_000 ~work:50 in
+  let sparse, sparse_mtf = taskgen_config ~utilization:0.1 7 in
+  let dense, dense_mtf = taskgen_config ~utilization:0.9 7 in
+  let fig8 =
+    { (Air_workload.Satellite.config ()) with Air.System.cores = Some 2 }
+  in
+  let beacon_ticks = 10 * 10_000
+  and sparse_ticks = 10 * sparse_mtf
+  and dense_ticks = 10 * dense_mtf
+  and fig8_ticks = 10 * 1300 in
+  Test.make_grouped ~name:"exec"
+    [ Test.make ~name:"per-tick (beacon 1% duty, 10 MTFs)"
+        (advance ~skip_ahead:false beacon ~ticks:beacon_ticks);
+      Test.make ~name:"skip-ahead (beacon 1% duty, 10 MTFs)"
+        (advance ~skip_ahead:true beacon ~ticks:beacon_ticks);
+      Test.make ~name:"per-tick (taskgen 10%, 10 MTFs)"
+        (advance ~skip_ahead:false sparse ~ticks:sparse_ticks);
+      Test.make ~name:"skip-ahead (taskgen 10%, 10 MTFs)"
+        (advance ~skip_ahead:true sparse ~ticks:sparse_ticks);
+      Test.make ~name:"per-tick (taskgen 90%, 10 MTFs)"
+        (advance ~skip_ahead:false dense ~ticks:dense_ticks);
+      Test.make ~name:"skip-ahead (taskgen 90%, 10 MTFs)"
+        (advance ~skip_ahead:true dense ~ticks:dense_ticks);
+      Test.make ~name:"per-tick (fig8, 2 cores, 10 MTFs)"
+        (advance ~skip_ahead:false fig8 ~ticks:fig8_ticks);
+      Test.make ~name:"skip-ahead (fig8, 2 cores, 10 MTFs)"
+        (advance ~skip_ahead:true fig8 ~ticks:fig8_ticks) ]
+
 (* --- harness ---------------------------------------------------------------- *)
 
 let benchmark ~quota ~dry_run tests =
@@ -660,7 +752,7 @@ let () =
   let groups =
     [ scheduler_tests; store_tests; pal_tests; ipc_tests; mmu_tests;
       analysis_tests; system_tests; recorder_tests; telemetry_tests;
-      faults_tests; extension_tests ]
+      faults_tests; extension_tests; exec_tests ]
   in
   let all_rows =
     List.concat_map

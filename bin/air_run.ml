@@ -42,7 +42,7 @@ let run_cluster path ticks =
    the injection engine, judge containment, and print/export the reports.
    Each engine run gets a fresh system built by reloading the document, so
    campaign, baseline and reproducibility runs share no mutable state. *)
-let run_campaigns path campaign_json =
+let run_campaigns path campaign_json ~turbo ~cores =
   match Air_config.Loader.load_campaigns_file path with
   | Error e ->
     Format.eprintf "%s: %s@." path e;
@@ -53,15 +53,23 @@ let run_campaigns path campaign_json =
   | Ok specs -> (
     let make () =
       match Air_config.Loader.load_file path with
-      | Ok cfg -> Air_faults.Engine.Module (Air.System.create cfg)
+      | Ok cfg ->
+        let cfg =
+          match cores with
+          | Some n -> { cfg with Air.System.cores = Some n }
+          | None -> cfg
+        in
+        Air_faults.Engine.Module (Air.System.create cfg)
       | Error e -> failwith e
     in
     match
       List.map
         (fun spec ->
-          let run = Air_faults.Engine.execute ~make spec in
+          let run = Air_faults.Engine.execute ~turbo ~make spec in
           let verdict = Air_faults.Oracle.check run in
-          let reproducible = Air_faults.Engine.reproducible ~make spec in
+          let reproducible =
+            Air_faults.Engine.reproducible ~turbo ~make spec
+          in
           Air_faults.Report.make ~reproducible run verdict)
         specs
     with
@@ -104,13 +112,14 @@ let is_cluster_document path =
 
 let run_file path ticks show_trace show_gantt export metrics_json trace_json
     check_trace timeline telemetry_csv telemetry_json watch faults
-    campaign_json =
+    campaign_json cores no_skip speed =
+  let turbo = not no_skip in
   if faults || campaign_json <> None then
     if is_cluster_document path then begin
       Format.eprintf "%s: --faults runs against a module document@." path;
       1
     end
-    else run_campaigns path campaign_json
+    else run_campaigns path campaign_json ~turbo ~cores
   else if is_cluster_document path then run_cluster path ticks
   else
   match Air_config.Loader.load_file path with
@@ -136,6 +145,12 @@ let run_file path ticks show_trace show_gantt export metrics_json trace_json
           Air.System.telemetry = Some Air_obs.Telemetry.default_config }
       else cfg
     in
+    (* --cores overrides the document's (cores N), if any. *)
+    let cfg =
+      match cores with
+      | Some n -> { cfg with Air.System.cores = Some n }
+      | None -> cfg
+    in
     let system = Air.System.create cfg in
     let partition_names =
       List.filter (fun (i, _) -> i >= 0) (Air.System.track_names system)
@@ -149,20 +164,35 @@ let run_file path ticks show_trace show_gantt export metrics_json trace_json
            ~partitions:partition_names
            (Air.System.telemetry_frames system))
     in
+    (* The executive: skip-ahead by default, per-tick under --no-skip;
+       either way the observable run is identical. *)
+    let engine = Air_exec.Engine.create ~skip_ahead:turbo system in
+    let wall_start = Unix.gettimeofday () in
     (match watch with
-    | None -> Air.System.run system ~ticks
+    | None -> Air_exec.Engine.advance engine ~ticks
     | Some every ->
       let every = max 1 every in
       (* Watch mode advances whole MTFs so every dashboard refresh lines
          up with a frame boundary; the run therefore covers at least
          [ticks] ticks, rounded up to the boundary. *)
       while Air.System.now system + 1 < ticks do
-        Air.System.run_mtfs system every;
+        Air_exec.Engine.run_mtfs engine every;
         print_dashboard ()
       done);
+    let wall = Unix.gettimeofday () -. wall_start in
     let ticks =
       if watch = None then ticks else Air.System.now system + 1
     in
+    if speed then begin
+      let simulated = Air_exec.Engine.simulated engine in
+      let stats = Air_exec.Engine.stats engine in
+      Format.eprintf
+        "speed: %d simulated ticks in %.3f s wall (%.0f ticks/s; %d \
+         stepped, %d skipped)@."
+        simulated wall
+        (float_of_int simulated /. Float.max wall 1e-9)
+        stats.Air_exec.Engine.stepped stats.Air_exec.Engine.skipped
+    end;
     let trace = Air.System.trace system in
     Format.printf "ran %d ticks%s@." ticks
       (match Air.System.halted system with
@@ -425,6 +455,34 @@ let campaign_json_arg =
     & opt (some string) None
     & info [ "campaign-json" ] ~docv:"FILE" ~doc)
 
+let cores_arg =
+  let doc =
+    "Shard every schedule over $(docv) processor cores and drive one PMK \
+     lane per core off the global clock (overrides the document's (cores \
+     N), if any). Window offsets are preserved, so the run is \
+     time-faithful to the single-core one; mode-based schedule switches \
+     are broadcast to every lane."
+  in
+  Arg.(value & opt (some int) None & info [ "cores" ] ~docv:"N" ~doc)
+
+let no_skip_flag =
+  let doc =
+    "Force per-tick execution. By default the executive runs in turbo: it \
+     computes the next interesting tick (window edge, MTF boundary, \
+     pending wake or PAL deadline, fault injection) and advances \
+     provably-quiet spans in O(1) — observationally identical, just \
+     faster on sparse workloads."
+  in
+  Arg.(value & flag & info [ "no-skip" ] ~doc)
+
+let speed_flag =
+  let doc =
+    "Print a speed summary to stderr after the run: simulated ticks, wall \
+     seconds, ticks per second, and the stepped/skipped split of the \
+     skip-ahead executive (module runs only)."
+  in
+  Arg.(value & flag & info [ "speed" ] ~doc)
+
 let cmd =
   let doc = "run an AIR module from its integration configuration" in
   Cmd.v
@@ -432,6 +490,7 @@ let cmd =
     Term.(const run_file $ path_arg $ ticks_arg $ trace_flag $ gantt_flag
           $ export_arg $ metrics_json_arg $ trace_json_arg $ check_trace_arg
           $ timeline_flag $ telemetry_csv_arg $ telemetry_json_arg
-          $ watch_arg $ faults_flag $ campaign_json_arg)
+          $ watch_arg $ faults_flag $ campaign_json_arg $ cores_arg
+          $ no_skip_flag $ speed_flag)
 
 let () = exit (Cmd.eval' cmd)

@@ -777,6 +777,14 @@ let decode_system s =
       let* c = decode_telemetry env args in
       Ok (Some c)
   in
+  (* Multicore executive: (cores N) shards every schedule over N PMK
+     lanes (Air.System sharding; window offsets preserved). *)
+  let* cores = optional f "cores" (one int) in
+  let* () =
+    match cores with
+    | Some n when n <= 0 -> error "cores must be positive"
+    | Some _ | None -> Ok ()
+  in
   (* Campaigns live in the same document but are not part of the module
      configuration; validate the grammar here so a typo fails the load. *)
   let* _campaigns = decode_faults env (rest_of f "faults") in
@@ -784,12 +792,12 @@ let decode_system s =
     assert_no_extra f
       ~known:
         [ "partitions"; "schedules"; "ports"; "channels"; "initial-schedule";
-          "hm"; "telemetry"; "faults" ]
+          "hm"; "telemetry"; "faults"; "cores" ]
   in
   Ok
     (Air.System.config ?initial_schedule
        ~network:{ Port.ports; channels }
-       ~hm_tables ?telemetry ~partitions ~schedules ())
+       ~hm_tables ?telemetry ?cores ~partitions ~schedules ())
 
 let load input =
   match Sexp.parse_one input with

@@ -44,7 +44,9 @@ type env = {
   kernel : Kernel.t;
   intra : Intra.t;
   router : Router.t;
-  pmk : Pmk.t;
+  lane : Lane.t;
+      (** The PMK lane(s) driving this module — SET_MODULE_SCHEDULE
+          broadcasts the switch request to every lane. *)
   now : unit -> Time.t;
   emit : Event.t -> unit;
   report_process_error : process:int -> Error.code -> detail:string -> unit;

@@ -92,12 +92,18 @@ let drain_gateways t =
       pump ())
     t.links
 
+(* Next-event query for the bus: the earliest in-flight arrival instant,
+   read off the heap top in O(1) without a pop/push round-trip. *)
+let next_arrival t = Heap.peek_key t.in_flight ~key:(fun tr -> tr.arrival)
+
 let deliver_arrivals t =
   let rec go () =
-    match Heap.peek t.in_flight with
-    | Some tr when Time.(tr.arrival <= t.clock) ->
-      ignore (Heap.pop t.in_flight);
-      (match
+    match next_arrival t with
+    | Some arrival when Time.(arrival <= t.clock) ->
+      (match Heap.pop t.in_flight with
+      | None -> assert false
+      | Some tr ->
+      match
          System.deliver_remote t.modules.(tr.target_module)
            ~port:tr.target_port tr.payload
        with

@@ -47,6 +47,11 @@ val run : t -> ticks:int -> unit
 
 val now : t -> Time.t
 
+val next_arrival : t -> Time.t option
+(** Earliest in-flight bus arrival instant — an O(1) read of the heap top
+    ({!Heap.peek_key}), for next-event queries. [None] when the bus is
+    empty. *)
+
 val systems : t -> System.t array
 
 type stats = {

@@ -1,0 +1,76 @@
+type t = Single of Pmk.t | Multi of Pmk_mc.t
+
+let core_count = function
+  | Single _ -> 1
+  | Multi mc -> Pmk_mc.core_count mc
+
+let primary = function
+  | Single pmk -> pmk
+  | Multi mc -> Pmk_mc.core mc 0
+
+let core t i =
+  match t with
+  | Single pmk ->
+    if i <> 0 then invalid_arg "Lane.core: out of range";
+    pmk
+  | Multi mc -> Pmk_mc.core mc i
+
+let ticks = function
+  | Single pmk -> Pmk.ticks pmk
+  | Multi mc -> Pmk_mc.ticks mc
+
+let current_schedule = function
+  | Single pmk -> Pmk.current_schedule pmk
+  | Multi mc -> Pmk_mc.current_schedule mc
+
+let next_schedule = function
+  | Single pmk -> Pmk.next_schedule pmk
+  | Multi mc -> Pmk_mc.next_schedule mc
+
+let last_schedule_switch = function
+  | Single pmk -> Pmk.last_schedule_switch pmk
+  | Multi mc -> Pmk.last_schedule_switch (Pmk_mc.core mc 0)
+
+let request_schedule_switch t id =
+  match t with
+  | Single pmk -> Pmk.request_schedule_switch pmk id
+  | Multi mc -> Pmk_mc.request_schedule_switch mc id
+
+let active_partitions = function
+  | Single pmk -> [| Pmk.active_partition pmk |]
+  | Multi mc -> Pmk_mc.active_partitions mc
+
+(* The single occupant of the module's processing resources this tick.
+   Sharded multicore tables keep partitions mutually exclusive in time
+   (validated no-self-overlap plus non-overlapping source windows), so at
+   most one lane is busy; should several be, lane order breaks the tie. *)
+let combined_active t =
+  match t with
+  | Single pmk -> Pmk.active_partition pmk
+  | Multi mc ->
+    let actives = Pmk_mc.active_partitions mc in
+    let n = Array.length actives in
+    let rec first i =
+      if i >= n then None
+      else match actives.(i) with Some _ as p -> p | None -> first (i + 1)
+    in
+    first 0
+
+let next_preemption_tick = function
+  | Single pmk -> Pmk.next_preemption_tick pmk
+  | Multi mc -> Pmk_mc.next_preemption_tick mc
+
+let skip t ~ticks =
+  match t with
+  | Single pmk -> Pmk.skip pmk ~ticks
+  | Multi mc -> Pmk_mc.skip mc ~ticks
+
+let pp ppf = function
+  | Single pmk -> Pmk.pp ppf pmk
+  | Multi mc ->
+    Format.fprintf ppf "@[<v>";
+    for i = 0 to Pmk_mc.core_count mc - 1 do
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "lane %d: %a" i Pmk.pp (Pmk_mc.core mc i)
+    done;
+    Format.fprintf ppf "@]"

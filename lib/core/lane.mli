@@ -1,0 +1,57 @@
+(** PMK lane driving — one interface over the single-core scheduler
+    ({!Pmk}) and the multicore scheduler ({!Pmk_mc}).
+
+    The executive drives N lanes off one global clock: each lane runs
+    Algorithms 1 and 2 for its core, mode-based schedule switches are
+    broadcast so every lane switches at the same MTF boundary, and
+    observation (metrics, recorder, module-level schedule state) follows
+    the primary lane (lane 0). The system layer matches on the
+    constructors for its per-tick hot path; everything else goes through
+    the functions below. *)
+
+open Air_sim
+open Air_model
+open Ident
+
+type t = Single of Pmk.t | Multi of Pmk_mc.t
+
+val core_count : t -> int
+
+val primary : t -> Pmk.t
+(** Lane 0 — the scheduler that owns module-level observation (metrics,
+    recorder, telemetry frames, schedule state). For [Single] this is the
+    scheduler itself. *)
+
+val core : t -> int -> Pmk.t
+(** The [i]th lane's scheduler (observation only). Raises
+    [Invalid_argument] out of range. *)
+
+val ticks : t -> Time.t
+(** The global clock (all lanes advance in lockstep). *)
+
+val current_schedule : t -> Schedule_id.t
+val next_schedule : t -> Schedule_id.t
+val last_schedule_switch : t -> Time.t
+
+val request_schedule_switch :
+  t -> Schedule_id.t -> (unit, Pmk.switch_error) result
+(** Broadcast to every lane; all lanes share the schedule set and MTF, so
+    the switch becomes effective on every core at the same boundary. *)
+
+val active_partitions : t -> Partition_id.t option array
+(** Who holds each core right now, in core order. *)
+
+val combined_active : t -> Partition_id.t option
+(** The single occupant of the module's processing resources this tick —
+    for [Multi], the first busy lane (validated tables keep partitions
+    mutually exclusive in time, so at most one lane is busy under sharded
+    schedules). Feeds the combined telemetry occupancy sample. *)
+
+val next_preemption_tick : t -> Time.t
+(** The next instant at which any lane's heir can change (minimum over
+    lanes of {!Pmk.next_preemption_tick}). *)
+
+val skip : t -> ticks:Time.t -> unit
+(** Batch-advance every lane's clock by [ticks] (see {!Pmk.skip}). *)
+
+val pp : Format.formatter -> t -> unit

@@ -35,9 +35,17 @@ type t = {
   allotted : int array array;
       (* Per schedule: each partition's total window time per MTF —
          precomputed so frame close stays off the window lists. *)
+  frame_owner : bool;
+      (* Whether this scheduler closes telemetry frames at MTF boundaries.
+         Exactly one lane of a multicore executive owns the frame. *)
+  occupancy : bool;
+      (* Whether this scheduler feeds the per-tick busy/idle occupancy
+         sample. A multicore executive disables per-lane occupancy and
+         records one combined sample per global tick instead. *)
 }
 
-let create ?metrics ?recorder ?telemetry ?initial_schedule ~partition_count
+let create ?metrics ?recorder ?telemetry ?(frame_owner = true)
+    ?(occupancy = true) ?window_allotment ?initial_schedule ~partition_count
     schedules_list =
   (match Validate.validate_set schedules_list with
   | [] -> ()
@@ -74,16 +82,19 @@ let create ?metrics ?recorder ?telemetry ?initial_schedule ~partition_count
   in
   let tables = Array.map Schedule.preemption_table schedules in
   let allotted =
-    Array.map
-      (fun s ->
-        Array.init partition_count (fun i ->
-            Schedule.total_window_time s (Partition_id.make i)))
-      schedules
+    match window_allotment with
+    | Some a -> a
+    | None ->
+      Array.map
+        (fun s ->
+          Array.init partition_count (fun i ->
+              Schedule.total_window_time s (Partition_id.make i)))
+        schedules
   in
   (match telemetry with
-  | Some tel ->
+  | Some tel when frame_owner ->
     Air_obs.Telemetry.prime tel ~schedule:initial ~allotted:allotted.(initial)
-  | None -> ());
+  | Some _ | None -> ());
   let reg =
     match metrics with
     | Some reg -> reg
@@ -108,7 +119,9 @@ let create ?metrics ?recorder ?telemetry ?initial_schedule ~partition_count
       Air_obs.Metrics.histogram reg "pmk.dispatcher_elapsed";
     recorder;
     telemetry;
-    allotted }
+    allotted;
+    frame_owner;
+    occupancy }
 
 let schedule_count t = Array.length t.schedules
 let schedules t = Array.copy t.schedules
@@ -300,6 +313,7 @@ let tick t =
   let frame_closed =
     match t.telemetry with
     | None -> None
+    | Some _ when not t.frame_owner -> None
     | Some tel ->
       let mtf = t.schedules.(t.current_schedule).Schedule.mtf in
       let off = Stdlib.max 0 (t.ticks - t.last_schedule_switch) mod mtf in
@@ -312,11 +326,45 @@ let tick t =
   in
   let outcome = partition_dispatcher t in
   (match t.telemetry with
-  | None -> ()
-  | Some tel ->
+  | Some tel when t.occupancy ->
     Air_obs.Telemetry.on_tick tel
-      ~active:(Option.map Partition_id.index t.active_partition));
+      ~active:(Option.map Partition_id.index t.active_partition)
+  | Some _ | None -> ());
   { outcome with schedule_switched = switched; frame_closed }
+
+(* --- Skip-ahead support -------------------------------------------------- *)
+
+(* The absolute tick at which the preemption table next fires. Between two
+   consecutive fires the heir never changes, no schedule switch can become
+   effective and no MTF boundary passes (boundaries coincide with the
+   table's offset-0 entry), so the executive may batch the whole gap. *)
+let next_preemption_tick t =
+  let mtf = t.schedules.(t.current_schedule).Schedule.mtf in
+  let table = t.tables.(t.current_schedule) in
+  let entry = table.(t.table_iterator).Schedule.tick in
+  let base = t.ticks + 1 in
+  let off = Stdlib.max 0 (base - t.last_schedule_switch) mod mtf in
+  let delta = (((entry - off) mod mtf) + mtf) mod mtf in
+  base + delta
+
+(* Batch-advance the clock across a span the caller has proven quiescent:
+   no preemption-table fire in (ticks, ticks + n], the heir equals the
+   active partition, and no partition-level work is pending. Equivalent to
+   [n] calls of [tick] whose outcomes are all same-heir/no-event. *)
+let skip t ~ticks:n =
+  if n > 0 then begin
+    t.ticks <- t.ticks + n;
+    Air_obs.Metrics.add t.m_ticks n;
+    (match t.active_partition with
+    | Some p -> t.last_tick.(Partition_id.index p) <- t.ticks
+    | None -> ());
+    match t.telemetry with
+    | Some tel when t.occupancy ->
+      Air_obs.Telemetry.on_ticks tel
+        ~active:(Option.map Partition_id.index t.active_partition)
+        ~count:n
+    | Some _ | None -> ()
+  end
 
 let pp ppf t =
   Format.fprintf ppf

@@ -22,6 +22,9 @@ val create :
   ?metrics:Air_obs.Metrics.t ->
   ?recorder:Air_obs.Span.t ->
   ?telemetry:Air_obs.Telemetry.t ->
+  ?frame_owner:bool ->
+  ?occupancy:bool ->
+  ?window_allotment:int array array ->
   ?initial_schedule:Schedule_id.t ->
   partition_count:int ->
   Schedule.t list ->
@@ -39,7 +42,18 @@ val create :
     given, is primed with the initial schedule's per-partition window
     allotments and then fed one occupancy sample per {!tick} plus a
     dispatch-jitter sample per context switch; its frame is closed at
-    every MTF boundary (see {!tick_outcome.frame_closed}). *)
+    every MTF boundary (see {!tick_outcome.frame_closed}).
+
+    [frame_owner] (default [true]) controls whether this scheduler closes
+    telemetry frames at MTF boundaries; [occupancy] (default [true])
+    whether it feeds the per-tick busy/idle sample. A multicore executive
+    shares one accumulator between its lanes: lane 0 owns the frame, all
+    lanes disable per-lane occupancy and the executive records one
+    combined sample per global tick instead. [window_allotment] overrides
+    the per-schedule per-partition allotted window time used to prime
+    telemetry frames (indexed by schedule id, then partition) — a
+    multicore frame owner passes the cross-core totals, since its own
+    lane's windows only cover part of each partition's grant. *)
 
 val schedule_count : t -> int
 val schedules : t -> Schedule.t array
@@ -91,6 +105,22 @@ type tick_outcome = {
 
 val tick : t -> tick_outcome
 (** Advance the clock one tick and run Scheduler + Dispatcher. *)
+
+val next_preemption_tick : t -> Time.t
+(** The absolute tick at which the preemption table next fires — the next
+    window boundary, idle-gap start, MTF boundary (frame close) or
+    effective schedule switch, whichever comes first. Strictly greater
+    than {!ticks}. Between {!ticks} and this instant the heir partition
+    cannot change, so a quiescent span may be batch-advanced with
+    {!skip}. *)
+
+val skip : t -> ticks:Time.t -> unit
+(** [skip t ~ticks:n] batch-advances the clock by [n] ticks in O(1),
+    equivalent to [n] calls of {!tick} across a span the caller has proven
+    quiescent: [ticks t + n < next_preemption_tick t] and no
+    partition-level work pending. Updates the tick counter and metrics,
+    the active partition's lastTick bookkeeping, and replays the span into
+    the telemetry occupancy accumulator. No-op for [n <= 0]. *)
 
 val mtf_position : t -> Time.t
 (** Offset of the current tick within the running MTF:

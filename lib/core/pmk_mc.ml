@@ -2,7 +2,8 @@ open Air_model
 
 type t = { cores : Pmk.t array }
 
-let create ?initial_schedule ~partition_count tables =
+let create ?metrics ?recorder ?telemetry ?initial_schedule ~partition_count
+    tables =
   if tables = [] then invalid_arg "Pmk_mc.create: no schedules";
   List.iter
     (fun (mc : Multicore.t) ->
@@ -19,9 +20,37 @@ let create ?initial_schedule ~partition_count tables =
   let cores_n = List.hd core_counts in
   if List.exists (fun n -> n <> cores_n) core_counts then
     invalid_arg "Pmk_mc.create: tables disagree on core count";
+  (* Cross-core window allotment, indexed by schedule id then partition:
+     a partition's telemetry grant is the sum of its windows over every
+     lane, not just the frame owner's. *)
+  let allotment =
+    let n = List.length tables in
+    let by_id = Array.make n [||] in
+    List.iter
+      (fun (mc : Multicore.t) ->
+        let totals = Array.make partition_count 0 in
+        Array.iter
+          (List.iter (fun (w : Schedule.window) ->
+               let p = Ident.Partition_id.index w.partition in
+               totals.(p) <- totals.(p) + w.duration))
+          mc.Multicore.cores;
+        by_id.(Ident.Schedule_id.index mc.Multicore.id) <- totals)
+      tables;
+    by_id
+  in
   let cores =
+    (* Observation convention: metrics and recorder follow lane 0 (the
+       primary lane); the telemetry accumulator is shared by all lanes for
+       dispatch-jitter samples, lane 0 owns frame close, and per-lane
+       occupancy is disabled — the executive records one combined
+       busy/idle sample per global tick (the tables' no-self-overlap rule
+       guarantees at most one busy lane per tick for sharded schedules). *)
     Array.init cores_n (fun core ->
-        Pmk.create ?initial_schedule ~partition_count
+        Pmk.create
+          ?metrics:(if core = 0 then metrics else None)
+          ?recorder:(if core = 0 then recorder else None)
+          ?telemetry ~frame_owner:(core = 0) ~occupancy:false
+          ~window_allotment:allotment ?initial_schedule ~partition_count
           (List.map (fun mc -> Multicore.core_view mc ~core) tables))
   in
   { cores }
@@ -43,6 +72,13 @@ let request_schedule_switch t id =
 let tick t = Array.map Pmk.tick t.cores
 
 let active_partitions t = Array.map Pmk.active_partition t.cores
+
+let next_preemption_tick t =
+  Array.fold_left
+    (fun acc pmk -> Stdlib.min acc (Pmk.next_preemption_tick pmk))
+    Air_sim.Time.infinity t.cores
+
+let skip t ~ticks = Array.iter (fun pmk -> Pmk.skip pmk ~ticks) t.cores
 
 let core t i =
   if i < 0 || i >= core_count t then invalid_arg "Pmk_mc.core: out of range";

@@ -18,13 +18,22 @@ open Ident
 type t
 
 val create :
+  ?metrics:Air_obs.Metrics.t ->
+  ?recorder:Air_obs.Span.t ->
+  ?telemetry:Air_obs.Telemetry.t ->
   ?initial_schedule:Schedule_id.t ->
   partition_count:int ->
   Multicore.t list ->
   t
 (** Raises [Invalid_argument] if any table fails
     {!Air_model.Multicore.validate}, the tables disagree on core count, or
-    identifiers are not dense. *)
+    identifiers are not dense.
+
+    Observation convention: [metrics] and [recorder] follow lane 0; the
+    shared [telemetry] accumulator receives dispatch-jitter samples from
+    every lane, lane 0 closes frames at MTF boundaries, and per-lane
+    occupancy sampling is disabled — the driving executive records one
+    combined busy/idle sample per global tick. *)
 
 val core_count : t -> int
 val schedule_count : t -> int
@@ -41,6 +50,14 @@ val tick : t -> Pmk.tick_outcome array
 
 val active_partitions : t -> Partition_id.t option array
 (** Who holds each core right now. *)
+
+val next_preemption_tick : t -> Air_sim.Time.t
+(** Minimum of {!Pmk.next_preemption_tick} over the lanes — the next
+    instant at which any core's heir can change. *)
+
+val skip : t -> ticks:Air_sim.Time.t -> unit
+(** Batch-advance every lane's clock by [ticks] (see {!Pmk.skip}); the
+    lanes stay in lockstep. *)
 
 val core : t -> int -> Pmk.t
 (** The underlying single-core scheduler (observation only). *)

@@ -1,668 +1,21 @@
+(* The clock-tick executive — top layer of the decomposed system. State
+   and lifecycle live in [Runtime], construction in [Boot], script
+   interpretation in [Interp]; this module drives the PMK lane(s) off the
+   global clock, announces elapsed time to the active partitions' PALs
+   (Algorithm 3), runs the heir process, and exposes observation,
+   intervention and fault-injection surfaces. It also provides the
+   quiescence and next-event probes the [Air_exec] executive uses for O(1)
+   idle skip-ahead. *)
+
 open Air_sim
 open Air_model
 open Air_pos
 open Air_ipc
 open Air_spatial
 open Ident
+include Runtime
 
-type intra_object =
-  | Semaphore_object of {
-      name : string;
-      initial : int;
-      maximum : int;
-      discipline : Intra.discipline;
-    }
-  | Event_object of { name : string }
-  | Blackboard_object of { name : string; max_message_size : int }
-  | Buffer_object of {
-      name : string;
-      depth : int;
-      max_message_size : int;
-      discipline : Intra.discipline;
-    }
-
-type partition_setup = {
-  partition : Partition.t;
-  scripts : Script.t array;
-  policy : Kernel.policy;
-  store : Deadline_store.impl;
-  autostart : bool array;
-  memory_requests : Memory.request list;
-  intra_objects : intra_object list;
-  error_handler : string option;
-}
-
-let default_memory_requests =
-  [ { Memory.req_section = Memory.Code; req_size = 16384 };
-    { Memory.req_section = Memory.Data; req_size = 16384 };
-    { Memory.req_section = Memory.Stack; req_size = 16384 } ]
-
-let partition_setup ?(policy = Kernel.Priority_preemptive)
-    ?(store = Deadline_store.Linked_list_impl) ?(autostart = [])
-    ?(memory_requests = default_memory_requests) ?(intra_objects = [])
-    ?error_handler partition scripts =
-  let n = Partition.process_count partition in
-  if List.length scripts <> n then
-    invalid_arg
-      "System.partition_setup: one script per process is required";
-  let autostart_flags =
-    Array.init n (fun q ->
-        let name = partition.Partition.processes.(q).Process.name in
-        match List.assoc_opt name autostart with
-        | Some flag -> flag
-        | None -> true)
-  in
-  List.iter
-    (fun (name, _) ->
-      if Option.is_none (Partition.find_process partition name) then
-        invalid_arg
-          (Printf.sprintf
-             "System.partition_setup: autostart names unknown process %S"
-             name))
-    autostart;
-  (match error_handler with
-  | Some name when Option.is_none (Partition.find_process partition name) ->
-    invalid_arg
-      (Printf.sprintf
-         "System.partition_setup: error handler names unknown process %S"
-         name)
-  | Some _ | None -> ());
-  { partition;
-    scripts = Array.of_list scripts;
-    policy;
-    store;
-    autostart = autostart_flags;
-    memory_requests;
-    intra_objects;
-    error_handler }
-
-type config = {
-  partitions : partition_setup list;
-  schedules : Schedule.t list;
-  initial_schedule : Schedule_id.t option;
-  network : Port.network;
-  hm_tables : Hm.tables;
-  trace_capacity : int option;
-  recorder : Air_obs.Span.t option;
-  telemetry : Air_obs.Telemetry.config option;
-}
-
-let config ?initial_schedule ?(network = { Port.ports = []; channels = [] })
-    ?(hm_tables = Hm.default_tables) ?trace_capacity ?recorder ?telemetry
-    ~partitions ~schedules () =
-  { partitions; schedules; initial_schedule; network; hm_tables;
-    trace_capacity; recorder; telemetry }
-
-type task = {
-  mutable pc : int;
-  mutable compute_left : int;
-}
-
-type prt = {
-  setup : partition_setup;
-  kernel : Kernel.t;
-  intra : Intra.t;
-  pal : Pal.t;
-  env : Apex.env;
-  tasks : task array;
-  mutable mode : Partition.mode;
-  mutable jitter_left : int;
-      (** Active ticks whose PAL clock-tick announcement is still being
-          suppressed by an injected clock-jitter fault. *)
-  mutable jitter_deferred : int;
-      (** Elapsed ticks accumulated while suppressed; announced as one
-          catch-up burst when the jitter window ends. *)
-}
-
-type t = {
-  cfg : config;
-  pmk : Pmk.t;
-  hm : Hm.t;
-  router : Router.t;
-  protection : Protection.t;
-  trace : Event.t Trace.t;
-  metrics : Air_obs.Metrics.t;
-  events : Event.t Air_obs.Event.t;
-  telemetry : Air_obs.Telemetry.t option;
-  partitions : prt array;
-  mutable halt_reason : string option;
-}
-
-let now t = Stdlib.max 0 (Pmk.ticks t.pmk)
-
-let emit t ev =
-  Trace.record t.trace (now t) ev;
-  Air_obs.Event.record t.events ~time:(now t) ~kind:(Event.label ev) ev
-
-(* Flight recorder: a Health Monitor handler invocation becomes a span on
-   the affected track (simulated time does not advance during handling, so
-   the span is zero-width — it still shows nesting and ordering). *)
-let with_hm_span t ~track ~code name f =
-  match t.cfg.recorder with
-  | None -> f ()
-  | Some r ->
-    Air_obs.Span.begin_span r ~now:(now t) ~track
-      ~detail:(Format.asprintf "%a" Error.pp_code code)
-      name;
-    let result = f () in
-    Air_obs.Span.end_span r ~now:(now t) ~track;
-    result
-
-let prt_of t pid = t.partitions.(Partition_id.index pid)
-
-(* Telemetry: count every Health Monitor invocation against the frame
-   being accumulated (module-level errors carry no partition). *)
-let note_hm_invocation t ~partition =
-  match t.telemetry with
-  | None -> ()
-  | Some tel -> Air_obs.Telemetry.on_hm_error tel ~partition
-
-(* --- Partition lifecycle ----------------------------------------------- *)
-
-let reset_task task =
-  task.pc <- 0;
-  task.compute_left <- 0
-
-let set_mode t prt mode =
-  if not (Partition.mode_equal prt.mode mode) then begin
-    prt.mode <- mode;
-    emit t
-      (Event.Partition_mode_change
-         { partition = prt.setup.partition.Partition.id; mode })
-  end
-
-(* START wrapper: the task's program counter must restart from the entry
-   point whenever the process (re)starts. *)
-let start_process_internal t prt q ~delay =
-  reset_task prt.tasks.(q);
-  ignore t;
-  Kernel.start prt.kernel ~now:(Stdlib.max 0 (Pmk.ticks t.pmk)) ~delay q
-
-let shutdown_partition t prt =
-  Kernel.stop_all prt.kernel;
-  Intra.reset prt.intra;
-  Pal.clear_deadlines prt.pal;
-  Array.iter reset_task prt.tasks;
-  prt.jitter_left <- 0;
-  prt.jitter_deferred <- 0;
-  set_mode t prt Partition.Idle
-
-let begin_restart t prt mode =
-  Kernel.stop_all prt.kernel;
-  (* Cold start wipes the partition's context — including intrapartition
-     objects — while a warm start preserves it (ARINC 653: the two modes
-     differ in the initial context, paper Sect. 3.1). *)
-  (match mode with
-  | Partition.Cold_start -> Intra.reset prt.intra
-  | Partition.Warm_start | Partition.Normal | Partition.Idle ->
-    Intra.clear_mailboxes prt.intra);
-  Pal.clear_deadlines prt.pal;
-  Array.iter reset_task prt.tasks;
-  prt.jitter_left <- 0;
-  prt.jitter_deferred <- 0;
-  set_mode t prt mode
-
-(* Partition initialization: performed the first time the partition is
-   dispatched while in a starting mode — start the autostart processes and
-   enter normal mode. *)
-let create_intra_objects prt =
-  (* Idempotent: after a warm restart the objects already exist and the
-     Already_exists outcome is expected. *)
-  List.iter
-    (fun obj ->
-      ignore
-        (match obj with
-        | Semaphore_object { name; initial; maximum; discipline } ->
-          Intra.create_semaphore prt.intra ~name ~initial ~maximum discipline
-        | Event_object { name } -> Intra.create_event prt.intra ~name
-        | Blackboard_object { name; max_message_size } ->
-          Intra.create_blackboard prt.intra ~name ~max_message_size
-        | Buffer_object { name; depth; max_message_size; discipline } ->
-          Intra.create_buffer prt.intra ~name ~depth ~max_message_size
-            discipline))
-    prt.setup.intra_objects
-
-let initialize_partition t prt =
-  create_intra_objects prt;
-  Array.iteri
-    (fun q auto ->
-      if auto then ignore (start_process_internal t prt q ~delay:Time.zero))
-    prt.setup.autostart;
-  set_mode t prt Partition.Normal
-
-let apply_partition_action t prt (action : Error.partition_action) =
-  emit t
-    (Event.Hm_partition_action
-       { partition = prt.setup.partition.Partition.id; action });
-  match action with
-  | Error.Partition_ignore -> ()
-  | Error.Partition_idle -> shutdown_partition t prt
-  | Error.Partition_warm_restart -> begin_restart t prt Partition.Warm_start
-  | Error.Partition_cold_restart -> begin_restart t prt Partition.Cold_start
-
-let apply_module_action t (action : Error.module_action) =
-  emit t (Event.Hm_module_action { action });
-  match action with
-  | Error.Module_ignore -> ()
-  | Error.Module_shutdown ->
-    t.halt_reason <- Some "health monitor: module shutdown";
-    emit t (Event.Module_halt { reason = "health monitor: module shutdown" })
-  | Error.Module_reset ->
-    Array.iter (fun prt -> begin_restart t prt Partition.Cold_start)
-      t.partitions
-
-let rec apply_process_action t prt q (action : Error.process_action) =
-  emit t
-    (Event.Hm_process_action
-       { process = Partition.process_id prt.setup.partition q; action });
-  match action with
-  | Error.Ignore_error -> ()
-  | Error.Log_then (_, _) ->
-    (* The HM resolves thresholds before returning an action; a Log_then
-       reaching this point behaves as its ultimate action. *)
-    (match action with
-    | Error.Log_then (_, inner) -> apply_process_action t prt q inner
-    | _ -> ())
-  | Error.Restart_process ->
-    ignore (Kernel.stop prt.kernel q);
-    ignore (start_process_internal t prt q ~delay:Time.zero)
-  | Error.Stop_process -> ignore (Kernel.stop prt.kernel q)
-  | Error.Stop_partition_of_process -> shutdown_partition t prt
-  | Error.Restart_partition_of_process mode -> begin_restart t prt mode
-
-let report_process_error t prt ~process code ~detail =
-  let partition = prt.setup.partition.Partition.id in
-  emit t
-    (Event.Hm_error
-       { level = Error.Process_level;
-         code;
-         partition = Some partition;
-         process = Some (Partition.process_id prt.setup.partition process);
-         detail });
-  note_hm_invocation t ~partition:(Some (Partition_id.index partition));
-  with_hm_span t ~track:(Partition_id.index partition) ~code
-    "hm.process-error" (fun () ->
-      let action = Hm.resolve_process_error t.hm ~partition ~process ~code in
-      apply_process_action t prt process action;
-      (* Invoke the partition's application error handler, if configured and
-         not already active (and unless the error came from the handler
-         itself). *)
-      match prt.setup.error_handler with
-      | Some name -> (
-        match Kernel.find_by_name prt.kernel name with
-        | Some handler
-          when handler <> process
-               && Process.state_equal (Kernel.state prt.kernel handler)
-                    Process.Dormant ->
-          ignore (start_process_internal t prt handler ~delay:Time.zero)
-        | Some _ | None -> ())
-      | None -> ())
-
-let report_partition_error t prt code ~detail =
-  let partition = prt.setup.partition.Partition.id in
-  emit t
-    (Event.Hm_error
-       { level = Error.Partition_level;
-         code;
-         partition = Some partition;
-         process = None;
-         detail });
-  note_hm_invocation t ~partition:(Some (Partition_id.index partition));
-  with_hm_span t ~track:(Partition_id.index partition) ~code
-    "hm.partition-error" (fun () ->
-      let action = Hm.resolve_partition_error t.hm ~partition ~code in
-      apply_partition_action t prt action)
-
-let report_module_error t code ~detail =
-  emit t
-    (Event.Hm_error
-       { level = Error.Module_level;
-         code;
-         partition = None;
-         process = None;
-         detail });
-  note_hm_invocation t ~partition:None;
-  with_hm_span t ~track:(-1) ~code "hm.module-error" (fun () ->
-      apply_module_action t (Hm.resolve_module_error t.hm ~code))
-
-(* --- Queuing-port delivery notification -------------------------------- *)
-
-(* A queuing message arrived at [ports]; wake the longest-blocked receiver
-   of each and hand it the message through its partition's mailbox. *)
-let notify_port_delivery t ports =
-  List.iter
-    (fun port ->
-      match Router.port_config t.router port with
-      | None -> ()
-      | Some cfg ->
-        let owner = prt_of t cfg.Port.partition in
-        let waiting = function
-          | Kernel.On_queuing_port p -> String.equal p port
-          | _ -> false
-        in
-        (match Kernel.waiters_fifo owner.kernel waiting with
-        | [] -> ()
-        | q :: _ -> (
-          match
-            Router.receive_queuing ~now:(now t) t.router
-              ~caller:cfg.Port.partition ~port
-          with
-          | Ok (Some msg) ->
-            emit t (Event.Port_receive { port; bytes = Bytes.length msg });
-            (match t.cfg.recorder with
-            | None -> ()
-            | Some r ->
-              Air_obs.Span.instant r ~now:(now t)
-                ~track:(Partition_id.index cfg.Port.partition) ~sub:q
-                ~detail:port "ipc.deliver");
-            (* Deliver through the partition mailbox, as for buffers. *)
-            Intra.deliver owner.intra ~process:q msg;
-            Kernel.wake owner.kernel ~now:(now t) q ~timed_out:false
-          | Ok None | Error _ -> ())))
-    ports
-
-(* --- Construction ------------------------------------------------------ *)
-
-let create (cfg : config) =
-  if cfg.partitions = [] then
-    invalid_arg "System.create: at least one partition is required";
-  let partition_count = List.length cfg.partitions in
-  List.iteri
-    (fun i setup ->
-      if Partition_id.index setup.partition.Partition.id <> i then
-        invalid_arg
-          "System.create: partition identifiers must be dense and in order")
-    cfg.partitions;
-  (* One registry shared by every component, so the end-of-run snapshot
-     covers the whole module in a single pass. *)
-  let metrics = Air_obs.Metrics.create () in
-  let telemetry =
-    Option.map
-      (fun c -> Air_obs.Telemetry.create ~config:c ~partition_count ())
-      cfg.telemetry
-  in
-  let pmk =
-    Pmk.create ~metrics ?recorder:cfg.recorder ?telemetry
-      ?initial_schedule:cfg.initial_schedule ~partition_count cfg.schedules
-  in
-  let hm = Hm.create ~metrics ~tables:cfg.hm_tables () in
-  let router = Router.create ~metrics ?recorder:cfg.recorder cfg.network in
-  (match telemetry with
-  | None -> ()
-  | Some tel ->
-    Router.set_delivery_observer router (fun ~latency ->
-        Air_obs.Telemetry.on_ipc_delivery tel ~latency));
-  let maps =
-    Memory.allocate
-      (List.map
-         (fun setup ->
-           (setup.partition.Partition.id, setup.memory_requests))
-         cfg.partitions)
-  in
-  let protection =
-    Protection.create ~metrics ~contexts:(partition_count + 1) maps
-  in
-  let trace = Trace.create ?capacity:cfg.trace_capacity () in
-  let events = Air_obs.Event.create () in
-  (* The system record is knotted with the per-partition closures through
-     this forward reference. *)
-  let system_ref = ref None in
-  let the_system () =
-    match !system_ref with
-    | Some s -> s
-    | None -> failwith "System: used before initialization completed"
-  in
-  let make_prt setup =
-    let pid = setup.partition.Partition.id in
-    let pal =
-      Pal.create ~metrics ?recorder:cfg.recorder ?telemetry
-        ~store:setup.store ~partition:pid ()
-    in
-    let emit_ev ev =
-      let t = the_system () in
-      emit t ev
-    in
-    let hooks =
-      { Kernel.register_deadline =
-          (fun ~process deadline ->
-            Pal.register_deadline pal ~process deadline;
-            emit_ev
-              (Event.Deadline_registered
-                 { process = Partition.process_id setup.partition process;
-                   deadline }));
-        unregister_deadline =
-          (fun ~process ->
-            Pal.unregister_deadline pal ~process;
-            emit_ev
-              (Event.Deadline_unregistered
-                 { process = Partition.process_id setup.partition process }));
-        on_state_change =
-          (fun ~process state ->
-            emit_ev
-              (Event.Process_state_change
-                 { process = Partition.process_id setup.partition process;
-                   state })) }
-    in
-    let kernel =
-      Kernel.create ~partition:pid ~policy:setup.policy ~hooks
-        setup.partition.Partition.processes
-    in
-    let intra = Intra.create kernel in
-    let n = Partition.process_count setup.partition in
-    let tasks = Array.init n (fun _ -> { pc = 0; compute_left = 0 }) in
-    let rec prt =
-      { setup;
-        kernel;
-        intra;
-        pal;
-        env =
-          { Apex.partition = setup.partition;
-            kernel;
-            intra;
-            router;
-            pmk;
-            now = (fun () -> now (the_system ()));
-            emit = emit_ev;
-            report_process_error =
-              (fun ~process code ~detail ->
-                report_process_error (the_system ()) prt ~process code
-                  ~detail);
-            report_partition_error =
-              (fun code ~detail ->
-                report_partition_error (the_system ()) prt code ~detail);
-            notify_port_delivery =
-              (fun ports -> notify_port_delivery (the_system ()) ports);
-            mode = (fun () -> prt.mode);
-            set_mode =
-              (fun mode ->
-                let t = the_system () in
-                match mode with
-                | Partition.Normal -> set_mode t prt Partition.Normal
-                | Partition.Idle -> shutdown_partition t prt
-                | Partition.Cold_start | Partition.Warm_start ->
-                  begin_restart t prt mode) };
-        tasks;
-        mode = setup.partition.Partition.initial_mode;
-        jitter_left = 0;
-        jitter_deferred = 0 }
-    in
-    prt
-  in
-  let partitions =
-    Array.of_list (List.map make_prt cfg.partitions)
-  in
-  let t =
-    { cfg; pmk; hm; router; protection; trace; metrics; events; telemetry;
-      partitions; halt_reason = None }
-  in
-  system_ref := Some t;
-  t
-
-(* --- Script interpretation --------------------------------------------- *)
-
-(* Zero-duration actions executed within a single tick are capped; a script
-   made only of such actions still consumes CPU time. *)
-let max_actions_per_tick = 32
-
-let exec_action t prt q (action : Script.action) : Apex.outcome =
-  let env = prt.env in
-  let b = Bytes.of_string in
-  match action with
-  | Script.Compute _ -> Apex.Done Apex.No_error (* handled by the caller *)
-  | Script.Periodic_wait -> Apex.periodic_wait env ~process:q
-  | Script.Timed_wait d -> Apex.timed_wait env ~process:q d
-  | Script.Replenish budget -> Apex.replenish env ~process:q budget
-  | Script.Write_sampling (port, payload) ->
-    Apex.write_sampling_message env ~process:q ~port (b payload)
-  | Script.Read_sampling port ->
-    Apex.read_sampling_message env ~process:q ~port
-  | Script.Send_queuing (port, payload) ->
-    Apex.send_queuing_message env ~process:q ~port (b payload)
-  | Script.Receive_queuing (port, timeout) ->
-    Apex.receive_queuing_message env ~process:q ~port ~timeout
-  | Script.Wait_semaphore (name, timeout) ->
-    Apex.wait_semaphore env ~process:q ~name ~timeout
-  | Script.Signal_semaphore name -> Apex.signal_semaphore env ~process:q ~name
-  | Script.Wait_event (name, timeout) ->
-    Apex.wait_event env ~process:q ~name ~timeout
-  | Script.Set_event name -> Apex.set_event env ~process:q ~name
-  | Script.Reset_event name -> Apex.reset_event env ~process:q ~name
-  | Script.Display_blackboard (name, payload) ->
-    Apex.display_blackboard env ~process:q ~name (b payload)
-  | Script.Clear_blackboard name -> Apex.clear_blackboard env ~process:q ~name
-  | Script.Read_blackboard (name, timeout) ->
-    Apex.read_blackboard env ~process:q ~name ~timeout
-  | Script.Send_buffer (name, payload, timeout) ->
-    Apex.send_buffer env ~process:q ~name (b payload) ~timeout
-  | Script.Receive_buffer (name, timeout) ->
-    Apex.receive_buffer env ~process:q ~name ~timeout
-  | Script.Read_memory addr | Script.Write_memory addr ->
-    let access =
-      match action with
-      | Script.Write_memory _ -> Mmu.Write
-      | _ -> Mmu.Read
-    in
-    let pid = prt.setup.partition.Partition.id in
-    let granted =
-      match
-        Protection.access t.protection ~partition:pid
-          ~level:Memory.Application ~access addr
-      with
-      | Ok () -> true
-      | Error _ -> false
-    in
-    emit t (Event.Memory_access { partition = pid; address = addr; granted });
-    if granted then Apex.Done Apex.No_error
-    else begin
-      report_partition_error t prt Error.Memory_violation
-        ~detail:(Printf.sprintf "address 0x%x" addr);
-      Apex.Done Apex.Invalid_config
-    end
-  | Script.Log line -> Apex.report_application_message env ~process:q line
-  | Script.Raise_application_error detail ->
-    Apex.raise_application_error env ~process:q detail
-  | Script.Request_schedule i ->
-    Apex.set_module_schedule env ~process:q (Schedule_id.make i)
-  | Script.Log_schedule_status ->
-    let status = Apex.get_module_schedule_status env in
-    Apex.report_application_message env ~process:q
-      (Format.asprintf "schedule status: %a" Apex.pp_schedule_status status)
-  | Script.Suspend_self timeout -> Apex.suspend_self env ~process:q ~timeout
-  | Script.Resume_process name -> (
-    match Kernel.find_by_name prt.kernel name with
-    | Some target -> Apex.resume env ~process:target
-    | None -> Apex.Done Apex.Invalid_param)
-  | Script.Start_other name -> (
-    match Kernel.find_by_name prt.kernel name with
-    | Some target -> (
-      match start_process_internal t prt target ~delay:Time.zero with
-      | Ok () -> Apex.Done Apex.No_error
-      | Error _ -> Apex.Done Apex.No_action)
-    | None -> Apex.Done Apex.Invalid_param)
-  | Script.Stop_other name -> (
-    match Kernel.find_by_name prt.kernel name with
-    | Some target -> Apex.stop prt.env ~process:target
-    | None -> Apex.Done Apex.Invalid_param)
-  | Script.Stop_self -> Apex.stop_self env ~process:q
-  | Script.Lock_preemption -> (
-    match Kernel.lock_preemption prt.kernel ~process:q with
-    | Ok _ -> Apex.Done Apex.No_error
-    | Error _ -> Apex.Done Apex.Invalid_mode)
-  | Script.Unlock_preemption -> (
-    match Kernel.unlock_preemption prt.kernel ~process:q with
-    | Ok _ -> Apex.Done Apex.No_error
-    | Error _ -> Apex.Done Apex.No_action)
-  | Script.Disable_interrupts ->
-    (* Paravirtualization (paper Sect. 2.5): the PMK traps attempts to
-       disable or divert system clock interrupts; the guest continues. *)
-    emit t
-      (Event.Hm_error
-         { level = Error.Process_level;
-           code = Error.Illegal_request;
-           partition = Some prt.setup.partition.Partition.id;
-           process = Some (Partition.process_id prt.setup.partition q);
-           detail = "clock interrupt disable attempt trapped (paravirtualized)" });
-    Apex.Done Apex.Invalid_mode
-
-let run_task_tick t prt q =
-  (* A message delivered while the process was blocked is consumed here. *)
-  ignore (Intra.take_delivery prt.intra ~process:q);
-  ignore (Kernel.take_timed_out prt.kernel q);
-  let task = prt.tasks.(q) in
-  let script = prt.setup.scripts.(q) in
-  let body = script.Script.body in
-  (* One call = one tick of CPU. A Compute action consumes the tick;
-     zero-duration actions (service calls, logs) execute for free, before
-     or after the computation — so a body like [Compute 60; Log; Periodic_wait]
-     costs exactly 60 ticks per activation, with the APEX calls happening
-     within the final tick. *)
-  let consumed = ref false in
-  let stop = ref false in
-  let actions = ref 0 in
-  while (not !stop) && !actions < max_actions_per_tick do
-    incr actions;
-    if task.pc >= Array.length body then begin
-      match script.Script.on_end with
-      | Script.Repeat ->
-        task.pc <- 0;
-        if Array.length body = 0 then begin
-          ignore (Kernel.stop prt.kernel q);
-          stop := true
-        end
-      | Script.Stop ->
-        ignore (Apex.stop_self prt.env ~process:q);
-        stop := true
-    end
-    else begin
-      match body.(task.pc) with
-      | Script.Compute n ->
-        if n <= 0 then task.pc <- task.pc + 1
-        else if !consumed then
-          (* A second computation cannot start within the same tick. *)
-          stop := true
-        else begin
-          if task.compute_left = 0 then task.compute_left <- n;
-          task.compute_left <- task.compute_left - 1;
-          consumed := true;
-          if task.compute_left = 0 then task.pc <- task.pc + 1
-          else stop := true
-        end
-      | action ->
-        let outcome = exec_action t prt q action in
-        task.pc <- task.pc + 1;
-        (match outcome with
-        | Apex.Blocked -> stop := true
-        | Apex.Done _ | Apex.Msg _ ->
-          (* The process may have stopped itself, been restarted by a
-             recovery action, or shut its partition down. *)
-          (match Kernel.state prt.kernel q with
-          | Process.Running -> ()
-          | Process.Dormant | Process.Ready | Process.Waiting ->
-            stop := true);
-          if not (Partition.mode_equal prt.mode Partition.Normal) then
-            stop := true)
-    end
-  done
+let create = Boot.create
 
 (* --- The system clock tick --------------------------------------------- *)
 
@@ -709,86 +62,122 @@ let handle_closed_frame t (frame : Air_obs.Telemetry.frame) =
               ~detail:(detail mine))
         t.partitions)
 
+(* First-level outcome bookkeeping shared by the single- and multicore
+   paths. Under a broadcast switch every lane switches at the same
+   boundary; the module-level Schedule_switch event is emitted once, from
+   the primary lane. *)
+let apply_outcome t ~primary (o : Pmk.tick_outcome) =
+  (match o.Pmk.schedule_switched with
+  | Some (from, to_) when primary -> emit t (Event.Schedule_switch { from; to_ })
+  | Some _ | None -> ());
+  (match o.Pmk.context_switch with
+  | Some (from, to_) -> emit t (Event.Context_switch { from; to_ })
+  | None -> ());
+  (match o.Pmk.change_action with
+  | Some (pid, action) ->
+    let prt = prt_of t pid in
+    emit t (Event.Change_action { partition = pid; action });
+    (* Restart actions apply to partitions running in normal mode
+       (Sect. 4.2); a partition still initializing restarts anyway. *)
+    (match action with
+    | Schedule.No_action -> ()
+    | Schedule.Warm_restart_partition ->
+      begin_restart t prt Partition.Warm_start
+    | Schedule.Cold_restart_partition ->
+      begin_restart t prt Partition.Cold_start)
+  | None -> ());
+  match o.Pmk.frame_closed with
+  | Some frame -> handle_closed_frame t frame
+  | None -> ()
+
+(* One tick of the partition currently holding a core: complete
+   initialization at first dispatch, announce elapsed time to the PAL
+   (Algorithm 3) with deadline verification, then let the POS pick the
+   heir process and run one tick of its script. *)
+let drive_partition t prt ~elapsed =
+  (* Partition initialization completes at first dispatch. *)
+  (match prt.mode with
+  | Partition.Cold_start | Partition.Warm_start -> initialize_partition t prt
+  | Partition.Normal | Partition.Idle -> ());
+  match prt.mode with
+  | Partition.Normal ->
+    let tnow = now t in
+    (* PAL surrogate clock tick announcement (Algorithm 3): announce
+       the elapsed ticks to the POS, then verify deadlines. An injected
+       clock-jitter fault suppresses the announcement — the tick is
+       lost at the PMK, the running process keeps computing — and the
+       withheld ticks are announced as one catch-up burst when the
+       jitter window ends (exercising the PAL catch-up path). *)
+    if elapsed > 0 && prt.jitter_left > 0 then begin
+      prt.jitter_left <- prt.jitter_left - 1;
+      prt.jitter_deferred <- prt.jitter_deferred + elapsed
+    end
+    else if elapsed > 0 || prt.jitter_deferred > 0 then begin
+      let elapsed = elapsed + prt.jitter_deferred in
+      prt.jitter_deferred <- 0;
+      let violations =
+        Pal.announce_ticks prt.pal ~now:tnow ~elapsed
+          ~announce_to_pos:(fun ~elapsed:_ ->
+            Kernel.announce_ticks prt.kernel ~now:tnow)
+      in
+      List.iter
+        (fun { Pal.process; deadline } ->
+          emit t
+            (Event.Deadline_violation
+               { process = Partition.process_id prt.setup.partition process;
+                 deadline });
+          report_process_error t prt ~process Error.Deadline_missed
+            ~detail:
+              (Format.asprintf "deadline %a missed at %a" Time.pp deadline
+                 Time.pp tnow))
+        violations
+    end;
+    (* Second scheduling level: the POS selects the heir process and it
+       executes one tick of its body. *)
+    if
+      Option.is_none t.halt_reason
+      && Partition.mode_equal prt.mode Partition.Normal
+    then begin
+      match Kernel.schedule prt.kernel ~now:(now t) with
+      | Some q -> Interp.run_task_tick t prt q
+      | None -> ()
+    end
+  | Partition.Idle | Partition.Cold_start | Partition.Warm_start -> ()
+
+let step_single t pmk =
+  let outcome = Pmk.tick pmk in
+  apply_outcome t ~primary:true outcome;
+  match Pmk.active_partition pmk with
+  | None -> ()
+  | Some pid -> drive_partition t (prt_of t pid) ~elapsed:outcome.Pmk.elapsed
+
+let step_multi t mc =
+  let outcomes = Pmk_mc.tick mc in
+  Array.iteri (fun core o -> apply_outcome t ~primary:(core = 0) o) outcomes;
+  (* Per-lane occupancy sampling is disabled in Pmk_mc; record one
+     combined busy/idle sample per global tick (validated tables keep at
+     most one lane busy under sharded schedules). *)
+  (match t.telemetry with
+  | Some tel ->
+    Air_obs.Telemetry.on_tick tel
+      ~active:(Option.map Partition_id.index (Lane.combined_active t.lane))
+  | None -> ());
+  Array.iteri
+    (fun core active ->
+      match active with
+      | Some pid when Option.is_none t.halt_reason ->
+        drive_partition t (prt_of t pid)
+          ~elapsed:outcomes.(core).Pmk.elapsed
+      | Some _ | None -> ())
+    (Pmk_mc.active_partitions mc)
+
 let step t =
   match t.halt_reason with
   | Some _ -> ()
-  | None ->
-    let outcome = Pmk.tick t.pmk in
-    (match outcome.Pmk.schedule_switched with
-    | Some (from, to_) -> emit t (Event.Schedule_switch { from; to_ })
-    | None -> ());
-    (match outcome.Pmk.context_switch with
-    | Some (from, to_) -> emit t (Event.Context_switch { from; to_ })
-    | None -> ());
-    (match outcome.Pmk.change_action with
-    | Some (pid, action) ->
-      let prt = prt_of t pid in
-      emit t (Event.Change_action { partition = pid; action });
-      (* Restart actions apply to partitions running in normal mode
-         (Sect. 4.2); a partition still initializing restarts anyway. *)
-      (match action with
-      | Schedule.No_action -> ()
-      | Schedule.Warm_restart_partition ->
-        begin_restart t prt Partition.Warm_start
-      | Schedule.Cold_restart_partition ->
-        begin_restart t prt Partition.Cold_start)
-    | None -> ());
-    (match outcome.Pmk.frame_closed with
-    | Some frame -> handle_closed_frame t frame
-    | None -> ());
-    (match Pmk.active_partition t.pmk with
-    | None -> ()
-    | Some pid ->
-      let prt = prt_of t pid in
-      (* Partition initialization completes at first dispatch. *)
-      (match prt.mode with
-      | Partition.Cold_start | Partition.Warm_start ->
-        initialize_partition t prt
-      | Partition.Normal | Partition.Idle -> ());
-      (match prt.mode with
-      | Partition.Normal ->
-        let tnow = now t in
-        (* PAL surrogate clock tick announcement (Algorithm 3): announce
-           the elapsed ticks to the POS, then verify deadlines. An injected
-           clock-jitter fault suppresses the announcement — the tick is
-           lost at the PMK, the running process keeps computing — and the
-           withheld ticks are announced as one catch-up burst when the
-           jitter window ends (exercising the PAL catch-up path). *)
-        if outcome.Pmk.elapsed > 0 && prt.jitter_left > 0 then begin
-          prt.jitter_left <- prt.jitter_left - 1;
-          prt.jitter_deferred <- prt.jitter_deferred + outcome.Pmk.elapsed
-        end
-        else if outcome.Pmk.elapsed > 0 || prt.jitter_deferred > 0 then begin
-          let elapsed = outcome.Pmk.elapsed + prt.jitter_deferred in
-          prt.jitter_deferred <- 0;
-          let violations =
-            Pal.announce_ticks prt.pal ~now:tnow ~elapsed
-              ~announce_to_pos:(fun ~elapsed:_ ->
-                Kernel.announce_ticks prt.kernel ~now:tnow)
-          in
-          List.iter
-            (fun { Pal.process; deadline } ->
-              emit t
-                (Event.Deadline_violation
-                   { process = Partition.process_id prt.setup.partition process;
-                     deadline });
-              report_process_error t prt ~process Error.Deadline_missed
-                ~detail:
-                  (Format.asprintf "deadline %a missed at %a" Time.pp deadline
-                     Time.pp tnow))
-            violations
-        end;
-        (* Second scheduling level: the POS selects the heir process and it
-           executes one tick of its body. *)
-        if
-          Option.is_none t.halt_reason
-          && Partition.mode_equal prt.mode Partition.Normal
-        then begin
-          match Kernel.schedule prt.kernel ~now:(now t) with
-          | Some q -> run_task_tick t prt q
-          | None -> ()
-        end
-      | Partition.Idle | Partition.Cold_start | Partition.Warm_start -> ()))
+  | None -> (
+    match t.lane with
+    | Lane.Single pmk -> step_single t pmk
+    | Lane.Multi mc -> step_multi t mc)
 
 let run t ~ticks =
   for _ = 1 to ticks do
@@ -797,20 +186,90 @@ let run t ~ticks =
 
 let run_mtfs t n =
   for _ = 1 to n do
-    let current = Pmk.schedule t.pmk (Pmk.current_schedule t.pmk) in
+    let pmk = Lane.primary t.lane in
+    let current = Pmk.schedule pmk (Pmk.current_schedule pmk) in
     let mtf = current.Schedule.mtf in
     (* Ticks executed within the running MTF; 0 exactly at a boundary. *)
-    let executed = Pmk.ticks t.pmk - Pmk.last_schedule_switch t.pmk + 1 in
+    let executed = Pmk.ticks pmk - Pmk.last_schedule_switch pmk + 1 in
     let into = ((executed mod mtf) + mtf) mod mtf in
     run t ~ticks:(mtf - into)
   done
 
 let halted t = t.halt_reason
 
+(* --- Quiescence and skip-ahead (the [Air_exec] executive) --------------- *)
+
+(* A span of ticks is quiet — skippable without observable difference —
+   when every partition currently holding a core would do nothing under
+   per-tick execution: normal mode with no schedulable process and no
+   pending clock-jitter bookkeeping, or parked in idle mode. Partitions
+   not holding a core are never driven per-tick, so they cannot constrain
+   the span; starting modes initialize at the dispatch tick itself, which
+   is always an event tick. *)
+let prt_quiescent prt =
+  match prt.mode with
+  | Partition.Idle -> true
+  | Partition.Cold_start | Partition.Warm_start -> false
+  | Partition.Normal ->
+    prt.jitter_left = 0 && prt.jitter_deferred = 0
+    && not (Kernel.has_schedulable prt.kernel)
+
+let quiescent t =
+  Array.for_all
+    (function None -> true | Some pid -> prt_quiescent (prt_of t pid))
+    (Lane.active_partitions t.lane)
+
+(* The next tick at which a currently-active partition becomes interesting
+   again: a blocked process' wake/release instant, or the tick after its
+   earliest PAL deadline (verification pops deadlines strictly before
+   [now], so a deadline [d] first raises a violation at [d + 1]).
+   Inactive partitions report through their next dispatch, which the
+   lane's preemption table already bounds. *)
+let next_partition_event t =
+  let next = ref Time.infinity in
+  let note x = if Time.(x < !next) then next := x in
+  Array.iter
+    (function
+      | None -> ()
+      | Some pid -> (
+        let prt = prt_of t pid in
+        match prt.mode with
+        | Partition.Idle | Partition.Cold_start | Partition.Warm_start -> ()
+        | Partition.Normal ->
+          (match Pal.earliest_deadline prt.pal with
+          | Some (_, d) -> note (Time.add d 1)
+          | None -> ());
+          note (Kernel.next_wake prt.kernel)))
+    (Lane.active_partitions t.lane);
+  !next
+
+(* Batch-advance the global clock across a quiet span. The caller (the
+   executive) guarantees [quiescent] holds and that no lane preemption,
+   partition event, telemetry frame boundary or injection falls inside the
+   span; under that contract the lane skip is bit-identical to [ticks]
+   per-tick steps. *)
+let skip t ~ticks =
+  if ticks > 0 then begin
+    Lane.skip t.lane ~ticks;
+    match t.lane with
+    | Lane.Multi _ -> (
+      (* Mirror of the combined occupancy sample in [step_multi]. *)
+      match t.telemetry with
+      | Some tel ->
+        Air_obs.Telemetry.on_ticks tel
+          ~active:
+            (Option.map Partition_id.index (Lane.combined_active t.lane))
+          ~count:ticks
+      | None -> ())
+    | Lane.Single _ -> ()
+  end
+
 (* --- Observation -------------------------------------------------------- *)
 
 let trace t = t.trace
-let pmk t = t.pmk
+let lane t = t.lane
+let pmk t = Lane.primary t.lane
+let cores t = Lane.core_count t.lane
 let hm t = t.hm
 let router t = t.router
 let protection t = t.protection
@@ -931,7 +390,7 @@ let stop_process t pid ~name =
       | Error e -> Error (Format.asprintf "%a" Kernel.pp_op_error e))
 
 let request_schedule t id =
-  match Pmk.request_schedule_switch t.pmk id with
+  match Lane.request_schedule_switch t.lane id with
   | Ok () ->
     emit t (Event.Schedule_switch_request { by = None; target = id });
     Ok ()

@@ -5,7 +5,15 @@
     time (first-level scheduling, dispatching, PAL surrogate tick
     announcement with deadline verification, second-level process
     scheduling, and one tick of the heir process' script), and records every
-    observable action in an event trace. *)
+    observable action in an event trace.
+
+    Internally the executive is layered: {!Runtime} (state + lifecycle),
+    {!Boot} (construction), {!Interp} (script interpretation) and this
+    module (the clock-tick executive). [System] re-exports the public
+    types so existing users are unaffected. The quiescence probes at the
+    end of this interface let the [Air_exec] executive advance the module
+    across provably-quiet spans in O(1) ({!quiescent},
+    {!next_partition_event}, {!skip}). *)
 
 open Air_sim
 open Air_model
@@ -16,7 +24,7 @@ open Ident
 
 (** An intrapartition communication object created during partition
     initialization (ARINC 653 objects are created before NORMAL mode). *)
-type intra_object =
+type intra_object = Runtime.intra_object =
   | Semaphore_object of {
       name : string;
       initial : int;
@@ -34,7 +42,7 @@ type intra_object =
 
 (** Static description of one partition: the model-level partition, one
     behaviour script per process, POS policy and PAL store choice. *)
-type partition_setup = {
+type partition_setup = Runtime.partition_setup = {
   partition : Partition.t;
   scripts : Script.t array;
   policy : Kernel.policy;
@@ -72,7 +80,7 @@ val partition_setup :
     count differs from the partition's process count, or [error_handler]
     names an unknown process. *)
 
-type config = {
+type config = Runtime.config = {
   partitions : partition_setup list;
   schedules : Schedule.t list;
   initial_schedule : Schedule_id.t option;
@@ -93,6 +101,13 @@ type config = {
           watchdogs at every frame close, raising
           {!Air_model.Error.Temporal_degradation} through the HM tables on
           a breach. [None] disables telemetry entirely. *)
+  cores : int option;
+      (** [Some n] with [n > 1] shards every scheduling table over [n]
+          processor cores ({!Air_model.Multicore.shard}, original window
+          offsets preserved) and drives one PMK lane per core off the
+          global clock ({!Pmk_mc}); mode-based schedule switches are
+          broadcast to every lane. [None] or [Some 1] keeps the
+          single-core executive. *)
 }
 
 val config :
@@ -102,12 +117,14 @@ val config :
   ?trace_capacity:int ->
   ?recorder:Air_obs.Span.t ->
   ?telemetry:Air_obs.Telemetry.config ->
+  ?cores:int ->
   partitions:partition_setup list ->
   schedules:Schedule.t list ->
   unit ->
   config
+(** Raises [Invalid_argument] when [cores] is non-positive. *)
 
-type t
+type t = Runtime.t
 
 val create : config -> t
 (** Validates schedules ({!Air_model.Validate.validate_set}), the port
@@ -130,10 +147,47 @@ val run_mtfs : t -> int -> unit
 val now : t -> Time.t
 val halted : t -> string option
 
+(** {1 Quiescence and skip-ahead}
+
+    The probes the [Air_exec] executive combines with
+    {!Lane.next_preemption_tick} to advance the module across quiet spans
+    in O(1) while staying bit-identical to per-tick execution. *)
+
+val quiescent : t -> bool
+(** Whether per-tick execution would be a pure clock advance right now:
+    every partition currently holding a core is either idle or in normal
+    mode with no schedulable process and no pending clock-jitter
+    bookkeeping. Partitions not holding a core are never driven per-tick
+    and cannot break quiescence. *)
+
+val next_partition_event : t -> Time.t
+(** The earliest future tick at which a currently-active partition becomes
+    interesting again: a blocked process' wake, timeout or release
+    instant, or the tick after its earliest PAL deadline (a deadline [d]
+    first raises a violation at [d + 1]). {!Air_sim.Time.infinity} when
+    nothing is pending. *)
+
+val skip : t -> ticks:int -> unit
+(** Batch-advance the global clock by [ticks]. Only sound across a span
+    where {!quiescent} holds and no lane preemption, partition event,
+    telemetry frame boundary or fault injection falls strictly inside;
+    under that contract the result is bit-identical to [ticks] calls of
+    {!step}. *)
+
 (** {1 Observation} *)
 
 val trace : t -> Event.t Trace.t
+
+val lane : t -> Lane.t
+(** The PMK lane(s) driving the module — single- or multicore. *)
+
 val pmk : t -> Pmk.t
+(** The primary lane's scheduler (lane 0 under multicore) — the one that
+    owns metrics, recorder spans and telemetry frames. *)
+
+val cores : t -> int
+(** Number of processor cores (lanes); 1 for the single-core executive. *)
+
 val hm : t -> Hm.t
 val router : t -> Router.t
 val protection : t -> Protection.t

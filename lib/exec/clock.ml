@@ -1,0 +1,33 @@
+open Air_sim
+open Air
+
+(* The next *interesting* tick of a module: the earliest future instant at
+   which per-tick execution could do anything beyond advancing the clock.
+   Everything the per-tick executive reacts to is covered by three
+   sources:
+
+   - the lane's preemption table ({!Air.Lane.next_preemption_tick}): the
+     next context switch, MTF boundary (telemetry frame close + pending
+     mode-based schedule switch + change actions) or window edge — all
+     preemption-point entries, and entry 0 coincides with the frame
+     boundary;
+   - the active partitions' own pending events
+     ({!Air.System.next_partition_event}): a blocked process' wake,
+     timeout or periodic release, or the tick after the earliest PAL
+     deadline;
+   - the caller's horizon [until] (end of run, next fault injection, next
+     watch refresh), which bounds the span externally.
+
+   Inactive partitions need no source of their own: they are not driven
+   per-tick, and their next involvement is their next dispatch — a
+   preemption-table entry. *)
+
+let next_interesting system ~until =
+  let lane_next = Lane.next_preemption_tick (System.lane system) in
+  Time.min until (Time.min lane_next (System.next_partition_event system))
+
+(* Whether the instants strictly between now and [next] can be skipped:
+   nothing is due in the open interval, and the module is quiescent (no
+   schedulable process, no jitter bookkeeping, no partition initializing
+   on a held core). *)
+let span_quiet system = System.quiescent system

@@ -1,0 +1,65 @@
+open Air
+
+type stats = {
+  mutable stepped : int;
+  mutable skipped : int;
+}
+
+type t = {
+  system : System.t;
+  skip_ahead : bool;
+  stats : stats;
+}
+
+let create ?(skip_ahead = true) system =
+  { system; skip_ahead; stats = { stepped = 0; skipped = 0 } }
+
+let system t = t.system
+let stats t = t.stats
+let simulated t = t.stats.stepped + t.stats.skipped
+
+(* Advance the module by [ticks] clock ticks, observationally identically
+   to [System.run ~ticks]: every interesting tick is executed through the
+   per-tick path, and each provably-quiet span in between collapses into
+   one O(1) batch clock update. A halted module freezes the clock in both
+   modes, so the remaining budget is simply dropped. *)
+let advance t ~ticks =
+  if ticks > 0 then
+    if not t.skip_ahead then begin
+      System.run t.system ~ticks;
+      t.stats.stepped <- t.stats.stepped + ticks
+    end
+    else begin
+      let remaining = ref ticks in
+      let halted () = Option.is_some (System.halted t.system) in
+      while !remaining > 0 && not (halted ()) do
+        (* The tick at hand is (or may be) interesting: execute it. *)
+        System.step t.system;
+        decr remaining;
+        t.stats.stepped <- t.stats.stepped + 1;
+        (* Collapse the quiet span up to (exclusive) the next interesting
+           tick, bounded by the caller's budget. *)
+        if !remaining > 0 && (not (halted ())) && System.quiescent t.system
+        then begin
+          let now = Lane.ticks (System.lane t.system) in
+          let until = now + !remaining + 1 in
+          let next = Clock.next_interesting t.system ~until in
+          let span = Stdlib.min (next - 1 - now) !remaining in
+          if span > 0 then begin
+            System.skip t.system ~ticks:span;
+            remaining := !remaining - span;
+            t.stats.skipped <- t.stats.skipped + span
+          end
+        end
+      done
+    end
+
+let run_mtfs t n =
+  for _ = 1 to n do
+    let pmk = System.pmk t.system in
+    let current = Pmk.schedule pmk (Pmk.current_schedule pmk) in
+    let mtf = current.Air_model.Schedule.mtf in
+    let executed = Pmk.ticks pmk - Pmk.last_schedule_switch pmk + 1 in
+    let into = ((executed mod mtf) + mtf) mod mtf in
+    advance t ~ticks:(mtf - into)
+  done

@@ -1,0 +1,40 @@
+(** The skip-ahead executive: advances a module to the next interesting
+    tick in O(1) across quiet spans, bit-identically to per-tick
+    execution.
+
+    The per-tick executive pays one {!Air.System.step} per clock tick even
+    when nothing can happen — no schedulable process, no pending wake or
+    deadline, no window edge. [Engine] executes every interesting tick
+    through the unchanged per-tick path and collapses each provably-quiet
+    span in between into a single batch clock update
+    ({!Air.System.skip}), so sparse workloads advance at the cost of their
+    event density rather than their horizon. Event traces, telemetry
+    frames, metrics and campaign verdicts are identical in both modes
+    (the property tests in [test/test_exec.ml] pin this). *)
+
+type stats = {
+  mutable stepped : int;  (** Ticks executed through the per-tick path. *)
+  mutable skipped : int;  (** Ticks collapsed into batch clock updates. *)
+}
+
+type t
+
+val create : ?skip_ahead:bool -> Air.System.t -> t
+(** [skip_ahead] defaults to [true]; [false] degenerates to per-tick
+    {!Air.System.run} (the reference behaviour, kept for differential
+    testing and [--no-skip]). *)
+
+val system : t -> Air.System.t
+val stats : t -> stats
+
+val simulated : t -> int
+(** Total simulated ticks advanced so far ([stepped + skipped]). *)
+
+val advance : t -> ticks:int -> unit
+(** Advance simulated time by [ticks], observationally identically to
+    [System.run ~ticks]. A halted module freezes the clock, as per-tick
+    execution does. *)
+
+val run_mtfs : t -> int -> unit
+(** Advance by whole major time frames of the schedule current at each
+    boundary (mirror of {!Air.System.run_mtfs}). *)

@@ -35,6 +35,25 @@ let step_target = function
   | Module s -> Air.System.step s
   | Cluster (c, _) -> Air.Cluster.step c
 
+(* Turbo: module targets advance through the skip-ahead executive; the
+   injection points bound every span, so a campaign's faults still land on
+   exactly the planned ticks. Cluster targets keep the per-tick path (the
+   bus and its gateways are pumped every tick). *)
+type driver = Skip of Air_exec.Engine.t | Per_tick of target
+
+let driver_of ~turbo target =
+  match (turbo, target) with
+  | true, Module s -> Skip (Air_exec.Engine.create s)
+  | true, Cluster _ | false, _ -> Per_tick target
+
+let advance_driver d ~ticks =
+  match d with
+  | Skip e -> Air_exec.Engine.advance e ~ticks
+  | Per_tick target ->
+    for _ = 1 to ticks do
+      step_target target
+    done
+
 let system run = observed run.target
 let baseline_system run = observed run.baseline
 
@@ -285,8 +304,9 @@ let fingerprint_of sys outcomes =
 
 (* --- Execution ---------------------------------------------------------- *)
 
-let run_target make spec =
+let run_target ~turbo make spec =
   let target = make () in
+  let driver = driver_of ~turbo target in
   let sys = observed target in
   let mtf = mtf_of sys in
   let plan = Campaign.plan spec ~mtf in
@@ -334,22 +354,18 @@ let run_target make spec =
           | [] -> spec.horizon
           | p :: _ -> Stdlib.min spec.horizon p.p_at
         in
-        for _ = 1 to next - !cursor do
-          step_target target
-        done;
+        advance_driver driver ~ticks:(next - !cursor);
         cursor := next
       end
   done;
   (target, mtf, plan, List.rev !working)
 
-let execute ~make spec =
-  let target, mtf, plan, working = run_target make spec in
+let execute ?(turbo = false) ~make spec =
+  let target, mtf, plan, working = run_target ~turbo make spec in
   let sys = observed target in
   let outcomes = match_detections sys working in
   let baseline = make () in
-  for _ = 1 to spec.horizon do
-    step_target baseline
-  done;
+  advance_driver (driver_of ~turbo baseline) ~ticks:spec.horizon;
   { spec;
     mtf;
     plan;
@@ -368,7 +384,7 @@ let detection_latencies run =
     run.outcomes;
   q
 
-let reproducible ~make spec =
-  let a = execute ~make spec in
-  let b = execute ~make spec in
+let reproducible ?turbo ~make spec =
+  let a = execute ?turbo ~make spec in
+  let b = execute ?turbo ~make spec in
   String.equal a.fingerprint b.fingerprint

@@ -58,9 +58,14 @@ type run = {
           outcomes — equal fingerprints mean indistinguishable runs. *)
 }
 
-val execute : make:(unit -> target) -> Campaign.spec -> run
+val execute : ?turbo:bool -> make:(unit -> target) -> Campaign.spec -> run
 (** [make] must return a fresh, equivalent target on every call (it is
-    called twice: campaign + baseline). *)
+    called twice: campaign + baseline). [turbo] (default [false]) drives
+    module targets through the skip-ahead executive
+    ({!Air_exec.Engine}): every planned injection tick bounds a span, so
+    the faults land on exactly the planned instants and the run —
+    fingerprint included — is bit-identical to the per-tick one. Cluster
+    targets always run per-tick. *)
 
 val observed : target -> Air.System.t
 (** The module whose trace the campaign is judged against. *)
@@ -71,6 +76,6 @@ val baseline_system : run -> Air.System.t
 val detection_latencies : run -> Air_obs.Quantile.t
 (** All detection latencies of the run, as a quantile sketch. *)
 
-val reproducible : make:(unit -> target) -> Campaign.spec -> bool
+val reproducible : ?turbo:bool -> make:(unit -> target) -> Campaign.spec -> bool
 (** Execute the spec twice against fresh targets and compare fingerprints —
     the determinism clause of the AIR invariants. *)

@@ -7,9 +7,10 @@ type t = {
   mtf : Time.t;
   requirements : Schedule.requirement list;
   cores : Schedule.window list array;
+  change_actions : (Partition_id.t * Schedule.change_action) list;
 }
 
-let make ~id ~name ~mtf ~requirements cores =
+let make ?(change_actions = []) ~id ~name ~mtf ~requirements cores =
   if mtf <= 0 then invalid_arg "Multicore.make: non-positive MTF";
   if cores = [] then invalid_arg "Multicore.make: at least one core";
   List.iter
@@ -23,7 +24,9 @@ let make ~id ~name ~mtf ~requirements cores =
         Time.compare a.offset b.offset)
       ws
   in
-  { id; name; mtf; requirements; cores = Array.of_list (List.map sort cores) }
+  { id; name; mtf; requirements;
+    cores = Array.of_list (List.map sort cores);
+    change_actions }
 
 let core_count t = Array.length t.cores
 
@@ -32,15 +35,34 @@ let core_view t ~core =
     invalid_arg "Multicore.core_view: core out of range";
   let windows = t.cores.(core) in
   let present =
-    List.filter
-      (fun (r : Schedule.requirement) ->
-        List.exists
-          (fun (w : Schedule.window) ->
-            Partition_id.equal w.partition r.partition)
-          windows)
-      t.requirements
+    match
+      List.filter
+        (fun (r : Schedule.requirement) ->
+          List.exists
+            (fun (w : Schedule.window) ->
+              Partition_id.equal w.partition r.partition)
+            windows)
+        t.requirements
+    with
+    (* An all-idle lane (a sharding with more cores than partitions, or a
+       schedule whose partition set does not reach this core) keeps the
+       full requirement set so its projection still forms a valid
+       single-core schedule. *)
+    | [] -> t.requirements
+    | present -> present
   in
-  Schedule.make ~id:t.id
+  let actions =
+    (* A change action belongs to the core that dispatches the partition:
+       exactly one core per partition (no-self-overlap rule), so the action
+       fires exactly once system-wide. *)
+    List.filter
+      (fun (pid, _) ->
+        List.exists
+          (fun (w : Schedule.window) -> Partition_id.equal w.partition pid)
+          windows)
+      t.change_actions
+  in
+  Schedule.make ~change_actions:actions ~id:t.id
     ~name:(Printf.sprintf "%s#%d" t.name core)
     ~mtf:t.mtf
     ~requirements:
@@ -190,6 +212,32 @@ let utilization t =
       0 t.cores
   in
   float_of_int busy /. float_of_int t.mtf
+
+let shard ~cores (s : Schedule.t) =
+  if cores <= 0 then invalid_arg "Multicore.shard: non-positive core count";
+  (* Partition m (in order of first appearance in Q) lands on core
+     m mod cores; every window keeps its original offset and duration, so
+     the sharded table is time-faithful to the single-core schedule. The
+     single-core table has no overlapping windows, hence no partition can
+     hold two cores at once and no two windows collide on a core. *)
+  let order = Schedule.partitions s in
+  let core_of pid =
+    let rec index i = function
+      | [] -> 0
+      | p :: rest -> if Partition_id.equal p pid then i else index (i + 1) rest
+    in
+    index 0 order mod cores
+  in
+  let lanes = Array.make cores [] in
+  List.iter
+    (fun (w : Schedule.window) ->
+      let c = core_of w.partition in
+      lanes.(c) <- w :: lanes.(c))
+    s.Schedule.windows;
+  make ~change_actions:s.Schedule.change_actions ~id:s.Schedule.id
+    ~name:s.Schedule.name ~mtf:s.Schedule.mtf
+    ~requirements:s.Schedule.requirements
+    (Array.to_list (Array.map List.rev lanes))
 
 let pp ppf t =
   Format.fprintf ppf "@[<v2>%a %s (multicore ×%d): MTF=%a@,Q = {%a}"

@@ -21,9 +21,13 @@ type t = {
       (** Per-partition ⟨η, d⟩, with d owed per cycle across all cores. *)
   cores : Schedule.window list array;
       (** One window list per core; each is kept sorted by offset. *)
+  change_actions : (Partition_id.t * Schedule.change_action) list;
+      (** Per-partition restart actions on a switch to this table;
+          partitions absent from the list get [No_action]. *)
 }
 
 val make :
+  ?change_actions:(Partition_id.t * Schedule.change_action) list ->
   id:Schedule_id.t ->
   name:string ->
   mtf:Time.t ->
@@ -71,5 +75,15 @@ val cycle_supply : t -> Partition_id.t -> k:int -> Time.t
 
 val utilization : t -> float
 (** Busy fraction summed over cores, in [0, core count]. *)
+
+val shard : cores:int -> Schedule.t -> t
+(** Derive a multicore table from a single-core schedule by assigning
+    partition [m] (in Q order) to core [m mod cores], keeping every window
+    at its original offset. Because the source table has no overlapping
+    windows, the result trivially satisfies the no-self-overlap rule and is
+    time-faithful: each partition runs in exactly the instants the
+    single-core table granted it, cores merely idle in the gaps. Change
+    actions and requirements are inherited. Raises [Invalid_argument] on a
+    non-positive core count. *)
 
 val pp : Format.formatter -> t -> unit

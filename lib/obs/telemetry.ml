@@ -155,6 +155,14 @@ let on_tick t ~active =
     t.cur_busy <- t.cur_busy + 1
   | None -> t.cur_idle <- t.cur_idle + 1
 
+let on_ticks t ~active ~count =
+  if count > 0 then
+    match active with
+    | Some i ->
+      t.window_ticks.(i) <- t.window_ticks.(i) + count;
+      t.cur_busy <- t.cur_busy + count
+    | None -> t.cur_idle <- t.cur_idle + count
+
 let on_dispatch t ~partition ~jitter =
   t.dispatches.(partition) <- t.dispatches.(partition) + 1;
   Quantile.record t.jitter jitter;

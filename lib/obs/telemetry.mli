@@ -122,6 +122,12 @@ val prime : t -> schedule:int -> allotted:int array -> unit
 val on_tick : t -> active:int option -> unit
 (** One system clock tick executed with [active] holding the processor. *)
 
+val on_ticks : t -> active:int option -> count:int -> unit
+(** Batch form of {!on_tick}: [count] consecutive ticks, all executed with
+    the same [active] occupant. Used by the executive's skip-ahead path to
+    replay a quiescent span into the frame accumulator in O(1); equivalent
+    to calling {!on_tick} [count] times. No-op when [count <= 0]. *)
+
 val on_dispatch : t -> partition:int -> jitter:int -> unit
 (** A dispatch of [partition], [jitter] ticks after its scheduling-table
     window start. *)

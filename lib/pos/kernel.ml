@@ -332,6 +332,35 @@ let announce_ticks t ~now =
         ())
     t.pcbs
 
+(* Earliest instant at which [announce_ticks] would change any process
+   state: the minimum over waiting processes of the delay wake-up, the
+   next release point, or the blocking-wait timeout. *)
+let next_wake t =
+  let earliest = ref Time.infinity in
+  let note i = if Time.(i < !earliest) then earliest := i in
+  Array.iter
+    (fun p ->
+      match (p.state, p.wait) with
+      | Process.Waiting, Some Delay -> note p.wake_at
+      | Process.Waiting, Some Next_release -> note p.release_point
+      | Process.Waiting, Some
+          ( On_semaphore _ | On_event _ | On_buffer _ | On_blackboard _
+          | On_queuing_port _ | Suspended ) ->
+        note p.wake_at
+      | Process.Waiting, None
+      | (Process.Dormant | Process.Ready | Process.Running), _ ->
+        ())
+    t.pcbs;
+  !earliest
+
+let has_schedulable t =
+  Array.exists
+    (fun p ->
+      match p.state with
+      | Process.Ready | Process.Running -> true
+      | Process.Dormant | Process.Waiting -> false)
+    t.pcbs
+
 let ready_set t =
   let acc = ref [] in
   Array.iteri

@@ -125,6 +125,17 @@ val announce_ticks : t -> now:Time.t -> unit
     the PAL's surrogate clock-tick announcement with the elapsed ticks
     already folded into [now] (paper Fig. 7). *)
 
+val next_wake : t -> Time.t
+(** Earliest instant at which {!announce_ticks} would change any process
+    state: the minimum over waiting processes of their delay wake-up,
+    next release point, or blocking-wait timeout. {!Time.infinity} when no
+    timed wake is pending. Non-destructive — used by the executive to
+    compute the next interesting tick for skip-ahead. *)
+
+val has_schedulable : t -> bool
+(** Whether any process is ready or running, i.e. whether {!schedule}
+    would return [Some _]. Non-destructive quiescence probe. *)
+
 val schedule : t -> now:Time.t -> int option
 (** Select and dispatch the heir process (eq. (14) or round-robin): the
     previous running process is demoted to ready if preempted, the heir is

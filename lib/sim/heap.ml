@@ -39,6 +39,9 @@ let push t x =
 
 let peek t = if is_empty t then None else Some (Vec.get t.data 0)
 
+let peek_key t ~key =
+  if is_empty t then None else Some (key (Vec.get t.data 0))
+
 let pop t =
   if is_empty t then None
   else begin

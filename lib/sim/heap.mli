@@ -16,6 +16,11 @@ val push : 'a t -> 'a -> unit
 val peek : 'a t -> 'a option
 (** Smallest element, O(1). *)
 
+val peek_key : 'a t -> key:('a -> 'b) -> 'b option
+(** [peek_key t ~key] projects [key] out of the smallest element without
+    removing it — O(1), no pop/push round-trip. Intended for next-event
+    queries (e.g. the earliest arrival instant of a timer queue). *)
+
 val pop : 'a t -> 'a option
 (** Removes and returns the smallest element, O(log n). *)
 

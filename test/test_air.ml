@@ -21,4 +21,5 @@ let () =
       ("properties", Test_properties.suite);
       ("arinc", Test_arinc.suite);
       ("cluster", Test_cluster.suite);
-      ("faults", Test_faults.suite) ]
+      ("faults", Test_faults.suite);
+      ("exec", Test_exec.suite) ]

@@ -183,7 +183,7 @@ let env_of s =
     kernel = System.kernel_of s p;
     intra = System.intra_of s p;
     router = System.router s;
-    pmk = System.pmk s;
+    lane = System.lane s;
     now = (fun () -> System.now s);
     emit = (fun _ -> ());
     report_process_error = (fun ~process:_ _ ~detail:_ -> ());
@@ -273,7 +273,7 @@ let port_errors_via_apex () =
       kernel = System.kernel_of s (pid 0);
       intra = System.intra_of s (pid 0);
       router = System.router s;
-      pmk = System.pmk s;
+      lane = System.lane s;
       now = (fun () -> System.now s);
       emit = (fun _ -> ());
       report_process_error = (fun ~process:_ _ ~detail:_ -> ());

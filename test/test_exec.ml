@@ -1,0 +1,201 @@
+(* Observational equivalence of the skip-ahead executive (Air_exec.Engine):
+   for any module the engine must be indistinguishable from per-tick
+   execution — same event trace, same telemetry frames, same metrics JSON,
+   same clock — whether the workload is hand-written (the Sect. 6
+   prototype), randomly generated (Taskgen + synthesized PSTs), sharded
+   over multiple cores, or driven through a fault-injection campaign
+   (identical fingerprints and air-campaign/1 reports). *)
+
+open Air_sim
+open Air_model
+module System = Air.System
+module Engine = Air_exec.Engine
+module C = Air_faults.Campaign
+module E = Air_faults.Engine
+module O = Air_faults.Oracle
+module R = Air_faults.Report
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- Observable fingerprint --------------------------------------------- *)
+
+let rendered_trace system =
+  List.map
+    (fun (t, ev) -> Format.asprintf "[%d] %a" t Event.pp ev)
+    (Trace.to_list (System.trace system))
+
+(* Everything an observer can compare across the two executives. Telemetry
+   frames are immutable records of scalars and arrays, so structural
+   equality is exact. *)
+let assert_equivalent ~what reference candidate =
+  check Alcotest.int
+    (what ^ ": clock")
+    (System.now reference) (System.now candidate);
+  check Alcotest.(list string)
+    (what ^ ": event trace")
+    (rendered_trace reference) (rendered_trace candidate);
+  check Alcotest.string
+    (what ^ ": metrics JSON")
+    (System.metrics_json reference)
+    (System.metrics_json candidate);
+  check Alcotest.bool
+    (what ^ ": telemetry frames")
+    true
+    (System.telemetry_frames reference = System.telemetry_frames candidate)
+
+(* --- Randomly generated modules ----------------------------------------- *)
+
+(* A fresh module from a seeded Taskgen workload under a synthesized PST,
+   with telemetry enabled so frame equality is exercised too. Returns
+   [None] when synthesis fails for this seed (the property skips it). *)
+let taskgen_system ?cores seed =
+  let rng = Rng.create seed in
+  let n_partitions = 2 + (seed mod 3) in
+  let gen =
+    Air_workload.Taskgen.generate rng ~n_partitions ~procs_per_partition:2
+      ~utilization:0.4
+  in
+  match Air_analysis.Synthesis.synthesize gen.Air_workload.Taskgen.requirements with
+  | Error _ -> None
+  | Ok schedule ->
+    let config =
+      System.config
+        ~partitions:
+          (List.map
+             (fun (p, scripts) -> System.partition_setup p scripts)
+             gen.Air_workload.Taskgen.partitions)
+        ~schedules:[ schedule ] ~telemetry:Air_obs.Telemetry.default_config
+        ?cores ()
+    in
+    Some (System.create config, schedule.Schedule.mtf)
+
+let skip_matches_per_tick_on_random_modules =
+  QCheck.Test.make ~name:"skip-ahead is bit-identical on seeded random modules"
+    ~count:40
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      match (taskgen_system seed, taskgen_system seed) with
+      | None, _ | _, None -> QCheck.assume_fail ()
+      | Some (reference, mtf), Some (candidate, _) ->
+        (* A few MTFs plus a ragged tail so runs end mid-frame too. *)
+        let ticks = (3 * mtf) + (seed mod 997) in
+        System.run reference ~ticks;
+        let engine = Engine.create ~skip_ahead:true candidate in
+        Engine.advance engine ~ticks;
+        assert_equivalent ~what:(Printf.sprintf "seed %d" seed) reference
+          candidate;
+        check Alcotest.int
+          (Printf.sprintf "seed %d: simulated ticks" seed)
+          ticks (Engine.simulated engine);
+        true)
+
+(* --- The Sect. 6 prototype ---------------------------------------------- *)
+
+let satellite_ticks = 20_000
+
+let satellite_skip_equivalence () =
+  let reference = Air_workload.Satellite.make () in
+  System.run reference ~ticks:satellite_ticks;
+  let engine =
+    Engine.create ~skip_ahead:true (Air_workload.Satellite.make ())
+  in
+  Engine.advance engine ~ticks:satellite_ticks;
+  assert_equivalent ~what:"satellite" reference (Engine.system engine);
+  (* The satellite workload has idle spans: skip-ahead must actually
+     engage, otherwise the executive degenerated to per-tick. *)
+  let stats = Engine.stats engine in
+  check Alcotest.bool "some ticks skipped" true (stats.Engine.skipped > 0);
+  check Alcotest.int "stepped + skipped" satellite_ticks
+    (stats.Engine.stepped + stats.Engine.skipped)
+
+let multicore_skip_equivalence () =
+  let make () =
+    let config = Air_workload.Satellite.config () in
+    System.create { config with System.cores = Some 2 }
+  in
+  let reference = make () in
+  System.run reference ~ticks:satellite_ticks;
+  let engine = Engine.create ~skip_ahead:true (make ()) in
+  Engine.advance engine ~ticks:satellite_ticks;
+  check Alcotest.int "2 cores" 2 (System.cores (Engine.system engine));
+  assert_equivalent ~what:"satellite --cores 2" reference
+    (Engine.system engine)
+
+let run_mtfs_equivalence () =
+  let reference = Air_workload.Satellite.make () in
+  System.run_mtfs reference 7;
+  let engine =
+    Engine.create ~skip_ahead:true (Air_workload.Satellite.make ())
+  in
+  Engine.run_mtfs engine 7;
+  assert_equivalent ~what:"run_mtfs" reference (Engine.system engine)
+
+(* --- leo_satellite campaigns -------------------------------------------- *)
+
+(* The example file ships two fault-injection campaigns; under --turbo the
+   engine must reproduce the per-tick run bit for bit: same fingerprint,
+   same oracle verdict, same air-campaign/1 JSON. The path is relative to
+   the test's build directory (declared as a dune dep). *)
+let leo_path = "../examples/configs/leo_satellite.air"
+
+let leo_campaigns_turbo_identical () =
+  let config =
+    match Air_config.Loader.load_file leo_path with
+    | Ok config -> config
+    | Error msg -> Alcotest.failf "load %s: %s" leo_path msg
+  in
+  let specs =
+    match Air_config.Loader.load_campaigns_file leo_path with
+    | Ok specs -> specs
+    | Error msg -> Alcotest.failf "campaigns %s: %s" leo_path msg
+  in
+  check Alcotest.bool "campaigns present" true (specs <> []);
+  let make () = E.Module (System.create config) in
+  List.iter
+    (fun spec ->
+      let per_tick = E.execute ~turbo:false ~make spec in
+      let turbo = E.execute ~turbo:true ~make spec in
+      check Alcotest.string
+        (spec.C.name ^ ": fingerprint")
+        per_tick.E.fingerprint turbo.E.fingerprint;
+      assert_equivalent
+        ~what:(spec.C.name ^ ": observed module")
+        (E.observed per_tick.E.target)
+        (E.observed turbo.E.target);
+      let json run = R.to_json (R.make run (O.check run)) in
+      check Alcotest.string
+        (spec.C.name ^ ": air-campaign/1 JSON")
+        (json per_tick) (json turbo))
+    specs
+
+let leo_turbo_reproducible () =
+  let config =
+    match Air_config.Loader.load_file leo_path with
+    | Ok config -> config
+    | Error msg -> Alcotest.failf "load %s: %s" leo_path msg
+  in
+  match Air_config.Loader.load_campaigns_file leo_path with
+  | Error msg -> Alcotest.failf "campaigns %s: %s" leo_path msg
+  | Ok specs ->
+    let make () = E.Module (System.create config) in
+    List.iter
+      (fun spec ->
+        check Alcotest.bool
+          (spec.C.name ^ ": reproducible under turbo")
+          true
+          (E.reproducible ~turbo:true ~make spec))
+      specs
+
+let suite =
+  [ qcheck skip_matches_per_tick_on_random_modules;
+    Alcotest.test_case "satellite: skip-ahead bit-identical" `Quick
+      satellite_skip_equivalence;
+    Alcotest.test_case "satellite: multicore skip-ahead bit-identical" `Quick
+      multicore_skip_equivalence;
+    Alcotest.test_case "run_mtfs mirrors System.run_mtfs" `Quick
+      run_mtfs_equivalence;
+    Alcotest.test_case "leo_satellite: campaigns identical under turbo" `Slow
+      leo_campaigns_turbo_identical;
+    Alcotest.test_case "leo_satellite: turbo runs reproducible" `Slow
+      leo_turbo_reproducible ]
