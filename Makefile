@@ -1,5 +1,5 @@
-.PHONY: all build test check bench fmt exec-smoke trace-smoke telemetry-smoke \
-  fault-smoke clean
+.PHONY: all build test check bench bench-diff fmt exec-smoke trace-smoke \
+  telemetry-smoke fault-smoke clean
 
 all: build
 
@@ -18,7 +18,13 @@ check:
 
 # Full benchmark run with committed JSON artifact.
 bench:
-	dune exec bench/main.exe -- --json BENCH_5.json
+	dune exec bench/main.exe -- --json BENCH_6.json
+
+# Regression gate over the two most recent committed artifacts: every row
+# present in both is compared against its group's threshold ratio
+# (bench/diff.ml); nonzero exit on any regression beyond threshold.
+bench-diff:
+	dune exec bench/diff.exe -- BENCH_5.json BENCH_6.json
 
 # Format gate: the build image carries no ocamlformat, so the gate enforces
 # the cheap invariants every formatter run would — no tab characters and no

@@ -118,6 +118,8 @@ let create (cfg : config) =
         kernel;
         intra;
         pal;
+        announce_to_pos =
+          (fun ~now ~elapsed:_ -> Kernel.announce_ticks kernel ~now);
         env =
           { Apex.partition = setup.partition;
             kernel;

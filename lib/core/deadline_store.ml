@@ -8,6 +8,7 @@ module type S = sig
   val register : t -> process:int -> Time.t -> unit
   val unregister : t -> process:int -> unit
   val earliest : t -> (int * Time.t) option
+  val min_deadline : t -> Time.t
   val remove_earliest : t -> unit
   val mem : t -> process:int -> bool
   val find : t -> process:int -> Time.t option
@@ -83,6 +84,9 @@ module Linked_list : S = struct
 
   let earliest t =
     Option.map (fun n -> (n.process, n.deadline)) t.head
+
+  let min_deadline t =
+    match t.head with None -> Time.infinity | Some n -> n.deadline
 
   let remove_earliest t =
     match t.head with
@@ -202,6 +206,13 @@ module Avl : S = struct
   let earliest t =
     Option.map (fun (d, p) -> (p, d)) (min_key t.root)
 
+  let rec min_deadline_tree = function
+    | Leaf -> Time.infinity
+    | Branch { left = Leaf; key = (d, _); _ } -> d
+    | Branch { left; _ } -> min_deadline_tree left
+
+  let min_deadline t = min_deadline_tree t.root
+
   let remove_earliest t =
     match min_key t.root with
     | Some ((_, process) as key) ->
@@ -259,9 +270,9 @@ module Pairing : S = struct
     | Node (_, children) -> merge_pairs children
 
   let is_live t (deadline, process) =
-    match Hashtbl.find_opt t.index process with
-    | Some current -> Time.equal current deadline
-    | None -> false
+    match Hashtbl.find t.index process with
+    | exception Not_found -> false
+    | current -> Time.equal current deadline
 
   (* Pop stale tops until a live entry (or emptiness) surfaces. *)
   let rec settle t =
@@ -275,17 +286,38 @@ module Pairing : S = struct
         settle t
       end
 
+  (* Lazy deletion keeps superseded entries in the heap; [settle] only
+     drains them when they surface at the top. A register-heavy workload
+     that rarely (or never) queries the minimum would otherwise grow the
+     heap without bound — the BENCH_5 `deadline/register(pairing-heap,n=8)`
+     anomaly, where the heap held hundreds of stale entries per live one.
+     Rebuild from the live index once garbage outnumbers live entries 2:1:
+     O(live) per O(live) garbage accrued, so registration stays O(1)
+     amortized, and the (deadline, process) total order makes the rebuilt
+     heap observationally identical. *)
+  let compact t =
+    t.heap <-
+      Hashtbl.fold
+        (fun process deadline h -> insert h (deadline, process))
+        t.index Empty;
+    t.garbage <- 0
+
+  let maybe_compact t =
+    if t.garbage > Stdlib.max 16 (2 * Hashtbl.length t.index) then compact t
+
   let register t ~process deadline =
     (match Hashtbl.find_opt t.index process with
     | Some _ -> t.garbage <- t.garbage + 1
     | None -> ());
     Hashtbl.replace t.index process deadline;
-    t.heap <- insert t.heap (deadline, process)
+    t.heap <- insert t.heap (deadline, process);
+    maybe_compact t
 
   let unregister t ~process =
     if Hashtbl.mem t.index process then begin
       Hashtbl.remove t.index process;
-      t.garbage <- t.garbage + 1
+      t.garbage <- t.garbage + 1;
+      maybe_compact t
     end
 
   let earliest t =
@@ -293,6 +325,12 @@ module Pairing : S = struct
     match t.heap with
     | Empty -> None
     | Node ((deadline, process), _) -> Some (process, deadline)
+
+  let min_deadline t =
+    settle t;
+    match t.heap with
+    | Empty -> Time.infinity
+    | Node ((deadline, _), _) -> deadline
 
   let remove_earliest t =
     settle t;
@@ -347,6 +385,7 @@ let register (Store ((module M), s, _)) ~process deadline =
 
 let unregister (Store ((module M), s, _)) ~process = M.unregister s ~process
 let earliest (Store ((module M), s, _)) = M.earliest s
+let min_deadline (Store ((module M), s, _)) = M.min_deadline s
 let remove_earliest (Store ((module M), s, _)) = M.remove_earliest s
 let mem (Store ((module M), s, _)) ~process = M.mem s ~process
 let find (Store ((module M), s, _)) ~process = M.find s ~process

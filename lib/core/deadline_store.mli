@@ -29,6 +29,11 @@ module type S = sig
   val earliest : t -> (int * Time.t) option
   (** The process with the smallest deadline time. *)
 
+  val min_deadline : t -> Time.t
+  (** The smallest deadline time alone, {!Air_sim.Time.infinity} when the
+      store is empty — the allocation-free form the PAL's per-tick
+      verification fast path uses (no option, no tuple). *)
+
   val remove_earliest : t -> unit
   (** Drop the entry returned by {!earliest} (Algorithm 3, line 7). *)
 
@@ -54,7 +59,10 @@ module Avl : S
 
 module Pairing : S
 (** Pairing heap with lazy deletion: O(1) amortized registration, amortized
-    O(log n) earliest removal. *)
+    O(log n) earliest removal. Superseded entries are skipped when they
+    surface; the heap is additionally rebuilt from the live index whenever
+    stale entries outnumber live ones 2:1, so register-heavy workloads that
+    rarely query the minimum cannot grow it without bound. *)
 
 type impl = Linked_list_impl | Avl_impl | Pairing_impl
 
@@ -69,6 +77,7 @@ val impl : t -> impl
 val register : t -> process:int -> Time.t -> unit
 val unregister : t -> process:int -> unit
 val earliest : t -> (int * Time.t) option
+val min_deadline : t -> Time.t
 val remove_earliest : t -> unit
 val mem : t -> process:int -> bool
 val find : t -> process:int -> Time.t option

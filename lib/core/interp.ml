@@ -114,62 +114,68 @@ let exec_action t prt q (action : Script.action) : Apex.outcome =
            detail = "clock interrupt disable attempt trapped (paravirtualized)" });
     Apex.Done Apex.Invalid_mode
 
+(* One call of [run_task_tick] = one tick of CPU. A Compute action consumes
+   the tick; zero-duration actions (service calls, logs) execute for free,
+   before or after the computation — so a body like
+   [Compute 60; Log; Periodic_wait] costs exactly 60 ticks per activation,
+   with the APEX calls happening within the final tick.
+
+   The interpreter loop is a top-level tail-recursive function with its
+   state ([consumed], [actions]) passed as arguments instead of local
+   references, so a steady-state Compute tick — the common case — performs
+   no allocation. Returning stops the tick. *)
+let rec exec_loop t prt q task body on_end consumed actions =
+  if actions < max_actions_per_tick then begin
+    let actions = actions + 1 in
+    if task.pc >= Array.length body then begin
+      match on_end with
+      | Script.Repeat ->
+        task.pc <- 0;
+        if Array.length body = 0 then ignore (Kernel.stop prt.kernel q)
+        else exec_loop t prt q task body on_end consumed actions
+      | Script.Stop -> ignore (Apex.stop_self prt.env ~process:q)
+    end
+    else begin
+      match body.(task.pc) with
+      | Script.Compute n ->
+        if n <= 0 then begin
+          task.pc <- task.pc + 1;
+          exec_loop t prt q task body on_end consumed actions
+        end
+        else if consumed then
+          (* A second computation cannot start within the same tick. *)
+          ()
+        else begin
+          if task.compute_left = 0 then task.compute_left <- n;
+          task.compute_left <- task.compute_left - 1;
+          if task.compute_left = 0 then begin
+            task.pc <- task.pc + 1;
+            exec_loop t prt q task body on_end true actions
+          end
+        end
+      | action ->
+        let outcome = exec_action t prt q action in
+        task.pc <- task.pc + 1;
+        (match outcome with
+        | Apex.Blocked -> ()
+        | Apex.Done _ | Apex.Msg _ ->
+          (* The process may have stopped itself, been restarted by a
+             recovery action, or shut its partition down. *)
+          let stopped =
+            (match Kernel.state prt.kernel q with
+            | Process.Running -> false
+            | Process.Dormant | Process.Ready | Process.Waiting -> true)
+            || not (Partition.mode_equal prt.mode Partition.Normal)
+          in
+          if not stopped then
+            exec_loop t prt q task body on_end consumed actions)
+    end
+  end
+
 let run_task_tick t prt q =
   (* A message delivered while the process was blocked is consumed here. *)
   ignore (Intra.take_delivery prt.intra ~process:q);
   ignore (Kernel.take_timed_out prt.kernel q);
   let task = prt.tasks.(q) in
   let script = prt.setup.scripts.(q) in
-  let body = script.Script.body in
-  (* One call = one tick of CPU. A Compute action consumes the tick;
-     zero-duration actions (service calls, logs) execute for free, before
-     or after the computation — so a body like [Compute 60; Log; Periodic_wait]
-     costs exactly 60 ticks per activation, with the APEX calls happening
-     within the final tick. *)
-  let consumed = ref false in
-  let stop = ref false in
-  let actions = ref 0 in
-  while (not !stop) && !actions < max_actions_per_tick do
-    incr actions;
-    if task.pc >= Array.length body then begin
-      match script.Script.on_end with
-      | Script.Repeat ->
-        task.pc <- 0;
-        if Array.length body = 0 then begin
-          ignore (Kernel.stop prt.kernel q);
-          stop := true
-        end
-      | Script.Stop ->
-        ignore (Apex.stop_self prt.env ~process:q);
-        stop := true
-    end
-    else begin
-      match body.(task.pc) with
-      | Script.Compute n ->
-        if n <= 0 then task.pc <- task.pc + 1
-        else if !consumed then
-          (* A second computation cannot start within the same tick. *)
-          stop := true
-        else begin
-          if task.compute_left = 0 then task.compute_left <- n;
-          task.compute_left <- task.compute_left - 1;
-          consumed := true;
-          if task.compute_left = 0 then task.pc <- task.pc + 1
-          else stop := true
-        end
-      | action ->
-        let outcome = exec_action t prt q action in
-        task.pc <- task.pc + 1;
-        (match outcome with
-        | Apex.Blocked -> stop := true
-        | Apex.Done _ | Apex.Msg _ ->
-          (* The process may have stopped itself, been restarted by a
-             recovery action, or shut its partition down. *)
-          (match Kernel.state prt.kernel q with
-          | Process.Running -> ()
-          | Process.Dormant | Process.Ready | Process.Waiting ->
-            stop := true);
-          if not (Partition.mode_equal prt.mode Partition.Normal) then
-            stop := true)
-    end
-  done
+  exec_loop t prt q task script.Script.body script.Script.on_end false 0

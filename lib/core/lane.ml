@@ -43,18 +43,20 @@ let active_partitions = function
 (* The single occupant of the module's processing resources this tick.
    Sharded multicore tables keep partitions mutually exclusive in time
    (validated no-self-overlap plus non-overlapping source windows), so at
-   most one lane is busy; should several be, lane order breaks the tie. *)
+   most one lane is busy; should several be, lane order breaks the tie.
+   The scan is a top-level loop (not a local closure) so the multicore
+   per-tick occupancy sample stays allocation-free. *)
+let rec first_active actives n i =
+  if i >= n then None
+  else
+    match actives.(i) with Some _ as p -> p | None -> first_active actives n (i + 1)
+
 let combined_active t =
   match t with
   | Single pmk -> Pmk.active_partition pmk
   | Multi mc ->
     let actives = Pmk_mc.active_partitions mc in
-    let n = Array.length actives in
-    let rec first i =
-      if i >= n then None
-      else match actives.(i) with Some _ as p -> p | None -> first (i + 1)
-    in
-    first 0
+    first_active actives (Array.length actives) 0
 
 let next_preemption_tick = function
   | Single pmk -> Pmk.next_preemption_tick pmk

@@ -51,6 +51,7 @@ let unregister_deadline t ~process =
   sync_size t
 
 let earliest_deadline t = Deadline_store.earliest t.store
+let min_deadline t = Deadline_store.min_deadline t.store
 
 let deadline_of t ~process = Deadline_store.find t.store ~process
 
@@ -62,28 +63,11 @@ let clear_deadlines t =
 
 type violation = { process : int; deadline : Time.t }
 
-let announce_ticks t ~now ~elapsed ~announce_to_pos =
-  (* Algorithm 3, line 1: native POS clock tick announcement, invoked with
-     the number of ticks elapsed since the partition last held the
-     processing resources. *)
-  announce_to_pos ~elapsed;
-  (* Flight recorder: one supervision instant per announcement. The
-     common case (elapsed = 1, the partition kept the processor) records
-     with an empty detail to stay allocation-light on the tick path. *)
-  (* Per-tick announcements would swamp the recorder; only the surrogate
-     catch-up after a preemption gap (elapsed > 1, Algorithm 3 run with a
-     multi-tick argument) is worth a mark. *)
-  (match t.recorder with
-  | Some r when elapsed > 1 ->
-    Air_obs.Span.instant r ~now ~track:t.track "pal.catch-up"
-      ~detail:(Printf.sprintf "elapsed=%d" elapsed)
-  | Some _ | None -> ());
-  (match t.telemetry with
-  | Some tel when elapsed > 1 ->
-    Air_obs.Telemetry.on_catch_up tel ~partition:t.track ~depth:elapsed
-  | Some _ | None -> ());
-  (* Lines 2–8: verify the earliest deadline(s); only in the presence of a
-     violation are further deadlines checked. *)
+(* Lines 2–8 of Algorithm 3, entered only when the earliest deadline is
+   already known to be violated: verify (and pop) deadlines in ascending
+   order until one that holds. Kept out of [announce_ticks] so the common
+   no-violation tick never pays the closure. *)
+let collect_violations t ~now =
   let rec verify acc =
     match Deadline_store.earliest t.store with
     | Some (process, deadline) when Time.(deadline < now) ->
@@ -104,6 +88,32 @@ let announce_ticks t ~now ~elapsed ~announce_to_pos =
   let violations = verify [] in
   if violations <> [] then sync_size t;
   violations
+
+let announce_ticks t ~now ~elapsed ~announce_to_pos =
+  (* Algorithm 3, line 1: native POS clock tick announcement, invoked with
+     the number of ticks elapsed since the partition last held the
+     processing resources. *)
+  announce_to_pos ~now ~elapsed;
+  (* Flight recorder: one supervision instant per announcement. The
+     common case (elapsed = 1, the partition kept the processor) records
+     with an empty detail to stay allocation-light on the tick path. *)
+  (* Per-tick announcements would swamp the recorder; only the surrogate
+     catch-up after a preemption gap (elapsed > 1, Algorithm 3 run with a
+     multi-tick argument) is worth a mark. *)
+  (match t.recorder with
+  | Some r when elapsed > 1 ->
+    Air_obs.Span.instant r ~now ~track:t.track "pal.catch-up"
+      ~detail:(Printf.sprintf "elapsed=%d" elapsed)
+  | Some _ | None -> ());
+  (match t.telemetry with
+  | Some tel when elapsed > 1 ->
+    Air_obs.Telemetry.on_catch_up tel ~partition:t.track ~depth:elapsed
+  | Some _ | None -> ());
+  (* Line 2: O(1) retrieval of the earliest deadline. A deadline d is
+     violated when d < now (eq. (24)); the allocation-free min-deadline
+     probe keeps the steady-state tick off the option/tuple path. *)
+  if Time.(now <= Deadline_store.min_deadline t.store) then []
+  else collect_violations t ~now
 
 let violations_now t ~now =
   List.filter_map

@@ -41,6 +41,12 @@ val partition : t -> Ident.Partition_id.t
 val register_deadline : t -> process:int -> Time.t -> unit
 val unregister_deadline : t -> process:int -> unit
 val earliest_deadline : t -> (int * Time.t) option
+
+val min_deadline : t -> Time.t
+(** The earliest deadline time alone ({!Air_sim.Time.infinity} when no
+    deadline is registered) — allocation-free, used by the executive both
+    as the per-tick violation fast path and to bound quiescent spans. *)
+
 val deadline_of : t -> process:int -> Time.t option
 val deadline_count : t -> int
 val clear_deadlines : t -> unit
@@ -52,13 +58,15 @@ val announce_ticks :
   t ->
   now:Time.t ->
   elapsed:Time.t ->
-  announce_to_pos:(elapsed:Time.t -> unit) ->
+  announce_to_pos:(now:Time.t -> elapsed:Time.t -> unit) ->
   violation list
 (** Algorithm 3: invoke the native POS clock-tick announcement with the
-    elapsed tick count, then check deadlines in ascending order until one
-    that has not been violated (strictly: a deadline d is violated when
+    elapsed tick count (and the current instant, so the POS callback need
+    not close over a clock), then check deadlines in ascending order until
+    one that has not been violated (strictly: a deadline d is violated when
     [d < now], eq. (24)); each violated entry is removed from the store and
-    returned for health-monitoring reporting, in detection order. *)
+    returned for health-monitoring reporting, in detection order. The
+    no-violation case is O(1) and allocation-free. *)
 
 val violations_now : t -> now:Time.t -> violation list
 (** Pure query of the store — the V(t) set of eq. (24) restricted to this

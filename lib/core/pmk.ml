@@ -2,6 +2,15 @@ open Air_sim
 open Air_model
 open Ident
 
+type tick_outcome = {
+  mutable schedule_switched : (Schedule_id.t * Schedule_id.t) option;
+  mutable context_switch :
+    (Partition_id.t option * Partition_id.t option) option;
+  mutable elapsed : Time.t;
+  mutable change_action : (Partition_id.t * Schedule.change_action) option;
+  mutable frame_closed : Air_obs.Telemetry.frame option;
+}
+
 type t = {
   schedules : Schedule.t array;
   tables : Schedule.preemption_point array array;
@@ -11,6 +20,21 @@ type t = {
   mutable next_schedule : int;
   mutable last_schedule_switch : Time.t;
   mutable table_iterator : int;
+  (* Flattened view of the current schedule, rebuilt only when a pending
+     switch becomes effective: the steady-state tick reads these four
+     fields instead of chasing schedules/tables and re-deriving the MTF
+     offset with division. [offset] is the running tick-within-MTF
+     position ([-1] before the first tick); [next_fire] is the offset at
+     which the preemption-table entry under [table_iterator] fires. *)
+  mutable cur_mtf : int;
+  mutable cur_table : Schedule.preemption_point array;
+  mutable cur_len : int;
+  mutable next_fire : Time.t;
+  mutable offset : int;
+  out : tick_outcome;
+      (* Reused outcome record: [tick] overwrites its fields in place so a
+         steady-state tick allocates nothing. Consumers must copy what they
+         need before the next [tick]. *)
   mutable heir_partition : Partition_id.t option;
   mutable active_partition : Partition_id.t option;
   last_tick : Time.t array;
@@ -108,6 +132,17 @@ let create ?metrics ?recorder ?telemetry ?(frame_owner = true)
     next_schedule = initial;
     last_schedule_switch = Time.zero;
     table_iterator = 0;
+    cur_mtf = schedules.(initial).Schedule.mtf;
+    cur_table = tables.(initial);
+    cur_len = Array.length tables.(initial);
+    next_fire = tables.(initial).(0).Schedule.tick;
+    offset = -1;
+    out =
+      { schedule_switched = None;
+        context_switch = None;
+        elapsed = Time.zero;
+        change_action = None;
+        frame_closed = None };
     heir_partition = None;
     active_partition = None;
     last_tick = Array.make (Stdlib.max 1 partition_count) Time.zero;
@@ -150,68 +185,81 @@ let request_schedule_switch t id =
     if no_action then Error Same_schedule else Ok ()
   end
 
-type tick_outcome = {
-  schedule_switched : (Schedule_id.t * Schedule_id.t) option;
-  context_switch : (Partition_id.t option * Partition_id.t option) option;
-  elapsed : Time.t;
-  change_action : (Partition_id.t * Schedule.change_action) option;
-  frame_closed : Air_obs.Telemetry.frame option;
-}
-
 let mtf_position t =
-  let mtf = t.schedules.(t.current_schedule).Schedule.mtf in
-  (* Clamp the whole difference: [max 0 t.ticks - t.last_schedule_switch]
-     only clamped [ticks] (function application binds tighter than [-]),
-     letting the dividend — and hence the position — go negative whenever
-     the clock sits behind a nonzero schedule-switch stamp. *)
-  Stdlib.max 0 (t.ticks - t.last_schedule_switch) mod mtf
+  (* The running offset tracks [(ticks - last_schedule_switch) mod mtf]
+     exactly (both reset together at a switch); [-1] only before the first
+     tick, where the position is 0 by convention. *)
+  if t.offset < 0 then 0 else t.offset
 
-(* Algorithm 1 — AIR Partition Scheduler featuring mode-based schedules. *)
+(* Refresh the flattened schedule view after [current_schedule] or
+   [table_iterator] changed. *)
+let rebuild_schedule_cache t =
+  t.cur_mtf <- t.schedules.(t.current_schedule).Schedule.mtf;
+  t.cur_table <- t.tables.(t.current_schedule);
+  t.cur_len <- Array.length t.cur_table;
+  t.next_fire <- t.cur_table.(t.table_iterator).Schedule.tick
+
+(* Cold half of Algorithm 1, lines 3–7: a pending schedule switch becomes
+   effective at the start of a major time frame. Allocation here is fine —
+   switches are request-driven and happen at most once per MTF. *)
+let effect_schedule_switch t =
+  let from = t.schedules.(t.current_schedule).Schedule.id in
+  t.current_schedule <- t.next_schedule;
+  t.last_schedule_switch <- t.ticks;
+  t.table_iterator <- 0;
+  rebuild_schedule_cache t;
+  Air_obs.Metrics.incr t.m_schedule_switches;
+  (match t.recorder with
+  | None -> ()
+  | Some r ->
+    Air_obs.Span.instant r ~now:t.ticks ~track:(-1) "schedule-switch"
+      ~detail:
+        (Printf.sprintf "%s -> %s"
+           (t.schedules.(Schedule_id.index from)).Schedule.name
+           (t.schedules.(t.current_schedule)).Schedule.name));
+  (* Arm each partition's ScheduleChangeAction, applied at its first
+     dispatch under the new schedule (Sect. 4.3). *)
+  let s = t.schedules.(t.current_schedule) in
+  List.iter
+    (fun pid ->
+      match Schedule.change_action_for s pid with
+      | Schedule.No_action -> ()
+      | action -> t.pending_action.(Partition_id.index pid) <- Some action)
+    (Schedule.partitions s);
+  Some (from, s.Schedule.id)
+
+(* Algorithm 1 — AIR Partition Scheduler featuring mode-based schedules.
+   The hot path is a counter increment, a wrap test and one equality
+   against the cached next preemption offset; every preemption table has a
+   tick-0 entry and the iterator is back at entry 0 exactly at offset 0,
+   so the cached fire test agrees with the original table lookup at MTF
+   boundaries, in particular where a switch becomes effective. *)
 let partition_scheduler t =
   t.ticks <- t.ticks + 1;
   Air_obs.Metrics.incr t.m_ticks;
-  let mtf = t.schedules.(t.current_schedule).Schedule.mtf in
-  let offset = (t.ticks - t.last_schedule_switch) mod mtf in
-  let table = t.tables.(t.current_schedule) in
-  let switched = ref None in
-  if Time.equal table.(t.table_iterator).Schedule.tick offset then begin
-    (* Lines 3–7: a pending schedule switch becomes effective only at the
-       start of a major time frame. *)
-    if t.current_schedule <> t.next_schedule && offset = 0 then begin
-      let from = t.schedules.(t.current_schedule).Schedule.id in
-      t.current_schedule <- t.next_schedule;
-      t.last_schedule_switch <- t.ticks;
-      t.table_iterator <- 0;
-      Air_obs.Metrics.incr t.m_schedule_switches;
-      switched := Some (from, t.schedules.(t.current_schedule).Schedule.id);
-      (match t.recorder with
-      | None -> ()
-      | Some r ->
-        Air_obs.Span.instant r ~now:t.ticks ~track:(-1) "schedule-switch"
-          ~detail:
-            (Printf.sprintf "%s -> %s"
-               (t.schedules.(Schedule_id.index from)).Schedule.name
-               (t.schedules.(t.current_schedule)).Schedule.name));
-      (* Arm each partition's ScheduleChangeAction, applied at its first
-         dispatch under the new schedule (Sect. 4.3). *)
-      let s = t.schedules.(t.current_schedule) in
-      List.iter
-        (fun pid ->
-          match Schedule.change_action_for s pid with
-          | Schedule.No_action -> ()
-          | action ->
-            t.pending_action.(Partition_id.index pid) <- Some action)
-        (Schedule.partitions s)
-    end;
+  let offset = t.offset + 1 in
+  let offset = if offset >= t.cur_mtf then 0 else offset in
+  t.offset <- offset;
+  if offset <> t.next_fire then None
+  else begin
+    let switched =
+      if t.current_schedule <> t.next_schedule && offset = 0 then
+        effect_schedule_switch t
+      else None
+    in
     (* Lines 8–9: select the heir partition and advance the iterator. *)
-    let table = t.tables.(t.current_schedule) in
-    t.heir_partition <- table.(t.table_iterator).Schedule.heir;
-    t.table_iterator <- (t.table_iterator + 1) mod Array.length table
-  end;
-  !switched
+    t.heir_partition <- t.cur_table.(t.table_iterator).Schedule.heir;
+    t.table_iterator <- (t.table_iterator + 1) mod t.cur_len;
+    t.next_fire <- t.cur_table.(t.table_iterator).Schedule.tick;
+    switched
+  end
 
-(* Algorithm 2 — AIR Partition Dispatcher featuring mode-based schedules. *)
+(* Algorithm 2 — AIR Partition Dispatcher featuring mode-based schedules.
+   Writes its result into [t.out] (the reused outcome record) instead of
+   allocating one per tick; [schedule_switched]/[frame_closed] are filled
+   by [tick]. *)
 let partition_dispatcher t =
+  let out = t.out in
   let same =
     match (t.heir_partition, t.active_partition) with
     | None, None -> true
@@ -219,19 +267,15 @@ let partition_dispatcher t =
     | None, Some _ | Some _, None -> false
   in
   if same then begin
-    let elapsed =
-      match t.active_partition with None -> Time.zero | Some _ -> 1
-    in
     (* Keep lastTick current while the partition runs, so that elapsed
        accounting restarts cleanly after idle gaps. *)
     (match t.active_partition with
-    | Some p -> t.last_tick.(Partition_id.index p) <- t.ticks
-    | None -> ());
-    { schedule_switched = None;
-      context_switch = None;
-      elapsed;
-      change_action = None;
-      frame_closed = None }
+    | Some p ->
+      t.last_tick.(Partition_id.index p) <- t.ticks;
+      out.elapsed <- 1
+    | None -> out.elapsed <- Time.zero);
+    out.context_switch <- None;
+    out.change_action <- None
   end
   else begin
     let previous = t.active_partition in
@@ -270,12 +314,13 @@ let partition_dispatcher t =
         (match t.telemetry with
         | None -> ()
         | Some tel ->
-          let mtf = t.schedules.(t.current_schedule).Schedule.mtf in
-          let table = t.tables.(t.current_schedule) in
-          let len = Array.length table in
-          let entry = table.((t.table_iterator + len - 1) mod len) in
-          let off = Stdlib.max 0 (t.ticks - t.last_schedule_switch) mod mtf in
-          let jitter = (((off - entry.Schedule.tick) mod mtf) + mtf) mod mtf in
+          let len = t.cur_len in
+          let entry = t.cur_table.((t.table_iterator + len - 1) mod len) in
+          let off = if t.offset < 0 then 0 else t.offset in
+          let jitter =
+            (((off - entry.Schedule.tick) mod t.cur_mtf) + t.cur_mtf)
+            mod t.cur_mtf
+          in
           Air_obs.Telemetry.on_dispatch tel ~partition:hi ~jitter);
         t.last_tick.(hi) <- t.ticks;
         (* PENDINGSCHEDULECHANGEACTION(heirPartition). *)
@@ -297,11 +342,9 @@ let partition_dispatcher t =
     in
     t.active_partition <- t.heir_partition;
     Air_obs.Metrics.incr t.m_context_switches;
-    { schedule_switched = None;
-      context_switch = Some (previous, t.active_partition);
-      elapsed;
-      change_action;
-      frame_closed = None }
+    out.context_switch <- Some (previous, t.active_partition);
+    out.elapsed <- elapsed;
+    out.change_action <- change_action
   end
 
 let tick t =
@@ -315,22 +358,26 @@ let tick t =
     | None -> None
     | Some _ when not t.frame_owner -> None
     | Some tel ->
-      let mtf = t.schedules.(t.current_schedule).Schedule.mtf in
-      let off = Stdlib.max 0 (t.ticks - t.last_schedule_switch) mod mtf in
-      if off = 0 && t.ticks > Air_obs.Telemetry.frame_start tel then
+      if t.offset = 0 && t.ticks > Air_obs.Telemetry.frame_start tel then
         Some
           (Air_obs.Telemetry.close_frame tel ~now:t.ticks
              ~next_schedule:t.current_schedule
              ~next_allotted:t.allotted.(t.current_schedule))
       else None
   in
-  let outcome = partition_dispatcher t in
+  partition_dispatcher t;
   (match t.telemetry with
   | Some tel when t.occupancy ->
-    Air_obs.Telemetry.on_tick tel
-      ~active:(Option.map Partition_id.index t.active_partition)
+    Air_obs.Telemetry.on_tick_idx tel
+      ~active:
+        (match t.active_partition with
+        | Some p -> Partition_id.index p
+        | None -> -1)
   | Some _ | None -> ());
-  { outcome with schedule_switched = switched; frame_closed }
+  let out = t.out in
+  out.schedule_switched <- switched;
+  out.frame_closed <- frame_closed;
+  out
 
 (* --- Skip-ahead support -------------------------------------------------- *)
 
@@ -339,12 +386,10 @@ let tick t =
    effective and no MTF boundary passes (boundaries coincide with the
    table's offset-0 entry), so the executive may batch the whole gap. *)
 let next_preemption_tick t =
-  let mtf = t.schedules.(t.current_schedule).Schedule.mtf in
-  let table = t.tables.(t.current_schedule) in
-  let entry = table.(t.table_iterator).Schedule.tick in
   let base = t.ticks + 1 in
-  let off = Stdlib.max 0 (base - t.last_schedule_switch) mod mtf in
-  let delta = (((entry - off) mod mtf) + mtf) mod mtf in
+  let off = t.offset + 1 in
+  let off = if off >= t.cur_mtf then 0 else off in
+  let delta = (((t.next_fire - off) mod t.cur_mtf) + t.cur_mtf) mod t.cur_mtf in
   base + delta
 
 (* Batch-advance the clock across a span the caller has proven quiescent:
@@ -354,14 +399,21 @@ let next_preemption_tick t =
 let skip t ~ticks:n =
   if n > 0 then begin
     t.ticks <- t.ticks + n;
+    (* The caller guarantees no preemption-table fire in the span, so the
+       offset cannot wrap past an MTF boundary; the mod merely re-derives
+       the running position in one step instead of n increments. *)
+    t.offset <- (t.offset + n) mod t.cur_mtf;
     Air_obs.Metrics.add t.m_ticks n;
     (match t.active_partition with
     | Some p -> t.last_tick.(Partition_id.index p) <- t.ticks
     | None -> ());
     match t.telemetry with
     | Some tel when t.occupancy ->
-      Air_obs.Telemetry.on_ticks tel
-        ~active:(Option.map Partition_id.index t.active_partition)
+      Air_obs.Telemetry.on_ticks_idx tel
+        ~active:
+          (match t.active_partition with
+          | Some p -> Partition_id.index p
+          | None -> -1)
         ~count:n
     | Some _ | None -> ()
   end

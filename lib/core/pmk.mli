@@ -79,22 +79,28 @@ val request_schedule_switch :
     [Error Same_schedule] is informational — the request is remembered
     (it cancels a pending switch back to the current schedule). *)
 
-(** Outcome of one clock tick, for the system layer to act upon. *)
+(** Outcome of one clock tick, for the system layer to act upon.
+
+    The fields are mutable because {!tick} reuses one outcome record per
+    scheduler, overwriting it in place so the steady-state tick allocates
+    nothing: the returned record is only valid until the next {!tick} on
+    the same scheduler — copy out what must survive. *)
 type tick_outcome = {
-  schedule_switched : (Schedule_id.t * Schedule_id.t) option;
+  mutable schedule_switched : (Schedule_id.t * Schedule_id.t) option;
       (** (from, to) when this tick's MTF boundary made a pending switch
           effective. *)
-  context_switch : (Partition_id.t option * Partition_id.t option) option;
+  mutable context_switch :
+    (Partition_id.t option * Partition_id.t option) option;
       (** (previous active, new active) when the dispatcher switched. *)
-  elapsed : Time.t;
+  mutable elapsed : Time.t;
       (** Ticks elapsed since the (new) active partition last held the
           processing resources — what the PAL announces to the POS. Zero
           when the tick left the processor idle. *)
-  change_action : (Partition_id.t * Schedule.change_action) option;
+  mutable change_action : (Partition_id.t * Schedule.change_action) option;
       (** Pending ScheduleChangeAction to apply to the dispatched partition
           (first dispatch after a switch; [No_action] entries are not
           reported). *)
-  frame_closed : Air_obs.Telemetry.frame option;
+  mutable frame_closed : Air_obs.Telemetry.frame option;
       (** The telemetry frame closed by this tick's MTF boundary, when a
           telemetry accumulator is attached. The boundary tick itself is
           accumulated into the {e new} frame; after a mode-based schedule
@@ -104,7 +110,8 @@ type tick_outcome = {
 }
 
 val tick : t -> tick_outcome
-(** Advance the clock one tick and run Scheduler + Dispatcher. *)
+(** Advance the clock one tick and run Scheduler + Dispatcher. Returns the
+    scheduler's reused outcome record (see {!tick_outcome}). *)
 
 val next_preemption_tick : t -> Time.t
 (** The absolute tick at which the preemption table next fires — the next

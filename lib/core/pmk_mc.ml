@@ -1,6 +1,15 @@
 open Air_model
 
-type t = { cores : Pmk.t array }
+type t = {
+  cores : Pmk.t array;
+  mutable outs : Pmk.tick_outcome array;
+      (* Reused per-core outcome buffer: [tick] refills it in place after
+         the first call, so a steady-state multicore tick allocates
+         nothing. Each slot aliases the core's own reused record. *)
+  actives : Ident.Partition_id.t option array;
+      (* Reused buffer for [active_partitions]; refilled on every call
+         (idempotent between ticks). *)
+}
 
 let create ?metrics ?recorder ?telemetry ?initial_schedule ~partition_count
     tables =
@@ -53,7 +62,7 @@ let create ?metrics ?recorder ?telemetry ?initial_schedule ~partition_count
           ~window_allotment:allotment ?initial_schedule ~partition_count
           (List.map (fun mc -> Multicore.core_view mc ~core) tables))
   in
-  { cores }
+  { cores; outs = [||]; actives = Array.make cores_n None }
 
 let core_count t = Array.length t.cores
 let schedule_count t = Pmk.schedule_count t.cores.(0)
@@ -69,9 +78,22 @@ let request_schedule_switch t id =
   in
   results.(0)
 
-let tick t = Array.map Pmk.tick t.cores
+let tick t =
+  (* First tick allocates the buffer (each slot aliases the core's reused
+     outcome record); thereafter Pmk.tick rewrites those records in place
+     and the refill below only restores the aliases. *)
+  if Array.length t.outs = 0 then t.outs <- Array.map Pmk.tick t.cores
+  else
+    for i = 0 to Array.length t.cores - 1 do
+      t.outs.(i) <- Pmk.tick t.cores.(i)
+    done;
+  t.outs
 
-let active_partitions t = Array.map Pmk.active_partition t.cores
+let active_partitions t =
+  for i = 0 to Array.length t.cores - 1 do
+    t.actives.(i) <- Pmk.active_partition t.cores.(i)
+  done;
+  t.actives
 
 let next_preemption_tick t =
   Array.fold_left

@@ -46,10 +46,13 @@ val request_schedule_switch :
 (** Broadcast to every core's scheduler. *)
 
 val tick : t -> Pmk.tick_outcome array
-(** One outcome per core, in core order. *)
+(** One outcome per core, in core order. The array and the records it
+    holds are reused across calls (see {!Pmk.tick_outcome}) — valid only
+    until the next {!tick}. *)
 
 val active_partitions : t -> Partition_id.t option array
-(** Who holds each core right now. *)
+(** Who holds each core right now. Returns a shared buffer refilled on
+    each call — valid until the next call, stable between ticks. *)
 
 val next_preemption_tick : t -> Air_sim.Time.t
 (** Minimum of {!Pmk.next_preemption_tick} over the lanes — the next

@@ -118,6 +118,10 @@ type prt = {
   pal : Pal.t;
   env : Apex.env;
   tasks : task array;
+  announce_to_pos : now:Time.t -> elapsed:Time.t -> unit;
+      (* The native POS clock-tick announcement callback handed to
+         [Pal.announce_ticks], built once at boot so the per-tick drive
+         path does not allocate a fresh closure. *)
   mutable mode : Partition.mode;
   mutable jitter_left : int;
       (* Active ticks whose PAL clock-tick announcement is still being

@@ -115,22 +115,26 @@ let drive_partition t prt ~elapsed =
     else if elapsed > 0 || prt.jitter_deferred > 0 then begin
       let elapsed = elapsed + prt.jitter_deferred in
       prt.jitter_deferred <- 0;
-      let violations =
+      (* [announce_to_pos] is the closure built once at boot; the guard
+         around the violation loop keeps the (empty) common case from
+         constructing the reporting closure. *)
+      match
         Pal.announce_ticks prt.pal ~now:tnow ~elapsed
-          ~announce_to_pos:(fun ~elapsed:_ ->
-            Kernel.announce_ticks prt.kernel ~now:tnow)
-      in
-      List.iter
-        (fun { Pal.process; deadline } ->
-          emit t
-            (Event.Deadline_violation
-               { process = Partition.process_id prt.setup.partition process;
-                 deadline });
-          report_process_error t prt ~process Error.Deadline_missed
-            ~detail:
-              (Format.asprintf "deadline %a missed at %a" Time.pp deadline
-                 Time.pp tnow))
-        violations
+          ~announce_to_pos:prt.announce_to_pos
+      with
+      | [] -> ()
+      | violations ->
+        List.iter
+          (fun { Pal.process; deadline } ->
+            emit t
+              (Event.Deadline_violation
+                 { process = Partition.process_id prt.setup.partition process;
+                   deadline });
+            report_process_error t prt ~process Error.Deadline_missed
+              ~detail:
+                (Format.asprintf "deadline %a missed at %a" Time.pp deadline
+                   Time.pp tnow))
+          violations
     end;
     (* Second scheduling level: the POS selects the heir process and it
        executes one tick of its body. *)
@@ -138,9 +142,8 @@ let drive_partition t prt ~elapsed =
       Option.is_none t.halt_reason
       && Partition.mode_equal prt.mode Partition.Normal
     then begin
-      match Kernel.schedule prt.kernel ~now:(now t) with
-      | Some q -> Interp.run_task_tick t prt q
-      | None -> ()
+      let q = Kernel.schedule_idx prt.kernel ~now:(now t) in
+      if q >= 0 then Interp.run_task_tick t prt q
     end
   | Partition.Idle | Partition.Cold_start | Partition.Warm_start -> ()
 
@@ -153,23 +156,27 @@ let step_single t pmk =
 
 let step_multi t mc =
   let outcomes = Pmk_mc.tick mc in
-  Array.iteri (fun core o -> apply_outcome t ~primary:(core = 0) o) outcomes;
+  for core = 0 to Array.length outcomes - 1 do
+    apply_outcome t ~primary:(core = 0) outcomes.(core)
+  done;
   (* Per-lane occupancy sampling is disabled in Pmk_mc; record one
      combined busy/idle sample per global tick (validated tables keep at
      most one lane busy under sharded schedules). *)
   (match t.telemetry with
   | Some tel ->
-    Air_obs.Telemetry.on_tick tel
-      ~active:(Option.map Partition_id.index (Lane.combined_active t.lane))
+    Air_obs.Telemetry.on_tick_idx tel
+      ~active:
+        (match Lane.combined_active t.lane with
+        | Some p -> Partition_id.index p
+        | None -> -1)
   | None -> ());
-  Array.iteri
-    (fun core active ->
-      match active with
-      | Some pid when Option.is_none t.halt_reason ->
-        drive_partition t (prt_of t pid)
-          ~elapsed:outcomes.(core).Pmk.elapsed
-      | Some _ | None -> ())
-    (Pmk_mc.active_partitions mc)
+  let actives = Pmk_mc.active_partitions mc in
+  for core = 0 to Array.length actives - 1 do
+    match actives.(core) with
+    | Some pid when Option.is_none t.halt_reason ->
+      drive_partition t (prt_of t pid) ~elapsed:outcomes.(core).Pmk.elapsed
+    | Some _ | None -> ()
+  done
 
 let step t =
   match t.halt_reason with
@@ -192,7 +199,20 @@ let run_mtfs t n =
     (* Ticks executed within the running MTF; 0 exactly at a boundary. *)
     let executed = Pmk.ticks pmk - Pmk.last_schedule_switch pmk + 1 in
     let into = ((executed mod mtf) + mtf) mod mtf in
-    run t ~ticks:(mtf - into)
+    if into = 0 then begin
+      (* Exactly at a boundary a pending mode-based switch becomes
+         effective on the next tick, possibly to a schedule with a
+         different MTF: execute the boundary tick first, then finish the
+         frame under the schedule that is actually running (running the
+         old [mtf] blindly would mis-size the frame). *)
+      run t ~ticks:1;
+      let current = Pmk.schedule pmk (Pmk.current_schedule pmk) in
+      let mtf = current.Schedule.mtf in
+      let executed = Pmk.ticks pmk - Pmk.last_schedule_switch pmk + 1 in
+      let into = ((executed mod mtf) + mtf) mod mtf in
+      if into > 0 then run t ~ticks:(mtf - into)
+    end
+    else run t ~ticks:(mtf - into)
   done
 
 let halted t = t.halt_reason
@@ -214,34 +234,62 @@ let prt_quiescent prt =
     prt.jitter_left = 0 && prt.jitter_deferred = 0
     && not (Kernel.has_schedulable prt.kernel)
 
+let rec lanes_quiescent t actives n i =
+  i >= n
+  || (match actives.(i) with
+     | None -> true
+     | Some pid -> prt_quiescent (prt_of t pid))
+     && lanes_quiescent t actives n (i + 1)
+
 let quiescent t =
-  Array.for_all
-    (function None -> true | Some pid -> prt_quiescent (prt_of t pid))
-    (Lane.active_partitions t.lane)
+  (* Probed once per executive tick while skip-ahead hunts for a span, so
+     it must not allocate: the single-core case reads the scheduler's
+     field directly and the multicore case scans the reused actives
+     buffer via a top-level loop. *)
+  match t.lane with
+  | Lane.Single pmk -> (
+    match Pmk.active_partition pmk with
+    | None -> true
+    | Some pid -> prt_quiescent (prt_of t pid))
+  | Lane.Multi mc ->
+    let actives = Pmk_mc.active_partitions mc in
+    lanes_quiescent t actives (Array.length actives) 0
 
 (* The next tick at which a currently-active partition becomes interesting
    again: a blocked process' wake/release instant, or the tick after its
    earliest PAL deadline (verification pops deadlines strictly before
    [now], so a deadline [d] first raises a violation at [d + 1]).
    Inactive partitions report through their next dispatch, which the
-   lane's preemption table already bounds. *)
+   lane's preemption table already bounds. [Time.add] saturates at
+   infinity, so an empty deadline store contributes no bound. *)
+let prt_event_bound t pid acc =
+  let prt = prt_of t pid in
+  match prt.mode with
+  | Partition.Idle | Partition.Cold_start | Partition.Warm_start -> acc
+  | Partition.Normal ->
+    Time.min
+      (Time.min acc (Time.add (Pal.min_deadline prt.pal) 1))
+      (Kernel.next_wake prt.kernel)
+
+let rec lanes_event_bound t actives n i acc =
+  if i >= n then acc
+  else
+    let acc =
+      match actives.(i) with
+      | None -> acc
+      | Some pid -> prt_event_bound t pid acc
+    in
+    lanes_event_bound t actives n (i + 1) acc
+
 let next_partition_event t =
-  let next = ref Time.infinity in
-  let note x = if Time.(x < !next) then next := x in
-  Array.iter
-    (function
-      | None -> ()
-      | Some pid -> (
-        let prt = prt_of t pid in
-        match prt.mode with
-        | Partition.Idle | Partition.Cold_start | Partition.Warm_start -> ()
-        | Partition.Normal ->
-          (match Pal.earliest_deadline prt.pal with
-          | Some (_, d) -> note (Time.add d 1)
-          | None -> ());
-          note (Kernel.next_wake prt.kernel)))
-    (Lane.active_partitions t.lane);
-  !next
+  match t.lane with
+  | Lane.Single pmk -> (
+    match Pmk.active_partition pmk with
+    | None -> Time.infinity
+    | Some pid -> prt_event_bound t pid Time.infinity)
+  | Lane.Multi mc ->
+    let actives = Pmk_mc.active_partitions mc in
+    lanes_event_bound t actives (Array.length actives) 0 Time.infinity
 
 (* Batch-advance the global clock across a quiet span. The caller (the
    executive) guarantees [quiescent] holds and that no lane preemption,
@@ -256,9 +304,11 @@ let skip t ~ticks =
       (* Mirror of the combined occupancy sample in [step_multi]. *)
       match t.telemetry with
       | Some tel ->
-        Air_obs.Telemetry.on_ticks tel
+        Air_obs.Telemetry.on_ticks_idx tel
           ~active:
-            (Option.map Partition_id.index (Lane.combined_active t.lane))
+            (match Lane.combined_active t.lane with
+            | Some p -> Partition_id.index p
+            | None -> -1)
           ~count:ticks
       | None -> ())
     | Lane.Single _ -> ()

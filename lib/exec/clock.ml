@@ -26,6 +26,15 @@ let next_interesting system ~until =
   let lane_next = Lane.next_preemption_tick (System.lane system) in
   Time.min until (Time.min lane_next (System.next_partition_event system))
 
+(* Exclusive upper bound on the span a caller with [remaining] budget may
+   skip: one past the last budgeted tick. Saturates at {!Time.infinity}
+   instead of wrapping when [now + remaining] approaches [max_int] — with
+   [Time.infinity = max_int], the naive [now + remaining + 1] overflows to
+   a negative bound and would stall (or corrupt) the skip computation. *)
+let horizon ~now ~remaining =
+  if remaining >= Time.infinity - now then Time.infinity
+  else now + remaining + 1
+
 (* Whether the instants strictly between now and [next] can be skipped:
    nothing is due in the open interval, and the module is quiescent (no
    schedulable process, no jitter bookkeeping, no partition initializing

@@ -18,6 +18,12 @@ val next_interesting : Air.System.t -> until:Time.t -> Time.t
     deadline) and the caller's horizon [until] (end of run, next fault
     injection, next watch refresh). *)
 
+val horizon : now:Time.t -> remaining:int -> Time.t
+(** The exclusive skip bound [now + remaining + 1], saturating at
+    {!Air_sim.Time.infinity} instead of overflowing when the sum would
+    exceed [max_int] (e.g. a watch running with an effectively unbounded
+    budget near the end of the representable range). *)
+
 val span_quiet : Air.System.t -> bool
 (** Whether the instants strictly before the next interesting tick can be
     skipped — an alias for {!Air.System.quiescent}. *)

@@ -1,58 +1,186 @@
 open Air
 
+type mode = Per_tick | Skip | Adaptive
+
 type stats = {
   mutable stepped : int;
   mutable skipped : int;
+  mutable probes : int;
 }
 
 type t = {
   system : System.t;
-  skip_ahead : bool;
+  mode : mode;
   stats : stats;
+  (* Adaptive state: [density] is a fixed-point (scale 256) EWMA of how
+     "interesting" recent ticks were — 256 means every evaluated tick did
+     work or could not be skipped, 0 means long quiet spans. While the
+     estimate sits above [dense_threshold] the engine stops probing
+     [Clock.next_interesting] and runs blind per-tick batches of [blind]
+     ticks (doubling up to [blind_max]), so a dense workload pays the
+     probe on a vanishing fraction of ticks. *)
+  mutable density : int;
+  mutable blind : int;
+  (* Consecutive quiescent ticks seen while the estimate is dense — two in
+     a row usually announce a real idle span rather than a one-tick gap,
+     and trigger a (rate-limited) probe even before the estimate decays. *)
+  mutable streak : int;
+  (* The previous iteration ran a blind batch: if the module is quiescent
+     right after one, the dense phase ended inside the batch (overshoot)
+     and a probe — amortized by the batch — re-engages skipping at once. *)
+  mutable just_batched : bool;
 }
 
-let create ?(skip_ahead = true) system =
-  { system; skip_ahead; stats = { stepped = 0; skipped = 0 } }
+let scale = 256
+let dense_threshold = 192
+let blind_init = 16
+let blind_max = 4096
+
+let create ?skip_ahead ?mode system =
+  let mode =
+    match (mode, skip_ahead) with
+    | Some m, _ -> m
+    | None, Some false -> Per_tick
+    | None, (Some true | None) -> Adaptive
+  in
+  { system;
+    mode;
+    stats = { stepped = 0; skipped = 0; probes = 0 };
+    density = 0;
+    blind = blind_init;
+    streak = 0;
+    just_batched = false }
 
 let system t = t.system
+let mode t = t.mode
 let stats t = t.stats
 let simulated t = t.stats.stepped + t.stats.skipped
+let halted t = Option.is_some (System.halted t.system)
+
+(* Probe for a quiet span up to the budget horizon and collapse it with
+   one O(1) batch clock update. Returns the number of ticks skipped (0
+   when the very next tick is already interesting). The caller has
+   established quiescence. *)
+let probe t ~remaining =
+  t.stats.probes <- t.stats.probes + 1;
+  let now = Lane.ticks (System.lane t.system) in
+  let until = Clock.horizon ~now ~remaining in
+  let next = Clock.next_interesting t.system ~until in
+  let span = Stdlib.min (next - 1 - now) remaining in
+  if span > 0 then begin
+    System.skip t.system ~ticks:span;
+    t.stats.skipped <- t.stats.skipped + span;
+    span
+  end
+  else 0
+
+(* Always-skip: execute every interesting tick through the per-tick path
+   and probe for a quiet span after each one. Maximal skipping, but each
+   executed tick pays the probe — the dense-workload regression the
+   adaptive mode exists to avoid. *)
+let advance_skip t ~ticks =
+  let remaining = ref ticks in
+  while !remaining > 0 && not (halted t) do
+    System.step t.system;
+    decr remaining;
+    t.stats.stepped <- t.stats.stepped + 1;
+    if !remaining > 0 && (not (halted t)) && System.quiescent t.system then
+      remaining := !remaining - probe t ~remaining:!remaining
+  done
+
+(* Adaptive: keep an estimate of interesting-tick density and only pay
+   the probe while the workload looks sparse.
+
+   - a successful skip of [n] ticks is ground truth that probing pays —
+     the estimate is set directly to 256 / (1 + n) (long quiet spans
+     drive it towards 0) and the blind batch size resets;
+   - a quiescent tick whose probe found nothing, and every non-quiescent
+     tick, raise the estimate EWMA-style (d += (256 - d) / 8): the
+     module is paying probes or quiescence checks for nothing;
+   - once the estimate crosses [dense_threshold] on a non-quiescent tick
+     the engine runs blind per-tick batches with no probes and no
+     quiescence checks, doubling from [blind_init] up to [blind_max], so
+     a long dense phase asymptotically pays ~zero skip-ahead overhead
+     while a phase change is still noticed within [blind] ticks.
+
+   While dense, a single quiescent tick only decays the estimate
+   (d -= d/8) — one-tick gaps are common inside dense phases and probing
+   them was the BENCH_5 regression. Two quiescent ticks in a row,
+   however, usually announce a real idle span (a dense phase just
+   ended): the second one pays a probe immediately instead of waiting
+   ~15 decay ticks, so the sparse-workload win survives dense phases.
+   The streak reset after each probe rate-limits re-probing when the
+   module idles densely (something due every tick) to one probe per two
+   quiescent ticks at worst, and the estimate saturates dense again
+   after the first empty probe anyway.
+
+   Blind batches reuse [System.run] — exactly the per-tick reference
+   path — and skips are guarded by the same quiescence proof as
+   always-skip mode, so traces, telemetry, metrics and campaign
+   fingerprints are bit-identical across all three modes. *)
+let note_skip t ~skipped =
+  if skipped > 0 then begin
+    t.density <- scale / (1 + skipped);
+    t.blind <- blind_init
+  end
+  else t.density <- t.density + ((scale - t.density) / 8)
+
+let advance_adaptive t ~ticks =
+  let remaining = ref ticks in
+  while !remaining > 0 && not (halted t) do
+    System.step t.system;
+    decr remaining;
+    t.stats.stepped <- t.stats.stepped + 1;
+    if !remaining > 0 && not (halted t) then begin
+      if System.quiescent t.system then begin
+        let overshot = t.just_batched in
+        t.just_batched <- false;
+        if overshot || t.density < dense_threshold then begin
+          t.streak <- 0;
+          let skipped = probe t ~remaining:!remaining in
+          remaining := !remaining - skipped;
+          note_skip t ~skipped
+        end
+        else begin
+          t.streak <- t.streak + 1;
+          if t.streak >= 2 then begin
+            t.streak <- 0;
+            let skipped = probe t ~remaining:!remaining in
+            remaining := !remaining - skipped;
+            note_skip t ~skipped
+          end
+          else t.density <- t.density - (t.density / 8)
+        end
+      end
+      else begin
+        t.streak <- 0;
+        t.just_batched <- false;
+        t.density <- t.density + ((scale - t.density) / 8);
+        if t.density >= dense_threshold then begin
+          let n = Stdlib.min !remaining t.blind in
+          System.run t.system ~ticks:n;
+          remaining := !remaining - n;
+          t.stats.stepped <- t.stats.stepped + n;
+          if t.blind < blind_max then t.blind <- t.blind * 2;
+          t.just_batched <- true
+        end
+      end
+    end
+  done
 
 (* Advance the module by [ticks] clock ticks, observationally identically
    to [System.run ~ticks]: every interesting tick is executed through the
    per-tick path, and each provably-quiet span in between collapses into
-   one O(1) batch clock update. A halted module freezes the clock in both
+   one O(1) batch clock update. A halted module freezes the clock in all
    modes, so the remaining budget is simply dropped. *)
 let advance t ~ticks =
   if ticks > 0 then
-    if not t.skip_ahead then begin
+    match t.mode with
+    | Per_tick ->
       System.run t.system ~ticks;
       t.stats.stepped <- t.stats.stepped + ticks
-    end
-    else begin
-      let remaining = ref ticks in
-      let halted () = Option.is_some (System.halted t.system) in
-      while !remaining > 0 && not (halted ()) do
-        (* The tick at hand is (or may be) interesting: execute it. *)
-        System.step t.system;
-        decr remaining;
-        t.stats.stepped <- t.stats.stepped + 1;
-        (* Collapse the quiet span up to (exclusive) the next interesting
-           tick, bounded by the caller's budget. *)
-        if !remaining > 0 && (not (halted ())) && System.quiescent t.system
-        then begin
-          let now = Lane.ticks (System.lane t.system) in
-          let until = now + !remaining + 1 in
-          let next = Clock.next_interesting t.system ~until in
-          let span = Stdlib.min (next - 1 - now) !remaining in
-          if span > 0 then begin
-            System.skip t.system ~ticks:span;
-            remaining := !remaining - span;
-            t.stats.skipped <- t.stats.skipped + span
-          end
-        end
-      done
-    end
+    | Skip -> advance_skip t ~ticks
+    | Adaptive -> advance_adaptive t ~ticks
 
 let run_mtfs t n =
   for _ = 1 to n do
@@ -61,5 +189,17 @@ let run_mtfs t n =
     let mtf = current.Air_model.Schedule.mtf in
     let executed = Pmk.ticks pmk - Pmk.last_schedule_switch pmk + 1 in
     let into = ((executed mod mtf) + mtf) mod mtf in
-    advance t ~ticks:(mtf - into)
+    if into = 0 then begin
+      (* Mirror of [System.run_mtfs]: at a boundary a pending mode-based
+         switch takes effect on the next tick, possibly changing the MTF —
+         execute the boundary tick first, then finish the frame under the
+         schedule actually running. *)
+      advance t ~ticks:1;
+      let current = Pmk.schedule pmk (Pmk.current_schedule pmk) in
+      let mtf = current.Air_model.Schedule.mtf in
+      let executed = Pmk.ticks pmk - Pmk.last_schedule_switch pmk + 1 in
+      let into = ((executed mod mtf) + mtf) mod mtf in
+      if into > 0 then advance t ~ticks:(mtf - into)
+    end
+    else advance t ~ticks:(mtf - into)
   done

@@ -8,23 +8,48 @@
     through the unchanged per-tick path and collapses each provably-quiet
     span in between into a single batch clock update
     ({!Air.System.skip}), so sparse workloads advance at the cost of their
-    event density rather than their horizon. Event traces, telemetry
-    frames, metrics and campaign verdicts are identical in both modes
-    (the property tests in [test/test_exec.ml] pin this). *)
+    event density rather than their horizon.
+
+    Always-on skipping has a dual cost: on a {e dense} workload (some
+    process runnable nearly every tick) the per-tick probe of
+    {!Clock.next_interesting} buys nothing and is pure overhead. The
+    default {!Adaptive} mode tracks an EWMA estimate of interesting-tick
+    density, probes only while the workload looks sparse, and runs blind
+    per-tick batches (doubling up to a cap) while it is dense — so dense
+    workloads run at within-noise of plain per-tick execution while
+    sparse workloads keep the full skip-ahead win. Event traces,
+    telemetry frames, metrics and campaign verdicts are identical in all
+    modes (the property tests in [test/test_exec.ml] pin this). *)
+
+(** Execution strategy. *)
+type mode =
+  | Per_tick  (** Plain {!Air.System.run} — the reference behaviour. *)
+  | Skip
+      (** Probe for a quiet span after every executed tick. Maximal
+          skipping; each executed tick pays the probe. *)
+  | Adaptive
+      (** Density-gated skipping: probe while sparse, blind per-tick
+          batches while dense. Never slower than [Per_tick] by more than
+          noise, never misses a skippable span by more than the current
+          blind batch. The default. *)
 
 type stats = {
   mutable stepped : int;  (** Ticks executed through the per-tick path. *)
   mutable skipped : int;  (** Ticks collapsed into batch clock updates. *)
+  mutable probes : int;
+      (** [Clock.next_interesting] evaluations — the skip-ahead overhead
+          measure the adaptive mode minimizes on dense workloads. *)
 }
 
 type t
 
-val create : ?skip_ahead:bool -> Air.System.t -> t
-(** [skip_ahead] defaults to [true]; [false] degenerates to per-tick
-    {!Air.System.run} (the reference behaviour, kept for differential
-    testing and [--no-skip]). *)
+val create : ?skip_ahead:bool -> ?mode:mode -> Air.System.t -> t
+(** [mode] selects the strategy and wins over [skip_ahead] when both are
+    given. Without [mode], [~skip_ahead:false] maps to {!Per_tick} and
+    [~skip_ahead:true] (or nothing) to {!Adaptive}. *)
 
 val system : t -> Air.System.t
+val mode : t -> mode
 val stats : t -> stats
 
 val simulated : t -> int
@@ -37,4 +62,5 @@ val advance : t -> ticks:int -> unit
 
 val run_mtfs : t -> int -> unit
 (** Advance by whole major time frames of the schedule current at each
-    boundary (mirror of {!Air.System.run_mtfs}). *)
+    boundary (mirror of {!Air.System.run_mtfs}, including its handling of
+    a different-MTF schedule switch at the boundary). *)

@@ -148,20 +148,28 @@ let prime t ~schedule ~allotted =
 
 (* --- Hot-path hooks ----------------------------------------------------- *)
 
-let on_tick t ~active =
-  match active with
-  | Some i ->
-    t.window_ticks.(i) <- t.window_ticks.(i) + 1;
+(* The index variants take the active partition as a plain integer
+   (negative = idle) so per-tick callers need not box an option. *)
+let on_tick_idx t ~active =
+  if active >= 0 then begin
+    t.window_ticks.(active) <- t.window_ticks.(active) + 1;
     t.cur_busy <- t.cur_busy + 1
-  | None -> t.cur_idle <- t.cur_idle + 1
+  end
+  else t.cur_idle <- t.cur_idle + 1
+
+let on_ticks_idx t ~active ~count =
+  if count > 0 then
+    if active >= 0 then begin
+      t.window_ticks.(active) <- t.window_ticks.(active) + count;
+      t.cur_busy <- t.cur_busy + count
+    end
+    else t.cur_idle <- t.cur_idle + count
+
+let on_tick t ~active =
+  on_tick_idx t ~active:(match active with Some i -> i | None -> -1)
 
 let on_ticks t ~active ~count =
-  if count > 0 then
-    match active with
-    | Some i ->
-      t.window_ticks.(i) <- t.window_ticks.(i) + count;
-      t.cur_busy <- t.cur_busy + count
-    | None -> t.cur_idle <- t.cur_idle + count
+  on_ticks_idx t ~active:(match active with Some i -> i | None -> -1) ~count
 
 let on_dispatch t ~partition ~jitter =
   t.dispatches.(partition) <- t.dispatches.(partition) + 1;

@@ -128,6 +128,14 @@ val on_ticks : t -> active:int option -> count:int -> unit
     replay a quiescent span into the frame accumulator in O(1); equivalent
     to calling {!on_tick} [count] times. No-op when [count <= 0]. *)
 
+val on_tick_idx : t -> active:int -> unit
+(** {!on_tick} with the occupant as a plain index, negative meaning idle —
+    the per-tick executive uses this form to avoid boxing an option on the
+    steady-state tick path. *)
+
+val on_ticks_idx : t -> active:int -> count:int -> unit
+(** Index form of {!on_ticks} (negative [active] = idle). *)
+
 val on_dispatch : t -> partition:int -> jitter:int -> unit
 (** A dispatch of [partition], [jitter] ticks after its scheduling-table
     window start. *)

@@ -306,52 +306,59 @@ let wake t ~now:_ q ~timed_out =
     make_ready t q p
   | Process.Dormant | Process.Ready | Process.Running -> ()
 
+(* Announcement and scheduling run once per system clock tick; they are
+   written as plain loops over the PCB array (no iterator closures, no
+   references) so a steady-state tick does not allocate. *)
 let announce_ticks t ~now =
-  Array.iteri
-    (fun q p ->
-      match (p.state, p.wait) with
-      | Process.Waiting, Some Delay ->
-        if Time.(p.wake_at <= now) then begin
-          p.timed_out <- false;
-          make_ready t q p
-        end
-      | Process.Waiting, Some Next_release ->
-        if Time.(p.release_point <= now) then begin
-          arm_activation t q p ~release:p.release_point;
-          p.timed_out <- false;
-          make_ready t q p
-        end
-      | Process.Waiting, Some
-          ( On_semaphore _ | On_event _ | On_buffer _ | On_blackboard _
-          | On_queuing_port _ | Suspended ) ->
-        if Time.(p.wake_at <= now) then begin
-          p.timed_out <- true;
-          make_ready t q p
-        end
-      | Process.Waiting, None | (Process.Dormant | Process.Ready | Process.Running), _ ->
-        ())
-    t.pcbs
+  for q = 0 to Array.length t.pcbs - 1 do
+    let p = t.pcbs.(q) in
+    match (p.state, p.wait) with
+    | Process.Waiting, Some Delay ->
+      if Time.(p.wake_at <= now) then begin
+        p.timed_out <- false;
+        make_ready t q p
+      end
+    | Process.Waiting, Some Next_release ->
+      if Time.(p.release_point <= now) then begin
+        arm_activation t q p ~release:p.release_point;
+        p.timed_out <- false;
+        make_ready t q p
+      end
+    | Process.Waiting, Some
+        ( On_semaphore _ | On_event _ | On_buffer _ | On_blackboard _
+        | On_queuing_port _ | Suspended ) ->
+      if Time.(p.wake_at <= now) then begin
+        p.timed_out <- true;
+        make_ready t q p
+      end
+    | Process.Waiting, None
+    | (Process.Dormant | Process.Ready | Process.Running), _ ->
+      ()
+  done
 
 (* Earliest instant at which [announce_ticks] would change any process
    state: the minimum over waiting processes of the delay wake-up, the
    next release point, or the blocking-wait timeout. *)
-let next_wake t =
-  let earliest = ref Time.infinity in
-  let note i = if Time.(i < !earliest) then earliest := i in
-  Array.iter
-    (fun p ->
+let rec next_wake_loop pcbs n q acc =
+  if q >= n then acc
+  else begin
+    let p = pcbs.(q) in
+    let acc =
       match (p.state, p.wait) with
-      | Process.Waiting, Some Delay -> note p.wake_at
-      | Process.Waiting, Some Next_release -> note p.release_point
+      | Process.Waiting, Some Delay -> Time.min acc p.wake_at
+      | Process.Waiting, Some Next_release -> Time.min acc p.release_point
       | Process.Waiting, Some
           ( On_semaphore _ | On_event _ | On_buffer _ | On_blackboard _
           | On_queuing_port _ | Suspended ) ->
-        note p.wake_at
+        Time.min acc p.wake_at
       | Process.Waiting, None
       | (Process.Dormant | Process.Ready | Process.Running), _ ->
-        ())
-    t.pcbs;
-  !earliest
+        acc
+    in
+    next_wake_loop pcbs n (q + 1) acc
+  end
+
+let next_wake t = next_wake_loop t.pcbs (Array.length t.pcbs) 0 Time.infinity
 
 let has_schedulable t =
   Array.exists
@@ -382,83 +389,83 @@ let running t =
   in
   go 0
 
-(* eq. (14): the heir is the highest-priority schedulable process; among
-   equal priorities, the one that has been ready the longest. *)
-let heir_priority t =
-  let best = ref None in
-  Array.iteri
-    (fun q p ->
-      match p.state with
-      | Process.Ready | Process.Running -> (
-        match !best with
-        | None -> best := Some q
-        | Some b ->
-          let pb = t.pcbs.(b) in
-          if
-            p.current_priority < pb.current_priority
-            || (p.current_priority = pb.current_priority
-                && p.ready_seq < pb.ready_seq)
-          then best := Some q)
-      | Process.Dormant | Process.Waiting -> ())
-    t.pcbs;
-  !best
-
-let heir_round_robin t quantum =
-  let n = Array.length t.pcbs in
-  let schedulable q =
-    match t.pcbs.(q).state with
-    | Process.Ready | Process.Running -> true
-    | Process.Dormant | Process.Waiting -> false
-  in
-  let current_ok = t.rr_current < n && schedulable t.rr_current in
-  if current_ok && t.rr_quantum_left > 0 then begin
-    t.rr_quantum_left <- t.rr_quantum_left - 1;
-    Some t.rr_current
-  end
-  else begin
-    (* Rotate to the next schedulable process after the current one. *)
-    let rec find i tried =
-      if tried >= n then None
-      else
-        let q = (t.rr_current + 1 + i) mod n in
-        if schedulable q then Some q else find (i + 1) (tried + 1)
-    in
-    match find 0 0 with
-    | Some q ->
-      t.rr_current <- q;
-      t.rr_quantum_left <- quantum - 1;
-      Some q
-    | None -> None
-  end
-
 let schedulable t q =
   match t.pcbs.(q).state with
   | Process.Ready | Process.Running -> true
   | Process.Dormant | Process.Waiting -> false
 
-let schedule t ~now:_ =
+(* eq. (14): the heir is the highest-priority schedulable process; among
+   equal priorities, the one that has been ready the longest. The heir
+   selectors work on plain indices (-1 = no heir) so the per-tick
+   scheduling pass never boxes an option. *)
+let rec heir_priority_loop pcbs n q best =
+  if q >= n then best
+  else begin
+    let p = pcbs.(q) in
+    let best =
+      match p.state with
+      | Process.Ready | Process.Running ->
+        if best < 0 then q
+        else begin
+          let pb = pcbs.(best) in
+          if
+            p.current_priority < pb.current_priority
+            || (p.current_priority = pb.current_priority
+                && p.ready_seq < pb.ready_seq)
+          then q
+          else best
+        end
+      | Process.Dormant | Process.Waiting -> best
+    in
+    heir_priority_loop pcbs n (q + 1) best
+  end
+
+let heir_priority t = heir_priority_loop t.pcbs (Array.length t.pcbs) 0 (-1)
+
+(* Rotate to the next schedulable process after the current one. *)
+let rec rr_find t n i tried =
+  if tried >= n then -1
+  else
+    let q = (t.rr_current + 1 + i) mod n in
+    if schedulable t q then q else rr_find t n (i + 1) (tried + 1)
+
+let heir_round_robin t quantum =
+  let n = Array.length t.pcbs in
+  if t.rr_current < n && schedulable t t.rr_current && t.rr_quantum_left > 0
+  then begin
+    t.rr_quantum_left <- t.rr_quantum_left - 1;
+    t.rr_current
+  end
+  else
+    match rr_find t n 0 0 with
+    | -1 -> -1
+    | q ->
+      t.rr_current <- q;
+      t.rr_quantum_left <- quantum - 1;
+      q
+
+let schedule_idx t ~now:_ =
   let choice =
     match t.lock_holder with
-    | Some h when schedulable t h -> Some h
+    | Some h when schedulable t h -> h
     | Some _ | None -> (
       match t.policy with
       | Priority_preemptive -> heir_priority t
       | Round_robin { quantum } -> heir_round_robin t quantum)
   in
   (* Demote a preempted running process; promote the heir. *)
-  Array.iteri
-    (fun q p ->
-      match p.state with
-      | Process.Running when choice <> Some q -> set_state t q p Process.Ready
-      | Process.Running | Process.Dormant | Process.Ready | Process.Waiting ->
-        ())
-    t.pcbs;
-  (match choice with
-  | Some q ->
+  for q = 0 to Array.length t.pcbs - 1 do
     let p = t.pcbs.(q) in
-    set_state t q p Process.Running
-  | None -> ());
+    match p.state with
+    | Process.Running when q <> choice -> set_state t q p Process.Ready
+    | Process.Running | Process.Dormant | Process.Ready | Process.Waiting ->
+      ()
+  done;
+  if choice >= 0 then set_state t choice t.pcbs.(choice) Process.Running;
   choice
+
+let schedule t ~now =
+  match schedule_idx t ~now with -1 -> None | q -> Some q
 
 let stop_all t =
   t.lock_holder <- None;

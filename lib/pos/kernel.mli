@@ -136,12 +136,16 @@ val has_schedulable : t -> bool
 (** Whether any process is ready or running, i.e. whether {!schedule}
     would return [Some _]. Non-destructive quiescence probe. *)
 
-val schedule : t -> now:Time.t -> int option
+val schedule_idx : t -> now:Time.t -> int
 (** Select and dispatch the heir process (eq. (14) or round-robin): the
     previous running process is demoted to ready if preempted, the heir is
-    marked running. [None] when no process is schedulable. While preemption
+    marked running. [-1] when no process is schedulable. While preemption
     is locked, the lock holder remains the heir as long as it is
-    schedulable. *)
+    schedulable. Allocation-free — the form the per-tick executive uses. *)
+
+val schedule : t -> now:Time.t -> int option
+(** {!schedule_idx} with the heir boxed as an option ([None] = no
+    schedulable process). *)
 
 (** {1 Preemption locking (ARINC 653 LOCK_PREEMPTION / UNLOCK_PREEMPTION)}
 

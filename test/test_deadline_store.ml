@@ -153,9 +153,49 @@ let rng_cross_impl_drive () =
   check Alcotest.bool "drive completed non-trivially" true
     (Deadline_store.size reference >= 0)
 
+(* The BENCH_5 `deadline/register(pairing-heap, n=8)` anomaly: a
+   register-heavy workload over a few processes with no intervening
+   queries accrues lazily-deleted garbage that only [settle] would drain —
+   hundreds of stale heap entries per live one. The fix compacts once
+   garbage outnumbers live entries; this drive triggers thousands of
+   compactions and the store must stay exactly equivalent to the
+   reference implementation throughout (REPLENISH supersede, unregister,
+   tie-break order included). *)
+let supersede_churn impl () =
+  let s = Deadline_store.create impl in
+  let reference = Deadline_store.create Deadline_store.Linked_list_impl in
+  let rng = Rng.create 0xC0FFEE in
+  for round = 1 to 50_000 do
+    let process = Rng.int rng 8 in
+    let deadline = Rng.int rng 10_000 in
+    if Rng.int rng 10 = 0 then begin
+      Deadline_store.unregister s ~process;
+      Deadline_store.unregister reference ~process
+    end
+    else begin
+      Deadline_store.register s ~process deadline;
+      Deadline_store.register reference ~process deadline
+    end;
+    (* Query only rarely, so garbage accrues between settles the way the
+       benchmark's register loop accrues it. *)
+    if round mod 5_000 = 0 then
+      check (Alcotest.option entry)
+        (Printf.sprintf "earliest agrees at round %d" round)
+        (Deadline_store.earliest reference)
+        (Deadline_store.earliest s)
+  done;
+  check Alcotest.(list entry) "sorted order agrees after churn"
+    (Deadline_store.to_sorted_list reference)
+    (Deadline_store.to_sorted_list s);
+  check Alcotest.int "min deadline agrees after churn"
+    (Deadline_store.min_deadline reference)
+    (Deadline_store.min_deadline s)
+
 let per_impl name impl =
   [ Alcotest.test_case (name ^ ": basics") `Quick (basic_behaviour impl);
-    Alcotest.test_case (name ^ ": tie break") `Quick (tie_break impl) ]
+    Alcotest.test_case (name ^ ": tie break") `Quick (tie_break impl);
+    Alcotest.test_case (name ^ ": supersede churn stays exact") `Quick
+      (supersede_churn impl) ]
 
 let suite =
   per_impl "linked-list" Deadline_store.Linked_list_impl

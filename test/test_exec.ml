@@ -8,6 +8,7 @@
 
 open Air_sim
 open Air_model
+open Air_pos
 module System = Air.System
 module Engine = Air_exec.Engine
 module C = Air_faults.Campaign
@@ -17,6 +18,10 @@ module R = Air_faults.Report
 
 let check = Alcotest.check
 let qcheck = QCheck_alcotest.to_alcotest
+let pid = Ident.Partition_id.make
+let sid = Ident.Schedule_id.make
+let w partition offset duration = { Schedule.partition; offset; duration }
+let q partition cycle duration = { Schedule.partition; cycle; duration }
 
 (* --- Observable fingerprint --------------------------------------------- *)
 
@@ -49,12 +54,12 @@ let assert_equivalent ~what reference candidate =
 (* A fresh module from a seeded Taskgen workload under a synthesized PST,
    with telemetry enabled so frame equality is exercised too. Returns
    [None] when synthesis fails for this seed (the property skips it). *)
-let taskgen_system ?cores seed =
+let taskgen_system ?cores ?(utilization = 0.4) seed =
   let rng = Rng.create seed in
   let n_partitions = 2 + (seed mod 3) in
   let gen =
     Air_workload.Taskgen.generate rng ~n_partitions ~procs_per_partition:2
-      ~utilization:0.4
+      ~utilization
   in
   match Air_analysis.Synthesis.synthesize gen.Air_workload.Taskgen.requirements with
   | Error _ -> None
@@ -89,6 +94,135 @@ let skip_matches_per_tick_on_random_modules =
           (Printf.sprintf "seed %d: simulated ticks" seed)
           ticks (Engine.simulated engine);
         true)
+
+(* All three execution strategies — plain per-tick, always-skip and the
+   default adaptive mode — must be pairwise bit-identical, both on sparse
+   modules (where skipping dominates and the adaptive estimate stays low)
+   and on dense ones (where adaptive runs blind per-tick batches). This is
+   the tentpole invariant: mode only changes speed, never observables. *)
+let modes_agree ~name ~utilization =
+  QCheck.Test.make ~name ~count:20
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      match
+        ( taskgen_system ~utilization seed,
+          taskgen_system ~utilization seed,
+          taskgen_system ~utilization seed )
+      with
+      | None, _, _ | _, None, _ | _, _, None -> QCheck.assume_fail ()
+      | Some (reference, mtf), Some (skip_sys, _), Some (adaptive_sys, _) ->
+        let ticks = (3 * mtf) + (seed mod 997) in
+        let per_tick = Engine.create ~mode:Engine.Per_tick reference in
+        Engine.advance per_tick ~ticks;
+        let skip = Engine.create ~mode:Engine.Skip skip_sys in
+        Engine.advance skip ~ticks;
+        let adaptive = Engine.create ~mode:Engine.Adaptive adaptive_sys in
+        Engine.advance adaptive ~ticks;
+        assert_equivalent
+          ~what:(Printf.sprintf "seed %d: always-skip vs per-tick" seed)
+          reference skip_sys;
+        assert_equivalent
+          ~what:(Printf.sprintf "seed %d: adaptive vs per-tick" seed)
+          reference adaptive_sys;
+        check Alcotest.int
+          (Printf.sprintf "seed %d: per-tick simulated" seed)
+          ticks (Engine.simulated per_tick);
+        check Alcotest.int
+          (Printf.sprintf "seed %d: always-skip simulated" seed)
+          ticks (Engine.simulated skip);
+        check Alcotest.int
+          (Printf.sprintf "seed %d: adaptive simulated" seed)
+          ticks (Engine.simulated adaptive);
+        true)
+
+let modes_agree_sparse =
+  modes_agree
+    ~name:"per-tick = always-skip = adaptive on sparse random modules"
+    ~utilization:0.4
+
+let modes_agree_dense =
+  modes_agree
+    ~name:"per-tick = always-skip = adaptive on dense random modules"
+    ~utilization:0.9
+
+(* --- Dense workloads ----------------------------------------------------- *)
+
+(* A fully dense module: one partition owns the whole 50-tick MTF and its
+   single process computes on every tick, so no tick is ever quiescent and
+   skip-ahead can never engage. *)
+let dense_system () =
+  let p =
+    Partition.make ~id:(pid 0) ~name:"dense"
+      [ Process.spec ~base_priority:1 "spin" ]
+  in
+  let script =
+    { Script.body = [| Script.Compute 1_000_000_000 |];
+      on_end = Script.Repeat }
+  in
+  let schedule =
+    Schedule.make ~id:(sid 0) ~name:"S" ~mtf:50
+      ~requirements:[ q (pid 0) 50 50 ]
+      [ w (pid 0) 0 50 ]
+  in
+  System.create
+    (System.config
+       ~partitions:[ System.partition_setup p [ script ] ]
+       ~schedules:[ schedule ] ())
+
+(* The BENCH_5 regression this PR fixes: always-skip paid a
+   [Clock.next_interesting] probe per executed tick on dense workloads.
+   The adaptive default must pay none here — every tick is non-quiescent,
+   so it runs blind batches and never consults the probe — while staying
+   bit-identical to the per-tick reference. *)
+let adaptive_never_probes_when_dense () =
+  let reference = dense_system () in
+  System.run reference ~ticks:10_000;
+  let engine = Engine.create (dense_system ()) in
+  check Alcotest.bool "create defaults to adaptive" true
+    (Engine.mode engine = Engine.Adaptive);
+  Engine.advance engine ~ticks:10_000;
+  assert_equivalent ~what:"dense module" reference (Engine.system engine);
+  let stats = Engine.stats engine in
+  check Alcotest.int "nothing skipped" 0 stats.Engine.skipped;
+  check Alcotest.int "no probes paid" 0 stats.Engine.probes;
+  check Alcotest.int "all ticks stepped" 10_000 stats.Engine.stepped
+
+(* Tentpole acceptance: the steady-state per-tick path allocates nothing.
+   After the boot transient, [System.step] on the dense module must not
+   touch the minor heap — scheduler, dispatcher, kernel announce, process
+   schedule and interpreter all run on preallocated state. [Gc.minor_words]
+   itself returns a boxed float, so the probe's own cost is calibrated
+   first and the measured delta must equal it exactly. *)
+let steady_state_tick_is_allocation_free () =
+  let s = dense_system () in
+  System.run s ~ticks:200;
+  let calibration =
+    let a = Gc.minor_words () in
+    let b = Gc.minor_words () in
+    b -. a
+  in
+  let before = Gc.minor_words () in
+  System.run s ~ticks:5_000;
+  let after = Gc.minor_words () in
+  check (Alcotest.float 0.) "minor words across 5000 steady ticks"
+    calibration (after -. before)
+
+(* --- Horizon arithmetic -------------------------------------------------- *)
+
+(* [Clock.horizon] must saturate at [Time.infinity] instead of wrapping
+   when [now + remaining + 1] would exceed [max_int] — a watch running
+   with an effectively unbounded budget near the end of the representable
+   range would otherwise compute a negative bound and stall the skip. *)
+let horizon_saturates_near_max_int () =
+  check Alcotest.int "normal case is one past the budget" 11
+    (Air_exec.Clock.horizon ~now:0 ~remaining:10);
+  check Alcotest.int "overflowing sum saturates" Time.infinity
+    (Air_exec.Clock.horizon ~now:(Time.infinity - 5) ~remaining:10);
+  check Alcotest.int "exact boundary saturates" Time.infinity
+    (Air_exec.Clock.horizon ~now:10 ~remaining:(Time.infinity - 10));
+  check Alcotest.int "just below the boundary stays finite"
+    (Time.infinity - 1)
+    (Air_exec.Clock.horizon ~now:10 ~remaining:(Time.infinity - 12))
 
 (* --- The Sect. 6 prototype ---------------------------------------------- *)
 
@@ -130,6 +264,63 @@ let run_mtfs_equivalence () =
   in
   Engine.run_mtfs engine 7;
   assert_equivalent ~what:"run_mtfs" reference (Engine.system engine)
+
+(* Pin the schedule-switch boundary fix: when an iteration starts at an
+   MTF boundary with a pending switch to a different-MTF schedule, the
+   switch takes effect on the boundary tick and the iteration must finish
+   the frame of the schedule *now running* — not advance the old MTF's
+   worth of ticks into the new frame. *)
+let s0_20 =
+  Schedule.make ~id:(sid 0) ~name:"S0" ~mtf:20
+    ~requirements:[ q (pid 0) 20 10; q (pid 1) 20 10 ]
+    [ w (pid 0) 0 10; w (pid 1) 10 10 ]
+
+let s1_40 =
+  Schedule.make ~id:(sid 1) ~name:"S1" ~mtf:40
+    ~requirements:[ q (pid 0) 40 10 ]
+    [ w (pid 0) 0 10 ]
+
+let switch_system () =
+  let p name i =
+    Partition.make ~id:(pid i) ~name
+      [ Process.spec ~periodicity:(Process.Periodic 20) ~time_capacity:20
+          ~wcet:4 ~base_priority:5 "work" ]
+  in
+  let script =
+    { Script.body = [| Script.Compute 4; Script.Periodic_wait |];
+      on_end = Script.Repeat }
+  in
+  System.create
+    (System.config
+       ~partitions:
+         [ System.partition_setup (p "A" 0) [ script ];
+           System.partition_setup (p "B" 1) [ script ] ]
+       ~schedules:[ s0_20; s1_40 ] ())
+
+let run_mtfs_whole_frames_across_switch () =
+  let reference = switch_system () in
+  (* [run_mtfs] leaves the clock one tick before the frame-close tick
+     (the close happens on the next frame's offset-0 tick), so each
+     iteration's net advance is exactly one MTF of the running schedule. *)
+  System.run_mtfs reference 1;
+  check Alcotest.int "one whole S0 frame" 19 (System.now reference);
+  Result.get_ok (System.request_schedule reference (sid 1));
+  System.run_mtfs reference 1;
+  (* The boundary tick effects the 20 -> 40 switch; the iteration then
+     finishes the 40-tick S1 frame: 19 + 40 = 59. The old code advanced
+     only the stale 20-tick MTF, stopping half a frame in at 39. *)
+  check Alcotest.int "switch iteration advances a whole S1 frame" 59
+    (System.now reference);
+  System.run_mtfs reference 2;
+  check Alcotest.int "subsequent iterations are whole S1 frames" 139
+    (System.now reference);
+  (* The engine mirror takes the same path, bit-identically. *)
+  let engine = Engine.create (switch_system ()) in
+  Engine.run_mtfs engine 1;
+  Result.get_ok (System.request_schedule (Engine.system engine) (sid 1));
+  Engine.run_mtfs engine 3;
+  assert_equivalent ~what:"run_mtfs across a 20 -> 40 switch" reference
+    (Engine.system engine)
 
 (* --- leo_satellite campaigns -------------------------------------------- *)
 
@@ -189,6 +380,16 @@ let leo_turbo_reproducible () =
 
 let suite =
   [ qcheck skip_matches_per_tick_on_random_modules;
+    qcheck modes_agree_sparse;
+    qcheck modes_agree_dense;
+    Alcotest.test_case "dense module: adaptive never probes" `Quick
+      adaptive_never_probes_when_dense;
+    Alcotest.test_case "dense module: steady tick is allocation-free" `Quick
+      steady_state_tick_is_allocation_free;
+    Alcotest.test_case "horizon saturates near max_int" `Quick
+      horizon_saturates_near_max_int;
+    Alcotest.test_case "run_mtfs: whole frames across a schedule switch"
+      `Quick run_mtfs_whole_frames_across_switch;
     Alcotest.test_case "satellite: skip-ahead bit-identical" `Quick
       satellite_skip_equivalence;
     Alcotest.test_case "satellite: multicore skip-ahead bit-identical" `Quick

@@ -17,9 +17,9 @@ let pal_detects_strictly_past_deadlines () =
   let pal = Pal.create ~partition:(pid 0) () in
   Pal.register_deadline pal ~process:0 100;
   (* Algorithm 3, line 3: deadlineTime ≥ now ⇒ no violation. *)
-  let v = Pal.announce_ticks pal ~now:100 ~elapsed:1 ~announce_to_pos:(fun ~elapsed:_ -> ()) in
+  let v = Pal.announce_ticks pal ~now:100 ~elapsed:1 ~announce_to_pos:(fun ~now:_ ~elapsed:_ -> ()) in
   check Alcotest.int "not yet at t=100" 0 (List.length v);
-  let v = Pal.announce_ticks pal ~now:101 ~elapsed:1 ~announce_to_pos:(fun ~elapsed:_ -> ()) in
+  let v = Pal.announce_ticks pal ~now:101 ~elapsed:1 ~announce_to_pos:(fun ~now:_ ~elapsed:_ -> ()) in
   check Alcotest.int "violated at t=101" 1 (List.length v);
   (* Removed after reporting (line 7). *)
   check Alcotest.int "removed" 0 (Pal.deadline_count pal)
@@ -31,7 +31,7 @@ let pal_reports_in_ascending_order () =
   Pal.register_deadline pal ~process:2 400;
   let v =
     Pal.announce_ticks pal ~now:100 ~elapsed:100
-      ~announce_to_pos:(fun ~elapsed:_ -> ())
+      ~announce_to_pos:(fun ~now:_ ~elapsed:_ -> ())
   in
   check Alcotest.(list int) "both expired, earliest first" [ 1; 0 ]
     (List.map (fun { Pal.process; _ } -> process) v);
@@ -46,7 +46,7 @@ let pal_announces_to_pos_first () =
   let announced = ref 0 in
   ignore
     (Pal.announce_ticks pal ~now:10 ~elapsed:7
-       ~announce_to_pos:(fun ~elapsed -> announced := elapsed));
+       ~announce_to_pos:(fun ~now:_ ~elapsed -> announced := elapsed));
   check Alcotest.int "elapsed forwarded" 7 !announced
 
 let pal_violations_now_is_pure () =

@@ -345,15 +345,17 @@ let schedule_switch_starts_fresh_frame () =
   Result.get_ok (Air.System.request_schedule s (sid 1));
   Air.System.run_mtfs s 4;
   let frames = Air.System.telemetry_frames s in
-  (* One MTF under S0, then the switch; a frame closes only when its
-     boundary tick executes, so two full S1 frames are closed here and a
-     third is still accumulating. *)
+  (* One MTF under S0, then the switch; each [run_mtfs] iteration advances
+     exactly one whole frame of the schedule actually running (the switch
+     changes the MTF at the boundary), and a frame closes only when its
+     boundary tick executes — so three full S1 frames are closed here and
+     a fourth is still accumulating. *)
   (match frames with
   | first :: rest ->
     check Alcotest.int "first frame under S0" 0 first.Telemetry.f_schedule;
     check Alcotest.int "S0 frame length" 20
       (first.Telemetry.f_stop - first.Telemetry.f_start);
-    check Alcotest.int "frames after the switch" 2 (List.length rest);
+    check Alcotest.int "frames after the switch" 3 (List.length rest);
     List.iter
       (fun f ->
         check Alcotest.int "runs under S1" 1 f.Telemetry.f_schedule;
@@ -363,9 +365,9 @@ let schedule_switch_starts_fresh_frame () =
       rest
   | [] -> Alcotest.fail "expected frames");
   (* The watchdog is re-read per frame: S0's frame is judged by the
-     (trivial) default, S1's frames by the strict override — two closed
-     S1 frames, two module-level temporal-degradation errors. *)
-  check Alcotest.int "breaches only under S1" 2
+     (trivial) default, S1's frames by the strict override — three closed
+     S1 frames, three module-level temporal-degradation errors. *)
+  check Alcotest.int "breaches only under S1" 3
     (Air.Hm.count_for (Air.System.hm s) ~partition:None
        ~code:Error.Temporal_degradation)
 
