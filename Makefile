@@ -1,5 +1,5 @@
 .PHONY: all build test check bench bench-diff fmt exec-smoke trace-smoke \
-  telemetry-smoke fault-smoke clean
+  telemetry-smoke fault-smoke profile-smoke clean
 
 all: build
 
@@ -18,13 +18,13 @@ check:
 
 # Full benchmark run with committed JSON artifact.
 bench:
-	dune exec bench/main.exe -- --json BENCH_6.json
+	dune exec bench/main.exe -- --json BENCH_7.json
 
 # Regression gate over the two most recent committed artifacts: every row
 # present in both is compared against its group's threshold ratio
 # (bench/diff.ml); nonzero exit on any regression beyond threshold.
 bench-diff:
-	dune exec bench/diff.exe -- BENCH_5.json BENCH_6.json
+	dune exec bench/diff.exe -- BENCH_6.json BENCH_7.json
 
 # Format gate: the build image carries no ocamlformat, so the gate enforces
 # the cheap invariants every formatter run would — no tab characters and no
@@ -79,6 +79,17 @@ fault-smoke:
 	  --faults --campaign-json /tmp/air_campaign_b.json
 	dune exec test/fault_smoke.exe -- \
 	  /tmp/air_campaign_a.json /tmp/air_campaign_b.json
+
+# End-to-end self-profiler pass: run the example module under the default
+# adaptive executive with the profiler attached, export the air-profile/1
+# JSON and validate it (well-formedness, schema marker, step/batch/skip
+# bucket ticks partitioning the requested horizon exactly, consistent
+# probe accounting).
+profile-smoke:
+	dune build test/profile_smoke.exe
+	dune exec bin/air_run.exe -- examples/configs/leo_satellite.air \
+	  -t 20000 --speed --profile-json /tmp/air_profile.json
+	dune exec test/profile_smoke.exe -- /tmp/air_profile.json 20000
 
 clean:
 	dune clean

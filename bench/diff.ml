@@ -26,9 +26,9 @@ let threshold_for name =
     | None -> name
   in
   match group with
-  | "scheduler" | "deadline" | "pal" | "ipc" | "mmu" -> 2.0
+  | "scheduler" | "deadline" | "pal" | "ipc" | "mmu" | "causal" -> 2.0
   | "system" | "recorder" | "telemetry" -> 1.75
-  | "exec" | "faults" | "analysis" | "extensions" -> 1.5
+  | "exec" | "faults" | "analysis" | "extensions" | "profiler" -> 1.5
   | _ -> 1.5
 
 (* Absolute slack in ns/run below which a slowdown is indistinguishable

@@ -578,6 +578,67 @@ let extension_tests =
    (10%: short windows bound every span; 90%: almost nothing to skip);
    the multicore rows compound the executive with two Pmk_mc lanes over
    the Fig. 8 tables. *)
+let causal_tests =
+  (* Raw correlation-id cost on a bounded tracker: one stamp, and a full
+     send→forward→receive hop chain, the ring wrapping in place. *)
+  let stamp () =
+    let t = Air_obs.Causal.create ~capacity:4096 () in
+    let now = ref 0 in
+    Staged.stage (fun () ->
+        incr now;
+        ignore (Air_obs.Causal.stamp t ~now:!now ~partition:1 ~port:2))
+  in
+  let full_hop () =
+    let t = Air_obs.Causal.create ~capacity:4096 () in
+    let now = ref 0 in
+    Staged.stage (fun () ->
+        incr now;
+        let id = Air_obs.Causal.stamp t ~now:!now ~partition:1 ~port:2 in
+        Air_obs.Causal.forward t ~now:!now id;
+        Air_obs.Causal.receive t ~now:!now ~track:1 id)
+  in
+  (* Stamping in situ: the full prototype tick with a flow tracker
+     attached, to be read against system/"prototype tick". *)
+  let prototype_tick_tracked () =
+    let cfg =
+      { (Air_workload.Satellite.config ()) with
+        Air.System.causal = Some (Air_obs.Causal.create ~capacity:4096 ()) }
+    in
+    let s = Air.System.create cfg in
+    Staged.stage (fun () -> Air.System.step s)
+  in
+  Test.make_grouped ~name:"causal"
+    [ Test.make ~name:"stamp" (stamp ());
+      Test.make ~name:"stamp+forward+receive" (full_hop ());
+      Test.make ~name:"prototype tick (tracked)" (prototype_tick_tracked ()) ]
+
+let profiler_tests =
+  (* The profiler must be observational in cost too: the Fig. 8 prototype
+     advanced 10 MTFs under the adaptive executive with and without one
+     attached, plus the raw per-note cost. *)
+  let advance ~profiled () =
+    let config = Air_workload.Satellite.config () in
+    Staged.stage (fun () ->
+        let profiler =
+          if profiled then Some (Air_exec.Profiler.create ()) else None
+        in
+        let engine =
+          Air_exec.Engine.create ?profiler (Air.System.create config)
+        in
+        Air_exec.Engine.advance engine ~ticks:(10 * 1300))
+  in
+  let note () =
+    let p = Air_exec.Profiler.create () in
+    Staged.stage (fun () ->
+        Air_exec.Profiler.note_batch p ~ticks:16 ~seconds:1e-6)
+  in
+  Test.make_grouped ~name:"profiler"
+    [ Test.make ~name:"adaptive 10 MTFs (unprofiled)"
+        (advance ~profiled:false ());
+      Test.make ~name:"adaptive 10 MTFs (profiled)"
+        (advance ~profiled:true ());
+      Test.make ~name:"note_batch" (note ()) ]
+
 let exec_tests =
   let beacon_config ~mtf ~work =
     let pid = Air_model.Ident.Partition_id.make 0 in
@@ -777,7 +838,8 @@ let () =
   let groups =
     [ scheduler_tests; store_tests; pal_tests; ipc_tests; mmu_tests;
       analysis_tests; system_tests; recorder_tests; telemetry_tests;
-      faults_tests; extension_tests; exec_tests ]
+      faults_tests; extension_tests; exec_tests; causal_tests;
+      profiler_tests ]
   in
   let all_rows =
     List.concat_map

@@ -16,8 +16,32 @@ let export_trace trace path =
         trace;
       Format.pp_print_flush ppf ())
 
-let run_cluster path ticks =
-  match Air_config.Loader.load_cluster_file path with
+(* Resolve a flow's origin (module, port index) to the declared port name
+   through the module's router, for the flows table. *)
+let port_name_of systems ~module_id ~port =
+  if module_id < 0 || module_id >= Array.length systems then None
+  else
+    List.assoc_opt port
+      (Air_ipc.Router.port_names (Air.System.router systems.(module_id)))
+
+let run_cluster path ticks trace_json flows =
+  (* Observability exports need every module instrumented: a flight
+     recorder for spans and a causal tracker for flow arrows, unless the
+     module's own document already configured them. *)
+  let instrument _ (cfg : Air.System.config) =
+    let cfg =
+      if cfg.Air.System.recorder = None then
+        { cfg with Air.System.recorder = Some (Air_obs.Span.create ()) }
+      else cfg
+    in
+    if cfg.Air.System.causal = None then
+      { cfg with Air.System.causal = Some (Air_obs.Causal.create ()) }
+    else cfg
+  in
+  let instrument =
+    if trace_json <> None || flows then Some instrument else None
+  in
+  match Air_config.Loader.load_cluster_file ?instrument path with
   | Error e ->
     Format.eprintf "%s: %s@." path e;
     1
@@ -28,6 +52,7 @@ let run_cluster path ticks =
       "cluster ran %d ticks: %d messages transferred, %d dropped, %d in        flight@."
       ticks stats.Air.Cluster.transferred stats.Air.Cluster.dropped
       stats.Air.Cluster.in_flight;
+    let systems = Air.Cluster.systems cluster in
     Array.iteri
       (fun i system ->
         Format.printf "module %d: %d deadline violations%s@." i
@@ -35,8 +60,29 @@ let run_cluster path ticks =
           (match Air.System.halted system with
           | Some reason -> Printf.sprintf " (HALTED: %s)" reason
           | None -> ""))
-      (Air.Cluster.systems cluster);
-    0
+      systems;
+    if flows then begin
+      Format.printf "@.cross-module flows:@.";
+      print_string
+        (Air_vitral.Flows.render
+           ~port_name:(port_name_of systems)
+           (Air.Cluster.flow_entries cluster))
+    end;
+    let chrome_ok =
+      match trace_json with
+      | None -> true
+      | Some file -> (
+        try
+          Out_channel.with_open_text file (fun oc ->
+              Out_channel.output_string oc (Air.Cluster.chrome_trace cluster);
+              Out_channel.output_char oc '\n');
+          Format.printf "cluster chrome trace exported to %s@." file;
+          true
+        with Sys_error msg ->
+          Format.eprintf "%s@." msg;
+          false)
+    in
+    if chrome_ok then 0 else 1
 
 (* Campaign mode: run every (faults (campaign …)) of the document through
    the injection engine, judge containment, and print/export the reports.
@@ -112,7 +158,7 @@ let is_cluster_document path =
 
 let run_file path ticks show_trace show_gantt export metrics_json trace_json
     check_trace timeline telemetry_csv telemetry_json watch faults
-    campaign_json cores no_skip speed =
+    campaign_json cores no_skip speed profile profile_json flows =
   let turbo = not no_skip in
   if faults || campaign_json <> None then
     if is_cluster_document path then begin
@@ -120,7 +166,7 @@ let run_file path ticks show_trace show_gantt export metrics_json trace_json
       1
     end
     else run_campaigns path campaign_json ~turbo ~cores
-  else if is_cluster_document path then run_cluster path ticks
+  else if is_cluster_document path then run_cluster path ticks trace_json flows
   else
   match Air_config.Loader.load_file path with
   | Error e ->
@@ -151,6 +197,12 @@ let run_file path ticks show_trace show_gantt export metrics_json trace_json
       | Some n -> { cfg with Air.System.cores = Some n }
       | None -> cfg
     in
+    (* --flows needs the causal tracker stamping IPC messages. *)
+    let cfg =
+      if flows && cfg.Air.System.causal = None then
+        { cfg with Air.System.causal = Some (Air_obs.Causal.create ()) }
+      else cfg
+    in
     let system = Air.System.create cfg in
     let partition_names =
       List.filter (fun (i, _) -> i >= 0) (Air.System.track_names system)
@@ -166,7 +218,14 @@ let run_file path ticks show_trace show_gantt export metrics_json trace_json
     in
     (* The executive: skip-ahead by default, per-tick under --no-skip;
        either way the observable run is identical. *)
-    let engine = Air_exec.Engine.create ~skip_ahead:turbo system in
+    let profiler =
+      if profile || profile_json <> None then
+        Some (Air_exec.Profiler.create ())
+      else None
+    in
+    let engine =
+      Air_exec.Engine.create ?profiler ~skip_ahead:turbo system
+    in
     let wall_start = Unix.gettimeofday () in
     (match watch with
     | None -> Air_exec.Engine.advance engine ~ticks
@@ -282,8 +341,38 @@ let run_file path ticks show_trace show_gantt export metrics_json trace_json
       print_string
         (Air_vitral.Timeline.render
            ~tracks:(Air.System.track_names system)
+           ~lanes:(Option.value ~default:1 cfg.Air.System.cores)
            (Air.System.spans system @ opens))
     end;
+    if flows then begin
+      Format.printf "@.message flows:@.";
+      print_string
+        (Air_vitral.Flows.render
+           ~port_name:(fun ~module_id:_ ~port ->
+             List.assoc_opt port
+               (Air_ipc.Router.port_names (Air.System.router system)))
+           (Air.System.flow_entries system))
+    end;
+    if profile then begin
+      Format.printf "@.";
+      match Air_exec.Engine.profiler engine with
+      | Some p -> print_string (Air_exec.Profiler.to_text p)
+      | None -> ()
+    end;
+    let profile_ok =
+      match (profile_json, Air_exec.Engine.profiler engine) with
+      | None, _ | _, None -> true
+      | Some file, Some p -> (
+        try
+          Out_channel.with_open_text file (fun oc ->
+              Out_channel.output_string oc (Air_exec.Profiler.to_json p);
+              Out_channel.output_char oc '\n');
+          Format.printf "engine profile exported to %s@." file;
+          true
+        with Sys_error msg ->
+          Format.eprintf "%s@." msg;
+          false)
+    in
     let chrome_ok =
       match trace_json with
       | None -> true
@@ -363,7 +452,10 @@ let run_file path ticks show_trace show_gantt export metrics_json trace_json
         violations = []
       end
     in
-    if not (metrics_ok && trace_ok && chrome_ok && telemetry_ok && check_ok)
+    if
+      not
+        (metrics_ok && trace_ok && chrome_ok && telemetry_ok && check_ok
+        && profile_ok)
     then 1
     else if Air.System.halted system = None then 0
     else 2
@@ -475,6 +567,35 @@ let no_skip_flag =
   in
   Arg.(value & flag & info [ "no-skip" ] ~doc)
 
+let profile_flag =
+  let doc =
+    "Profile the skip-ahead executive: attribute wall clock and ticks to \
+     per-tick steps, blind batches, skipped spans and probes \
+     (successful/wasted), and print the bucket report after the run. The \
+     run itself is bit-identical to an unprofiled one."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let profile_json_arg =
+  let doc =
+    "Write the engine profile as an air-profile/1 JSON document to $(docv) \
+     (implies profiling the run)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-json" ] ~docv:"FILE" ~doc)
+
+let flows_flag =
+  let doc =
+    "Stamp every IPC message with a causal correlation id and print the \
+     per-flow table after the run: messages sent/delivered/forwarded/\
+     perturbed per origin port, with end-to-end latency percentiles. On a \
+     cluster document every module is instrumented and cross-module flows \
+     include bus time."
+  in
+  Arg.(value & flag & info [ "flows" ] ~doc)
+
 let speed_flag =
   let doc =
     "Print a speed summary to stderr after the run: simulated ticks, wall \
@@ -491,6 +612,7 @@ let cmd =
           $ export_arg $ metrics_json_arg $ trace_json_arg $ check_trace_arg
           $ timeline_flag $ telemetry_csv_arg $ telemetry_json_arg
           $ watch_arg $ faults_flag $ campaign_json_arg $ cores_arg
-          $ no_skip_flag $ speed_flag)
+          $ no_skip_flag $ speed_flag $ profile_flag $ profile_json_arg
+          $ flows_flag)
 
 let () = exit (Cmd.eval' cmd)

@@ -566,6 +566,20 @@ let decode_telemetry env args =
     (Air_obs.Telemetry.config ?retention
        ?default_watchdog ~schedule_watchdogs ())
 
+(* (causal (retention 16384)) — attach a causal flow tracker stamping
+   every IPC message with a correlation id; retention bounds the hop-record
+   ring. *)
+let decode_causal args =
+  let* f = fields_of ~context:"causal" args in
+  let* retention = optional f "retention" (one int) in
+  let* () =
+    match retention with
+    | Some r when r <= 0 -> error "causal.retention must be positive"
+    | Some _ | None -> Ok ()
+  in
+  let* () = assert_no_extra f ~known:[ "retention" ] in
+  Ok (Air_obs.Causal.create ?capacity:retention ())
+
 (* --- Fault campaigns ------------------------------------------------------ *)
 
 (* (faults
@@ -777,6 +791,13 @@ let decode_system s =
       let* c = decode_telemetry env args in
       Ok (Some c)
   in
+  let* causal =
+    match rest_of f "causal" with
+    | [] -> Ok None
+    | args ->
+      let* c = decode_causal args in
+      Ok (Some c)
+  in
   (* Multicore executive: (cores N) shards every schedule over N PMK
      lanes (Air.System sharding; window offsets preserved). *)
   let* cores = optional f "cores" (one int) in
@@ -792,12 +813,12 @@ let decode_system s =
     assert_no_extra f
       ~known:
         [ "partitions"; "schedules"; "ports"; "channels"; "initial-schedule";
-          "hm"; "telemetry"; "faults"; "cores" ]
+          "hm"; "telemetry"; "causal"; "faults"; "cores" ]
   in
   Ok
     (Air.System.config ?initial_schedule
        ~network:{ Port.ports; channels }
-       ~hm_tables ?telemetry ?cores ~partitions ~schedules ())
+       ~hm_tables ?telemetry ?causal ?cores ~partitions ~schedules ())
 
 let load input =
   match Sexp.parse_one input with
@@ -865,7 +886,7 @@ let decode_link module_names s =
   let* () = assert_no_extra f ~known:[ "from"; "to" ] in
   Ok { Air.Cluster.from_module; from_port; to_module; to_port }
 
-let load_cluster_file path =
+let load_cluster_file ?instrument path =
   let dir = Filename.dirname path in
   match Sexp.parse_file path with
   | Error e -> Error (Format.asprintf "%a" Sexp.pp_error e)
@@ -889,15 +910,22 @@ let load_cluster_file path =
       in
       let* systems =
         map_all
-          (fun (name, config) ->
+          (fun (i, (name, config)) ->
             let resolved =
               if Filename.is_relative config then Filename.concat dir config
               else config
             in
             match load_file resolved with
-            | Ok cfg -> Ok (Air.System.create cfg)
+            | Ok cfg ->
+              (* Caller's instrumentation hook: e.g. air_run attaches a
+                 flight recorder and causal tracker to every module when
+                 an observability export was requested. *)
+              let cfg =
+                match instrument with None -> cfg | Some f -> f i cfg
+              in
+              Ok (Air.System.create cfg)
             | Error e -> error "module %s (%s): %s" name resolved e)
-          modules
+          (List.mapi (fun i m -> (i, m)) modules)
       in
       Ok (bus, links, systems)
     in

@@ -56,9 +56,16 @@ val load_campaigns_file :
 
     Module config paths are resolved relative to the cluster document. *)
 
-val load_cluster_file : string -> (Air.Cluster.t, string) result
+val load_cluster_file :
+  ?instrument:(int -> Air.System.config -> Air.System.config) ->
+  string ->
+  (Air.Cluster.t, string) result
 (** Parses the cluster document, loads every referenced module
-    configuration, builds the systems and wires the bus links. *)
+    configuration, builds the systems and wires the bus links.
+    [instrument], when given, rewrites each module's decoded configuration
+    (argument: the module's cluster index) before the system is built —
+    e.g. attaching a flight recorder and causal flow tracker to every
+    module for a traced run. *)
 
 val schedule_index : string -> Sexp.t -> (int, string) result
 (** Resolve a schedule name to its index within a parsed [(air-system …)]

@@ -49,7 +49,10 @@ let create (cfg : config) =
            cfg.schedules)
   in
   let hm = Hm.create ~metrics ~tables:cfg.hm_tables () in
-  let router = Router.create ~metrics ?recorder:cfg.recorder cfg.network in
+  let router =
+    Router.create ~metrics ?recorder:cfg.recorder ?causal:cfg.causal
+      cfg.network
+  in
   (match telemetry with
   | None -> ()
   | Some tel ->

@@ -16,6 +16,9 @@ type transfer = {
   target_module : int;
   target_port : string;
   payload : bytes;
+  cid : Air_obs.Causal.id;
+      (* Correlation id stamped at the originating write; rides the bus so
+         the receive in the target module closes the cross-module flow. *)
 }
 
 type t = {
@@ -27,6 +30,9 @@ type t = {
   mutable bus_busy_until : Time.t;
   mutable transferred : int;
   mutable dropped : int;
+  mutable last_perturbed : Air_obs.Causal.id list;
+      (* Flows touched by the most recent [inject_bus_fault] — campaign
+         reports annotate outcomes with them. *)
 }
 
 let create ?(bus = default_bus) ~links modules =
@@ -51,7 +57,17 @@ let create ?(bus = default_bus) ~links modules =
         invalid_arg "Cluster.create: gateway port used by more than one link"
       else Hashtbl.add seen key ())
     links;
-  { modules = Array.of_list modules;
+  let modules = Array.of_list modules in
+  (* Home each module's flow tracker: the module field of every id it
+     stamps from now on is the module's cluster index, making ids (and
+     Chrome flow-event ids) unique cluster-wide. *)
+  Array.iteri
+    (fun i m ->
+      match System.causal m with
+      | Some c -> Air_obs.Causal.set_module_id c i
+      | None -> ())
+    modules;
+  { modules;
     links;
     bus;
     in_flight =
@@ -59,12 +75,13 @@ let create ?(bus = default_bus) ~links modules =
     clock = 0;
     bus_busy_until = 0;
     transferred = 0;
-    dropped = 0 }
+    dropped = 0;
+    last_perturbed = [] }
 
 (* Serialize a message onto the bus: it occupies the medium for its
    transmission time after any transfer already under way, and arrives a
    propagation delay later. *)
-let send_on_bus t ~target_module ~target_port payload =
+let send_on_bus t ~target_module ~target_port ~cid payload =
   let transmission =
     (Bytes.length payload + t.bus.bytes_per_tick - 1) / t.bus.bytes_per_tick
   in
@@ -75,7 +92,8 @@ let send_on_bus t ~target_module ~target_port payload =
     { arrival = Time.add done_transmitting t.bus.latency;
       target_module;
       target_port;
-      payload }
+      payload;
+      cid }
 
 let drain_gateways t =
   List.iter
@@ -84,9 +102,9 @@ let drain_gateways t =
       let rec pump () =
         match System.drain_remote source ~port:l.from_port with
         | None -> ()
-        | Some payload ->
+        | Some (payload, cid) ->
           send_on_bus t ~target_module:l.to_module ~target_port:l.to_port
-            payload;
+            ~cid payload;
           pump ()
       in
       pump ())
@@ -104,7 +122,7 @@ let deliver_arrivals t =
       | None -> assert false
       | Some tr ->
       match
-         System.deliver_remote t.modules.(tr.target_module)
+         System.deliver_remote ~cid:tr.cid t.modules.(tr.target_module)
            ~port:tr.target_port tr.payload
        with
       | Ok () -> t.transferred <- t.transferred + 1
@@ -129,6 +147,82 @@ let now t = t.clock
 
 let systems t = t.modules
 
+let flow_entries t =
+  List.concat_map System.flow_entries (Array.to_list t.modules)
+
+(* Merged Chrome trace of the whole cluster: each module's tracks are
+   shifted by a common stride so they render as distinct process groups,
+   and the per-module causal records merge into one flow-event set —
+   the ids already embed the origin module, so a send in module 0 and
+   its receive in module 1 share the id and the viewer draws the arrow
+   across the process boundary. *)
+let chrome_trace t =
+  let n = Array.length t.modules in
+  let stride =
+    1
+    + Array.fold_left
+        (fun acc m -> Stdlib.max acc (System.partition_count m))
+        0 t.modules
+  in
+  let shift i track = (i * stride) + track in
+  let tracks =
+    List.concat
+      (List.init n (fun i ->
+           List.map
+             (fun (track, name) ->
+               (shift i track, Printf.sprintf "m%d:%s" i name))
+             (System.track_names t.modules.(i))))
+  in
+  let spans =
+    List.concat
+      (List.init n (fun i ->
+           let m = t.modules.(i) in
+           let all =
+             match System.recorder m with
+             | None -> []
+             | Some r ->
+               Air_obs.Span.spans r
+               @ Air_obs.Span.open_spans r ~now:(System.now m)
+           in
+           List.map
+             (fun (s : Air_obs.Span.span) ->
+               { s with Air_obs.Span.track = shift i s.Air_obs.Span.track })
+             all))
+  in
+  let events =
+    List.concat
+      (List.init n (fun i ->
+           List.map
+             (fun (time, ev) ->
+               ( time,
+                 Printf.sprintf "m%d:%s" i (Air_model.Event.label ev),
+                 Format.asprintf "%a" Air_model.Event.pp ev ))
+             (Trace.to_list (System.trace t.modules.(i)))))
+  in
+  let flows =
+    List.concat
+      (List.init n (fun i ->
+           List.map
+             (fun (e : Air_obs.Causal.entry) ->
+               { e with
+                 Air_obs.Causal.track = shift i e.Air_obs.Causal.track })
+             (System.flow_entries t.modules.(i))))
+  in
+  let meta =
+    let tbl = Hashtbl.create 4 in
+    Array.iter
+      (fun m ->
+        List.iter
+          (fun (k, v) ->
+            Hashtbl.replace tbl k
+              (v + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+          (System.export_meta m))
+      t.modules;
+    List.sort Stdlib.compare
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  Air_obs.Trace_export.to_chrome ~tracks ~events ~flows ~meta spans
+
 (* --- Fault injection on inter-module links ------------------------------ *)
 
 type bus_fault =
@@ -145,7 +239,17 @@ let pp_bus_fault ppf = function
   | Bus_corrupt { byte } -> Format.fprintf ppf "bus-corrupt byte %d" byte
   | Bus_reorder -> Format.pp_print_string ppf "bus-reorder"
 
+(* Record the fault against the struck transfer's flow. The record lands
+   in the target module's tracker (the module that will miss, re-see or
+   mis-read the message); the id itself still names the origin. *)
+let note_bus_perturb t tr what =
+  if Air_obs.Causal.is_some tr.cid then begin
+    System.note_flow_perturb t.modules.(tr.target_module) ~what tr.cid;
+    t.last_perturbed <- tr.cid :: t.last_perturbed
+  end
+
 let inject_bus_fault t fault =
+  t.last_perturbed <- [];
   match Heap.pop t.in_flight with
   | None -> false
   | Some tr ->
@@ -156,19 +260,27 @@ let inject_bus_fault t fault =
       match Heap.pop t.in_flight with
       | None -> Heap.push t.in_flight tr
       | Some next ->
+        note_bus_perturb t tr Air_obs.Causal.Bus_reorder;
+        note_bus_perturb t next Air_obs.Causal.Bus_reorder;
         Heap.push t.in_flight { tr with arrival = next.arrival };
         Heap.push t.in_flight { next with arrival = tr.arrival })
     | Bus_drop ->
       (* The transfer vanishes on the medium; account it as dropped so the
          cluster's conservation story stays balanced. *)
+      note_bus_perturb t tr Air_obs.Causal.Bus_drop;
       t.dropped <- t.dropped + 1
     | Bus_duplicate ->
+      note_bus_perturb t tr Air_obs.Causal.Bus_duplicate;
       Heap.push t.in_flight tr;
+      (* The copy keeps the id: the same logical message, twice on the
+         wire. *)
       Heap.push t.in_flight { tr with payload = Bytes.copy tr.payload }
     | Bus_delay d ->
+      note_bus_perturb t tr Air_obs.Causal.Bus_delay;
       Heap.push t.in_flight
         { tr with arrival = Time.add tr.arrival (Time.max 0 d) }
     | Bus_corrupt { byte } ->
+      note_bus_perturb t tr Air_obs.Causal.Bus_corrupt;
       let len = Bytes.length tr.payload in
       if len > 0 then begin
         let i = ((byte mod len) + len) mod len in
@@ -177,6 +289,8 @@ let inject_bus_fault t fault =
       end;
       Heap.push t.in_flight tr);
     true
+
+let last_perturbed t = t.last_perturbed
 
 type stats = {
   transferred : int;

@@ -37,7 +37,9 @@ val create : ?bus:bus -> links:link list -> System.t list -> t
 (** Raises [Invalid_argument] on module indices out of range, an empty
     module list, or two links draining the same gateway port. Port names
     are checked lazily (a missing gateway simply never yields traffic; a
-    missing target port counts as a drop). *)
+    missing target port counts as a drop). Modules configured with a
+    causal flow tracker get their tracker homed to their cluster index,
+    so correlation ids are unique cluster-wide. *)
 
 val step : t -> unit
 (** One global clock tick: every module steps, gateways drain onto the
@@ -53,6 +55,18 @@ val next_arrival : t -> Time.t option
     empty. *)
 
 val systems : t -> System.t array
+
+val flow_entries : t -> Air_obs.Causal.entry list
+(** Every module's retained causal hop records, concatenated in module
+    order — cross-module flows appear as a [Send] (+ [Forward]) in the
+    origin module and a [Receive] in the target, sharing the id. *)
+
+val chrome_trace : t -> string
+(** The whole cluster as one Chrome trace: per-module tracks shifted into
+    distinct process groups (named ["m<i>:<name>"]), event lanes prefixed
+    by module, and all causal records merged into one flow-event set —
+    the viewer draws send→receive arrows across module boundaries because
+    both ends carry the same correlation id. *)
 
 type stats = {
   transferred : int;       (** Messages delivered to target ports. *)
@@ -83,4 +97,11 @@ val pp_bus_fault : Format.formatter -> bus_fault -> unit
 
 val inject_bus_fault : t -> bus_fault -> bool
 (** Apply the fault to the transfer with the earliest arrival time; [false]
-    when nothing is in flight (the fault is a no-op). *)
+    when nothing is in flight (the fault is a no-op). Stamped transfers get
+    a [Perturb] record in the target module's flow tracker. *)
+
+val last_perturbed : t -> Air_obs.Causal.id list
+(** Correlation ids of the flows touched by the most recent
+    {!inject_bus_fault} call ([[]] when it was a no-op or the transfers
+    were unstamped) — campaign reports annotate fault outcomes with
+    them. *)

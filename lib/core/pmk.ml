@@ -66,11 +66,15 @@ type t = {
       (* Whether this scheduler feeds the per-tick busy/idle occupancy
          sample. A multicore executive disables per-lane occupancy and
          records one combined sample per global tick instead. *)
+  lane : int;
+      (* Lane index within a multicore executive; the sub-lane of every
+         partition-window span this scheduler records, so the timeline can
+         tell which core ran the window. 0 for a single-core module. *)
 }
 
 let create ?metrics ?recorder ?telemetry ?(frame_owner = true)
-    ?(occupancy = true) ?window_allotment ?initial_schedule ~partition_count
-    schedules_list =
+    ?(occupancy = true) ?(lane = 0) ?window_allotment ?initial_schedule
+    ~partition_count schedules_list =
   (match Validate.validate_set schedules_list with
   | [] -> ()
   | d :: _ ->
@@ -156,7 +160,8 @@ let create ?metrics ?recorder ?telemetry ?(frame_owner = true)
     telemetry;
     allotted;
     frame_owner;
-    occupancy }
+    occupancy;
+    lane }
 
 let schedule_count t = Array.length t.schedules
 let schedules t = Array.copy t.schedules
@@ -209,8 +214,12 @@ let effect_schedule_switch t =
   t.table_iterator <- 0;
   rebuild_schedule_cache t;
   Air_obs.Metrics.incr t.m_schedule_switches;
+  (* Module-track instant emitted by the frame owner only: every lane of a
+     multicore executive switches at the same boundary, one record
+     suffices. *)
   (match t.recorder with
   | None -> ()
+  | Some _ when not t.frame_owner -> ()
   | Some r ->
     Air_obs.Span.instant r ~now:t.ticks ~track:(-1) "schedule-switch"
       ~detail:
@@ -296,6 +305,7 @@ let partition_dispatcher t =
       (match t.heir_partition with
       | Some h ->
         Air_obs.Span.begin_span r ~now:t.ticks ~track:(Partition_id.index h)
+          ~sub:t.lane
           ~detail:(t.schedules.(t.current_schedule)).Schedule.name
           "partition-window"
       | None -> ()));

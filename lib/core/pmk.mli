@@ -24,6 +24,7 @@ val create :
   ?telemetry:Air_obs.Telemetry.t ->
   ?frame_owner:bool ->
   ?occupancy:bool ->
+  ?lane:int ->
   ?window_allotment:int array array ->
   ?initial_schedule:Schedule_id.t ->
   partition_count:int ->
@@ -49,7 +50,12 @@ val create :
     whether it feeds the per-tick busy/idle sample. A multicore executive
     shares one accumulator between its lanes: lane 0 owns the frame, all
     lanes disable per-lane occupancy and the executive records one
-    combined sample per global tick instead. [window_allotment] overrides
+    combined sample per global tick instead. [lane] (default 0) is this
+    scheduler's core index within a multicore executive: every
+    [partition-window] span it records carries the lane as its sub-lane,
+    so the timeline can attribute windows to cores; module-track
+    [schedule-switch] instants are only recorded by the frame owner, one
+    per effective switch cluster-wide. [window_allotment] overrides
     the per-schedule per-partition allotted window time used to prime
     telemetry frames (indexed by schedule id, then partition) — a
     multicore frame owner passes the cross-core totals, since its own

@@ -48,8 +48,11 @@ let create ?metrics ?recorder ?telemetry ?initial_schedule ~partition_count
     by_id
   in
   let cores =
-    (* Observation convention: metrics and recorder follow lane 0 (the
-       primary lane); the telemetry accumulator is shared by all lanes for
+    (* Observation convention: metrics follow lane 0 (the primary lane);
+       the recorder is shared by every lane — each tags its
+       partition-window spans with its lane index as the sub-lane, and
+       only the frame owner records module-track schedule-switch instants.
+       The telemetry accumulator is shared by all lanes for
        dispatch-jitter samples, lane 0 owns frame close, and per-lane
        occupancy is disabled — the executive records one combined
        busy/idle sample per global tick (the tables' no-self-overlap rule
@@ -57,9 +60,9 @@ let create ?metrics ?recorder ?telemetry ?initial_schedule ~partition_count
     Array.init cores_n (fun core ->
         Pmk.create
           ?metrics:(if core = 0 then metrics else None)
-          ?recorder:(if core = 0 then recorder else None)
-          ?telemetry ~frame_owner:(core = 0) ~occupancy:false
-          ~window_allotment:allotment ?initial_schedule ~partition_count
+          ?recorder ?telemetry ~frame_owner:(core = 0) ~occupancy:false
+          ~lane:core ~window_allotment:allotment ?initial_schedule
+          ~partition_count
           (List.map (fun mc -> Multicore.core_view mc ~core) tables))
   in
   { cores; outs = [||]; actives = Array.make cores_n None }

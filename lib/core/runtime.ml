@@ -93,18 +93,19 @@ type config = {
   trace_capacity : int option;
   recorder : Air_obs.Span.t option;
   telemetry : Air_obs.Telemetry.config option;
+  causal : Air_obs.Causal.t option;
   cores : int option;
 }
 
 let config ?initial_schedule ?(network = { Port.ports = []; channels = [] })
     ?(hm_tables = Hm.default_tables) ?trace_capacity ?recorder ?telemetry
-    ?cores ~partitions ~schedules () =
+    ?causal ?cores ~partitions ~schedules () =
   (match cores with
   | Some n when n <= 0 ->
     invalid_arg "System.config: core count must be positive"
   | Some _ | None -> ());
   { partitions; schedules; initial_schedule; network; hm_tables;
-    trace_capacity; recorder; telemetry; cores }
+    trace_capacity; recorder; telemetry; causal; cores }
 
 type task = {
   mutable pc : int;

@@ -324,7 +324,25 @@ let hm t = t.hm
 let router t = t.router
 let protection t = t.protection
 let metrics t = t.metrics
-let metrics_snapshot t = Air_obs.Metrics.snapshot t.metrics
+
+(* Bounded-retention drop counts surface as gauges so a snapshot taken
+   from a truncated recorder or flow tracker says so. Refreshed lazily at
+   snapshot time — the instruments are get-or-create and the hot path
+   never touches them. *)
+let metrics_snapshot t =
+  (match t.cfg.recorder with
+  | None -> ()
+  | Some r ->
+    Air_obs.Metrics.set
+      (Air_obs.Metrics.gauge t.metrics "recorder.dropped_spans")
+      (Air_obs.Span.dropped r));
+  (match t.cfg.causal with
+  | None -> ()
+  | Some c ->
+    Air_obs.Metrics.set
+      (Air_obs.Metrics.gauge t.metrics "causal.dropped_records")
+      (Air_obs.Causal.dropped c));
+  Air_obs.Metrics.snapshot t.metrics
 let event_counts t = Air_obs.Event.counts t.events
 
 let metrics_report t =
@@ -334,6 +352,7 @@ let metrics_json t =
   Air_obs.Report.to_json ~events:(event_counts t) (metrics_snapshot t)
 
 let recorder t = t.cfg.recorder
+let causal t = t.cfg.causal
 let telemetry t = t.telemetry
 
 let telemetry_frames t =
@@ -363,6 +382,20 @@ let track_names t =
               prt.setup.partition.Partition.name ))
           t.partitions)
 
+let flow_entries t =
+  match t.cfg.causal with
+  | None -> []
+  | Some c -> Air_obs.Causal.entries c
+
+let export_meta t =
+  (match t.cfg.recorder with
+  | None -> []
+  | Some r -> [ ("dropped_spans", Air_obs.Span.dropped r) ])
+  @
+  match t.cfg.causal with
+  | None -> []
+  | Some c -> [ ("dropped_flow_records", Air_obs.Causal.dropped c) ]
+
 let chrome_trace t =
   let spans =
     match t.cfg.recorder with
@@ -376,7 +409,8 @@ let chrome_trace t =
         (time, Event.label ev, Format.asprintf "%a" Event.pp ev))
       (Trace.to_list t.trace)
   in
-  Air_obs.Trace_export.to_chrome ~tracks:(track_names t) ~events spans
+  Air_obs.Trace_export.to_chrome ~tracks:(track_names t) ~events
+    ~flows:(flow_entries t) ~meta:(export_meta t) spans
 
 let partition_count t = Array.length t.partitions
 
@@ -461,8 +495,8 @@ let restart_partition t pid mode =
     begin_restart t prt mode;
     Ok ()
 
-let deliver_remote t ~port msg =
-  match Router.inject t.router ~port ~now:(now t) msg with
+let deliver_remote ?cid t ~port msg =
+  match Router.inject ?cid t.router ~port ~now:(now t) msg with
   | Router.Inject_bad_port ->
     Error (Printf.sprintf "no destination port %S (or bad message size)" port)
   | Router.Inject_overflow ->
@@ -473,16 +507,12 @@ let deliver_remote t ~port msg =
     notify_port_delivery t [ port ];
     Ok ()
 
-let drain_remote t ~port =
-  match Router.port_config t.router port with
-  | None -> None
-  | Some cfg -> (
-    match
-      Router.receive_queuing ~now:(now t) t.router ~caller:cfg.Port.partition
-        ~port
-    with
-    | Ok (Some msg) -> Some msg
-    | Ok None | Error _ -> None)
+let drain_remote t ~port = Router.drain t.router ~port ~now:(now t)
+
+let note_flow_perturb t ~what cid =
+  match t.cfg.causal with
+  | None -> ()
+  | Some c -> Air_obs.Causal.perturb c ~now:(now t) ~what cid
 
 let inject_module_error t code ~detail = report_module_error t code ~detail
 

@@ -101,6 +101,13 @@ type config = Runtime.config = {
           watchdogs at every frame close, raising
           {!Air_model.Error.Temporal_degradation} through the HM tables on
           a breach. [None] disables telemetry entirely. *)
+  causal : Air_obs.Causal.t option;
+      (** Flow tracker: when set, every originating IPC write is stamped
+          with a correlation id that travels with the message through
+          queues, gateway drains and cluster links, and every hop
+          (send / receive / forward / fault perturbation) is recorded —
+          the raw material for Chrome flow arrows and the
+          {!Air_vitral.Flows} latency view. [None] disables stamping. *)
   cores : int option;
       (** [Some n] with [n > 1] shards every scheduling table over [n]
           processor cores ({!Air_model.Multicore.shard}, original window
@@ -117,6 +124,7 @@ val config :
   ?trace_capacity:int ->
   ?recorder:Air_obs.Span.t ->
   ?telemetry:Air_obs.Telemetry.config ->
+  ?causal:Air_obs.Causal.t ->
   ?cores:int ->
   partitions:partition_setup list ->
   schedules:Schedule.t list ->
@@ -210,6 +218,17 @@ val metrics_json : t -> string
 val recorder : t -> Air_obs.Span.t option
 (** The flight recorder the module was configured with, if any. *)
 
+val causal : t -> Air_obs.Causal.t option
+(** The causal flow tracker the module was configured with, if any. *)
+
+val flow_entries : t -> Air_obs.Causal.entry list
+(** Retained causal hop records, oldest first; [[]] without a tracker. *)
+
+val export_meta : t -> (string * int) list
+(** Bounded-retention drop counters ([dropped_spans],
+    [dropped_flow_records]) for the instruments actually configured —
+    the [air.meta] payload of {!chrome_trace}. *)
+
 val telemetry : t -> Air_obs.Telemetry.t option
 (** The telemetry accumulator, when the config enabled telemetry. *)
 
@@ -232,7 +251,8 @@ val track_names : t -> (int * string) list
 val chrome_trace : t -> string
 (** The run as Chrome trace-event JSON ({!Air_obs.Trace_export}):
     flight-recorder spans (when a recorder is configured) merged with the
-    retained event trace, loadable in [chrome://tracing] or Perfetto. *)
+    retained event trace and causal flow events (when a tracker is
+    configured), loadable in [chrome://tracing] or Perfetto. *)
 
 val partition_count : t -> int
 val partition_ids : t -> Partition_id.t list
@@ -276,16 +296,28 @@ val restart_partition :
 (** Force a partition restart ([Cold_start] or [Warm_start]) or shutdown
     ([Idle]); [Normal] is rejected. *)
 
-val deliver_remote : t -> port:string -> bytes -> (unit, string) result
+val deliver_remote :
+  ?cid:Air_obs.Causal.id -> t -> port:string -> bytes -> (unit, string) result
 (** A message arriving from the inter-module communication infrastructure
     (paper Sect. 2.1): injected into the named local destination port and,
     for queuing ports, handed to a blocked receiver if one waits. Overflow
     is reported as a port-overflow event and [Ok] — the sender cannot tell,
-    as over a real bus. *)
+    as over a real bus. [cid] is the correlation id the message carried on
+    the wire (default {!Air_obs.Causal.none}); storing it with the payload
+    lets the eventual receive close the originating flow. *)
 
-val drain_remote : t -> port:string -> bytes option
+val drain_remote : t -> port:string -> (bytes * Air_obs.Causal.id) option
 (** Pop one message from a local destination port acting as the gateway
-    towards the communication infrastructure. [None] when empty. *)
+    towards the communication infrastructure, recording a [Forward] hop
+    (not a receive — the message is leaving the module, not being
+    consumed). [None] when empty. The returned correlation id rides the
+    link transfer to the destination module. *)
+
+val note_flow_perturb :
+  t -> what:Air_obs.Causal.perturbation -> Air_obs.Causal.id -> unit
+(** Record a fault striking a stamped message currently outside any
+    router buffer (e.g. in flight on the cluster bus); no-op without a
+    tracker or on {!Air_obs.Causal.none}. *)
 
 val inject_module_error : t -> Error.code -> detail:string -> unit
 (** Report a module-level error (e.g. a simulated hardware fault or power

@@ -29,6 +29,11 @@ type t = {
      right after one, the dense phase ended inside the batch (overshoot)
      and a probe — amortized by the batch — re-engages skipping at once. *)
   mutable just_batched : bool;
+  profiler : Profiler.t option;
+      (* Null-object discipline: every instrumented operation matches on
+         this once; [None] takes the original uninstrumented path, so an
+         unprofiled engine pays a single branch per operation and no clock
+         reads. *)
 }
 
 let scale = 256
@@ -36,7 +41,7 @@ let dense_threshold = 192
 let blind_init = 16
 let blind_max = 4096
 
-let create ?skip_ahead ?mode system =
+let create ?profiler ?skip_ahead ?mode system =
   let mode =
     match (mode, skip_ahead) with
     | Some m, _ -> m
@@ -49,11 +54,13 @@ let create ?skip_ahead ?mode system =
     density = 0;
     blind = blind_init;
     streak = 0;
-    just_batched = false }
+    just_batched = false;
+    profiler }
 
 let system t = t.system
 let mode t = t.mode
 let stats t = t.stats
+let profiler t = t.profiler
 let simulated t = t.stats.stepped + t.stats.skipped
 let halted t = Option.is_some (System.halted t.system)
 
@@ -61,7 +68,7 @@ let halted t = Option.is_some (System.halted t.system)
    one O(1) batch clock update. Returns the number of ticks skipped (0
    when the very next tick is already interesting). The caller has
    established quiescence. *)
-let probe t ~remaining =
+let probe_raw t ~remaining =
   t.stats.probes <- t.stats.probes + 1;
   let now = Lane.ticks (System.lane t.system) in
   let until = Clock.horizon ~now ~remaining in
@@ -74,6 +81,39 @@ let probe t ~remaining =
   end
   else 0
 
+let probe t ~remaining =
+  match t.profiler with
+  | None -> probe_raw t ~remaining
+  | Some p ->
+    let t0 = Profiler.timestamp () in
+    let skipped = probe_raw t ~remaining in
+    Profiler.note_probe p ~skipped ~seconds:(Profiler.timestamp () -. t0);
+    skipped
+
+(* One tick through the per-tick path, attributed to the step bucket. *)
+let step_one t =
+  match t.profiler with
+  | None -> System.step t.system
+  | Some p ->
+    let t0 = Profiler.timestamp () in
+    System.step t.system;
+    Profiler.note_step p ~seconds:(Profiler.timestamp () -. t0)
+
+(* [n] ticks through [System.run] (blind batch or a whole Per_tick-mode
+   advance), attributed to the batch bucket. *)
+let run_batch t ~ticks =
+  match t.profiler with
+  | None -> System.run t.system ~ticks
+  | Some p ->
+    let t0 = Profiler.timestamp () in
+    System.run t.system ~ticks;
+    Profiler.note_batch p ~ticks ~seconds:(Profiler.timestamp () -. t0)
+
+let sample_density t =
+  match t.profiler with
+  | None -> ()
+  | Some p -> Profiler.note_density p t.density
+
 (* Always-skip: execute every interesting tick through the per-tick path
    and probe for a quiet span after each one. Maximal skipping, but each
    executed tick pays the probe — the dense-workload regression the
@@ -81,7 +121,7 @@ let probe t ~remaining =
 let advance_skip t ~ticks =
   let remaining = ref ticks in
   while !remaining > 0 && not (halted t) do
-    System.step t.system;
+    step_one t;
     decr remaining;
     t.stats.stepped <- t.stats.stepped + 1;
     if !remaining > 0 && (not (halted t)) && System.quiescent t.system then
@@ -128,7 +168,7 @@ let note_skip t ~skipped =
 let advance_adaptive t ~ticks =
   let remaining = ref ticks in
   while !remaining > 0 && not (halted t) do
-    System.step t.system;
+    step_one t;
     decr remaining;
     t.stats.stepped <- t.stats.stepped + 1;
     if !remaining > 0 && not (halted t) then begin
@@ -139,7 +179,8 @@ let advance_adaptive t ~ticks =
           t.streak <- 0;
           let skipped = probe t ~remaining:!remaining in
           remaining := !remaining - skipped;
-          note_skip t ~skipped
+          note_skip t ~skipped;
+          sample_density t
         end
         else begin
           t.streak <- t.streak + 1;
@@ -147,7 +188,8 @@ let advance_adaptive t ~ticks =
             t.streak <- 0;
             let skipped = probe t ~remaining:!remaining in
             remaining := !remaining - skipped;
-            note_skip t ~skipped
+            note_skip t ~skipped;
+            sample_density t
           end
           else t.density <- t.density - (t.density / 8)
         end
@@ -157,8 +199,9 @@ let advance_adaptive t ~ticks =
         t.just_batched <- false;
         t.density <- t.density + ((scale - t.density) / 8);
         if t.density >= dense_threshold then begin
+          sample_density t;
           let n = Stdlib.min !remaining t.blind in
-          System.run t.system ~ticks:n;
+          run_batch t ~ticks:n;
           remaining := !remaining - n;
           t.stats.stepped <- t.stats.stepped + n;
           if t.blind < blind_max then t.blind <- t.blind * 2;
@@ -177,7 +220,7 @@ let advance t ~ticks =
   if ticks > 0 then
     match t.mode with
     | Per_tick ->
-      System.run t.system ~ticks;
+      run_batch t ~ticks;
       t.stats.stepped <- t.stats.stepped + ticks
     | Skip -> advance_skip t ~ticks
     | Adaptive -> advance_adaptive t ~ticks

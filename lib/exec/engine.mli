@@ -43,14 +43,19 @@ type stats = {
 
 type t
 
-val create : ?skip_ahead:bool -> ?mode:mode -> Air.System.t -> t
+val create :
+  ?profiler:Profiler.t -> ?skip_ahead:bool -> ?mode:mode -> Air.System.t -> t
 (** [mode] selects the strategy and wins over [skip_ahead] when both are
     given. Without [mode], [~skip_ahead:false] maps to {!Per_tick} and
-    [~skip_ahead:true] (or nothing) to {!Adaptive}. *)
+    [~skip_ahead:true] (or nothing) to {!Adaptive}. [profiler], when
+    given, receives wall-clock and tick attribution for every engine
+    operation ({!Profiler}); without one the engine takes the original
+    uninstrumented paths and reads no clocks. *)
 
 val system : t -> Air.System.t
 val mode : t -> mode
 val stats : t -> stats
+val profiler : t -> Profiler.t option
 
 val simulated : t -> int
 (** Total simulated ticks advanced so far ([stepped + skipped]). *)

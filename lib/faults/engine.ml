@@ -15,6 +15,10 @@ type outcome = {
   detected_at : Time.t option;
   latency : int option;
   action : string option;
+  flows : string list;
+      (* Correlation ids of the stamped in-flight messages this fault
+         touched (rendered with [Causal.to_string]); [] when the target has
+         no flow tracker or the fault struck nothing stamped. *)
 }
 
 type run = {
@@ -65,7 +69,15 @@ let mtf_of sys =
 
 (* Work queue: planned injections plus delayed-message redeliveries that
    materialize during the run, ordered by (tick, insertion sequence). *)
-type act = Inject of Fault.t | Redeliver of { port : string; payload : bytes }
+type act =
+  | Inject of Fault.t
+  | Redeliver of {
+      port : string;
+      payload : bytes;
+      cid : Air_obs.Causal.id;
+          (* The stolen message's correlation id, restored at re-injection
+             so the eventual receive still closes the original flow. *)
+    }
 type pending = { p_at : int; p_seq : int; p_act : act }
 
 let pending_cmp a b =
@@ -88,34 +100,41 @@ let of_perturb = function
   | Air_ipc.Router.No_message -> Absorbed "no message in transit"
   | Air_ipc.Router.Perturb_bad_port -> Failed "bad port for perturbation"
 
-(* Apply one fault. [schedule_redelivery] receives delayed payloads. *)
+(* Apply one fault; returns the status plus the correlation ids of the
+   stamped flows it touched. [schedule_redelivery] receives delayed
+   payloads (with their ids, restored at re-injection). *)
 let apply_fault target ~schedule_redelivery (fault : Fault.t) =
   let sys = observed target in
   Air.System.note_fault sys ~label:(Fault.label fault);
+  let no_flow applied = (applied, []) in
   match fault with
   | Fault.Runaway_start { partition; process } ->
-    of_result
-      (Air.System.start_process sys (Partition_id.make partition)
-         ~name:process)
+    no_flow
+      (of_result
+         (Air.System.start_process sys (Partition_id.make partition)
+            ~name:process))
   | Fault.Process_stop { partition; process } ->
-    of_result
-      (Air.System.stop_process sys (Partition_id.make partition)
-         ~name:process)
+    no_flow
+      (of_result
+         (Air.System.stop_process sys (Partition_id.make partition)
+            ~name:process))
   | Fault.Partition_restart { partition; mode } ->
-    of_result
-      (Air.System.restart_partition sys (Partition_id.make partition) mode)
+    no_flow
+      (of_result
+         (Air.System.restart_partition sys (Partition_id.make partition) mode))
   | Fault.Schedule_request { schedule } ->
-    of_result (Air.System.request_schedule sys (Schedule_id.make schedule))
+    no_flow
+      (of_result (Air.System.request_schedule sys (Schedule_id.make schedule)))
   | Fault.Clock_jitter { partition; ticks } ->
-    if ticks <= 0 then Failed "clock jitter needs a positive tick count"
+    if ticks <= 0 then no_flow (Failed "clock jitter needs a positive tick count")
     else begin
       Air.System.inject_clock_jitter sys (Partition_id.make partition) ~ticks;
-      Applied
+      no_flow Applied
     end
   | Fault.Wild_access { partition; section; offset; write } -> (
     let pid = Partition_id.make partition in
     match Air.System.region_of sys pid section with
-    | None -> Failed "partition has no region for that section"
+    | None -> no_flow (Failed "partition has no region for that section")
     | Some r ->
       (* Past the end of the named region — and past the partition's whole
          footprint if another of its regions sits right behind it, so the
@@ -130,12 +149,12 @@ let apply_fault target ~schedule_redelivery (fault : Fault.t) =
       let address = floor + Stdlib.max 0 offset in
       let access = if write then Air_spatial.Mmu.Write else Air_spatial.Mmu.Read in
       if Air.System.inject_memory_access sys pid ~access ~address then
-        Absorbed "access unexpectedly granted"
-      else Applied)
+        no_flow (Absorbed "access unexpectedly granted")
+      else no_flow Applied)
   | Fault.Bit_flip { partition; section; bit; write } -> (
     let pid = Partition_id.make partition in
     match Air.System.region_of sys pid section with
-    | None -> Failed "partition has no region for that section"
+    | None -> no_flow (Failed "partition has no region for that section")
     | Some r ->
       (* Flip one address bit in a legitimate in-region address: low bits
          stay inside the region (contained by construction), high bits
@@ -143,34 +162,51 @@ let apply_fault target ~schedule_redelivery (fault : Fault.t) =
       let address = r.Air_spatial.Memory.base lxor (1 lsl (((bit mod 30) + 30) mod 30)) in
       let access = if write then Air_spatial.Mmu.Write else Air_spatial.Mmu.Read in
       if Air.System.inject_memory_access sys pid ~access ~address then
-        Absorbed "flipped address stayed in-region"
-      else Applied)
+        no_flow (Absorbed "flipped address stayed in-region")
+      else no_flow Applied)
   | Fault.Port_fault { port; fault = cf } -> (
     let router = Air.System.router sys in
+    let now = Air.System.now sys in
+    (* The router records a [Perturb] entry when the struck message is
+       stamped; comparing the tracker's total across the call tells whether
+       this fault touched a flow (and [last_perturbed] then names it). *)
+    let tracker = Air.System.causal sys in
+    let before =
+      match tracker with None -> 0 | Some c -> Air_obs.Causal.total c
+    in
+    let flows_touched () =
+      match tracker with
+      | Some c when Air_obs.Causal.total c > before ->
+        [ Air_obs.Causal.to_string (Air_obs.Causal.last_perturbed c) ]
+      | Some _ | None -> []
+    in
+    let perturbed r = (of_perturb r, flows_touched ()) in
     match cf with
-    | Fault.Msg_loss -> of_perturb (Air_ipc.Router.drop_head router ~port)
+    | Fault.Msg_loss -> perturbed (Air_ipc.Router.drop_head ~now router ~port)
     | Fault.Msg_duplicate ->
-      of_perturb (Air_ipc.Router.duplicate_head router ~port)
+      perturbed (Air_ipc.Router.duplicate_head ~now router ~port)
     | Fault.Msg_corrupt { byte } ->
-      of_perturb (Air_ipc.Router.corrupt_head router ~port ~byte)
+      perturbed (Air_ipc.Router.corrupt_head ~now router ~port ~byte)
     | Fault.Msg_reorder ->
-      of_perturb (Air_ipc.Router.reorder_head router ~port)
+      perturbed (Air_ipc.Router.reorder_head ~now router ~port)
     | Fault.Msg_delay { ticks } -> (
-      match Air_ipc.Router.steal_head router ~port with
-      | None -> Absorbed "no message in transit"
-      | Some payload ->
-        schedule_redelivery ~delay:(Stdlib.max 1 ticks) ~port payload;
-        Applied))
+      match Air_ipc.Router.steal_head ~now router ~port with
+      | None -> no_flow (Absorbed "no message in transit")
+      | Some (payload, cid) ->
+        schedule_redelivery ~delay:(Stdlib.max 1 ticks) ~port ~cid payload;
+        (Applied, flows_touched ())))
   | Fault.Link_fault { fault = cf } -> (
     match target with
-    | Module _ -> Failed "link fault requires a cluster target"
+    | Module _ -> no_flow (Failed "link fault requires a cluster target")
     | Cluster (c, _) ->
-      if Air.Cluster.inject_bus_fault c (bus_fault_of_comm cf) then Applied
-      else Absorbed "no transfer in flight")
+      if Air.Cluster.inject_bus_fault c (bus_fault_of_comm cf) then
+        ( Applied,
+          List.map Air_obs.Causal.to_string (Air.Cluster.last_perturbed c) )
+      else no_flow (Absorbed "no transfer in flight"))
   | Fault.Module_error { code } ->
     Air.System.inject_module_error sys code
       ~detail:(Printf.sprintf "injected (%s)" (Fault.label fault));
-    Applied
+    no_flow Applied
 
 (* --- Detection matching ------------------------------------------------- *)
 
@@ -214,7 +250,7 @@ let match_detections sys working =
     go (from + 1)
   in
   List.map
-    (fun (fault, at, applied, match_from) ->
+    (fun (fault, at, applied, flows, match_from) ->
       let detected =
         match (applied, expected_detection fault) with
         | (Absorbed _ | Failed _), _ | _, None -> None
@@ -257,14 +293,15 @@ let match_detections sys working =
       match detected with
       | None ->
         { fault; at; applied; detected_at = None; latency = None;
-          action = None }
+          action = None; flows }
       | Some (time, action) ->
         { fault;
           at;
           applied;
           detected_at = Some time;
           latency = Some (Stdlib.max 0 (time - match_from));
-          action })
+          action;
+          flows })
     working
 
 (* --- Fingerprint -------------------------------------------------------- *)
@@ -294,10 +331,11 @@ let fingerprint_of sys outcomes =
     (Air.System.event_counts sys);
   List.iter
     (fun o ->
-      Format.fprintf ppf "outcome %s at=%d %a det=%s act=%s@."
+      Format.fprintf ppf "outcome %s at=%d %a det=%s act=%s flows=%s@."
         (Fault.label o.fault) o.at pp_applied o.applied
         (match o.detected_at with None -> "-" | Some t -> string_of_int t)
-        (match o.action with None -> "-" | Some a -> a))
+        (match o.action with None -> "-" | Some a -> a)
+        (match o.flows with [] -> "-" | fs -> String.concat "," fs))
     outcomes;
   Format.pp_print_flush ppf ();
   Digest.to_hex (Digest.string (Buffer.contents buf))
@@ -321,20 +359,24 @@ let run_target ~turbo make spec =
   in
   let cursor = ref 0 in
   let working = ref [] in
-  let schedule_redelivery ~delay ~port payload =
+  let schedule_redelivery ~delay ~port ~cid payload =
     incr seq;
-    let p = { p_at = !cursor + delay; p_seq = !seq; p_act = Redeliver { port; payload } } in
+    let p =
+      { p_at = !cursor + delay;
+        p_seq = !seq;
+        p_act = Redeliver { port; payload; cid } }
+    in
     queue := List.merge pending_cmp !queue [ p ]
   in
   let apply p =
     match p.p_act with
     | Inject fault ->
-      let applied = apply_fault target ~schedule_redelivery fault in
-      working := (fault, p.p_at, applied, Air.System.now sys) :: !working
-    | Redeliver { port; payload } ->
+      let applied, flows = apply_fault target ~schedule_redelivery fault in
+      working := (fault, p.p_at, applied, flows, Air.System.now sys) :: !working
+    | Redeliver { port; payload; cid } ->
       Air.System.note_fault sys
         ~label:(Printf.sprintf "redeliver %s" port);
-      ignore (Air.System.deliver_remote sys ~port payload)
+      ignore (Air.System.deliver_remote ~cid sys ~port payload)
   in
   let continue = ref true in
   while !continue do

@@ -44,6 +44,12 @@ type outcome = {
   latency : int option;  (** [detected_at - injection instant]. *)
   action : string option;
       (** Rendered HM action event that answered the detection. *)
+  flows : string list;
+      (** Correlation ids ({!Air_obs.Causal.to_string}) of the stamped
+          in-flight messages this fault touched — port faults name the
+          perturbed message, link faults every transfer struck on the bus.
+          [[]] when the target has no flow tracker, the fault type does not
+          touch messages, or the struck message predated the tracker. *)
 }
 
 type run = {

@@ -17,7 +17,8 @@ let rows t =
         status = status_of o;
         detected_at = o.Engine.detected_at;
         latency = o.Engine.latency;
-        action = o.Engine.action })
+        action = o.Engine.action;
+        flows = o.Engine.flows })
     t.run.Engine.outcomes
 
 let latency_summary t =
@@ -67,13 +68,17 @@ let opt_str = function
 let fault_json (o : Engine.outcome) =
   Printf.sprintf
     "{\"at\":%d,\"label\":\"%s\",\"status\":\"%s\",\"detected_at\":%s,\
-     \"latency\":%s,\"action\":%s}"
+     \"latency\":%s,\"action\":%s,\"flows\":[%s]}"
     o.Engine.at
     (escape (Fault.label o.Engine.fault))
     (escape (status_of o))
     (opt_int o.Engine.detected_at)
     (opt_int o.Engine.latency)
     (opt_str o.Engine.action)
+    (String.concat ","
+       (List.map
+          (fun f -> Printf.sprintf "\"%s\"" (escape f))
+          o.Engine.flows))
 
 let to_json t =
   let spec = t.run.Engine.spec in

@@ -19,14 +19,20 @@ let pp_error ppf = function
     Format.fprintf ppf "message of %d bytes exceeds %s limit %d" size port max
   | Empty_message -> Format.pp_print_string ppf "empty message"
 
-type slot = { mutable content : (bytes * Time.t) option }
+(* Buffered payloads carry the causal correlation id stamped at the
+   originating write ([Causal.none] for pre-tracker traffic), so the id
+   survives queuing, slot overwrites, gateway drains and re-injection. *)
+type slot = { mutable content : (bytes * Time.t * Air_obs.Causal.id) option }
 
 type buffer =
   | Sampling_slot of slot
-  | Queuing_buffer of { depth : int; queue : (bytes * Time.t) Queue.t }
+  | Queuing_buffer of {
+      depth : int;
+      queue : (bytes * Time.t * Air_obs.Causal.id) Queue.t;
+    }
   | Source_end  (** Source ports buffer nothing; writes fan out. *)
 
-type endpoint = { config : Port.config; buffer : buffer }
+type endpoint = { config : Port.config; buffer : buffer; idx : int }
 
 type t = {
   endpoints : (Port_name.t, endpoint) Hashtbl.t;
@@ -47,6 +53,10 @@ type t = {
       (** Flight recorder: send-side delivery instants on the caller's
           track ([ipc.write-sampling], [ipc.send-queuing]) and [ipc.inject]
           instants on the module track for bus arrivals. *)
+  causal : Air_obs.Causal.t option;
+      (** Flow tracker: stamps every originating write and records
+          receive/forward/perturb hops; [None] disables stamping (buffered
+          ids are then [Causal.none]). *)
 }
 
 type validity = Valid | Invalid
@@ -55,7 +65,7 @@ let pp_validity ppf v =
   Format.pp_print_string ppf
     (match v with Valid -> "valid" | Invalid -> "invalid")
 
-let create ?metrics ?recorder (net : Port.network) =
+let create ?metrics ?recorder ?causal (net : Port.network) =
   (match Port.validate net with
   | [] -> ()
   | d :: _ -> invalid_arg ("Router.create: " ^ d));
@@ -65,8 +75,10 @@ let create ?metrics ?recorder (net : Port.network) =
     | None -> Air_obs.Metrics.create ()
   in
   let endpoints = Hashtbl.create 16 in
-  List.iter
-    (fun (c : Port.config) ->
+  (* Declaration order gives each port a dense index — the port field of
+     every causal id stamped here. *)
+  List.iteri
+    (fun idx (c : Port.config) ->
       let buffer =
         match (c.direction, c.kind) with
         | Port.Source, _ -> Source_end
@@ -75,7 +87,7 @@ let create ?metrics ?recorder (net : Port.network) =
         | Port.Destination, Port.Queuing { depth } ->
           Queuing_buffer { depth; queue = Queue.create () }
       in
-      Hashtbl.replace endpoints c.name { config = c; buffer })
+      Hashtbl.replace endpoints c.name { config = c; buffer; idx })
     net.ports;
   let routes = Hashtbl.create 16 in
   List.iter
@@ -91,14 +103,41 @@ let create ?metrics ?recorder (net : Port.network) =
     stale_reads = Air_obs.Metrics.counter reg "ipc.stale_reads";
     delivery_latency = Air_obs.Metrics.histogram reg "ipc.delivery_latency";
     on_delivery = None;
-    recorder }
+    recorder;
+    causal }
 
 let set_delivery_observer t f = t.on_delivery <- Some f
+
+let causal t = t.causal
+
+let port_names t =
+  Hashtbl.fold (fun name e acc -> (e.idx, name) :: acc) t.endpoints []
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
 
 let record_instant t ~now ~track ~port name =
   match t.recorder with
   | None -> ()
   | Some r -> Air_obs.Span.instant r ~now ~track ~detail:port name
+
+(* Causal hooks: all no-ops (and allocation-free) without a tracker. *)
+
+let stamp_send t (e : endpoint) ~caller ~now =
+  match t.causal with
+  | None -> Air_obs.Causal.none
+  | Some c ->
+    Air_obs.Causal.stamp c ~now ~partition:(Partition_id.index caller)
+      ~port:e.idx
+
+let note_receive t ~now ~caller cid =
+  match t.causal with
+  | None -> ()
+  | Some c ->
+    Air_obs.Causal.receive c ~now ~track:(Partition_id.index caller) cid
+
+let note_perturb t ~now ~what cid =
+  match t.causal with
+  | None -> ()
+  | Some c -> Air_obs.Causal.perturb c ~now ~what cid
 
 let port_config t name =
   Option.map (fun e -> e.config) (Hashtbl.find_opt t.endpoints name)
@@ -139,13 +178,14 @@ let write_sampling t ~caller ~port ~now msg =
   match e.config.Port.kind with
   | Port.Queuing _ -> Error (Wrong_mode port)
   | Port.Sampling _ ->
+    let cid = stamp_send t e ~caller ~now in
     List.iter
       (fun dest ->
         match Hashtbl.find_opt t.endpoints dest with
         | Some { buffer = Sampling_slot slot; _ } ->
           (* Memory-to-memory copy: the destination never aliases the
              sender's buffer. *)
-          slot.content <- Some (Bytes.copy msg, now);
+          slot.content <- Some (Bytes.copy msg, now, cid);
           Air_obs.Metrics.add t.bytes_copied (Bytes.length msg)
         | Some _ | None -> ())
       (destinations t port);
@@ -162,7 +202,7 @@ let read_sampling t ~caller ~port ~now =
   | Port.Sampling { refresh }, Sampling_slot slot -> (
     match slot.content with
     | None -> Ok (Bytes.create 0, Invalid)
-    | Some (msg, written) ->
+    | Some (msg, written, cid) ->
       let validity =
         if Time.(now <= Time.add written refresh) then Valid else Invalid
       in
@@ -170,6 +210,13 @@ let read_sampling t ~caller ~port ~now =
       | Invalid -> Air_obs.Metrics.incr t.stale_reads
       | Valid -> ());
       Air_obs.Metrics.incr t.messages_received;
+      (* Non-destructive reads repeat; only the first observation of a
+         given message closes its flow. Clearing the stored id keeps one
+         Receive record per delivered message. *)
+      if Air_obs.Causal.is_some cid then begin
+        note_receive t ~now ~caller cid;
+        slot.content <- Some (msg, written, Air_obs.Causal.none)
+      end;
       Ok (Bytes.copy msg, validity))
   | (Port.Queuing _ | Port.Sampling _), _ -> Error (Wrong_mode port)
 
@@ -186,6 +233,7 @@ let send_queuing t ~caller ~port ~now msg =
   match e.config.Port.kind with
   | Port.Sampling _ -> Error (Wrong_mode port)
   | Port.Queuing _ ->
+    let cid = stamp_send t e ~caller ~now in
     let delivered = ref [] and overflowed = ref [] in
     List.iter
       (fun dest ->
@@ -196,7 +244,7 @@ let send_queuing t ~caller ~port ~now msg =
             overflowed := dest :: !overflowed
           end
           else begin
-            Queue.push (Bytes.copy msg, now) queue;
+            Queue.push (Bytes.copy msg, now, cid) queue;
             Air_obs.Metrics.add t.bytes_copied (Bytes.length msg);
             delivered := dest :: !delivered
           end
@@ -207,6 +255,21 @@ let send_queuing t ~caller ~port ~now msg =
       "ipc.send-queuing";
     Ok { delivered = List.rev !delivered; overflowed = List.rev !overflowed }
 
+let pop_queuing t ?now queue =
+  let msg, sent, cid = Queue.pop queue in
+  Air_obs.Metrics.incr t.messages_received;
+  (* Delivery latency: ticks the message spent queued. Only callers
+     passing the current time contribute a sample. *)
+  (match now with
+  | None -> ()
+  | Some now ->
+    let latency = Stdlib.max 0 (now - sent) in
+    Air_obs.Metrics.observe t.delivery_latency latency;
+    (match t.on_delivery with
+    | None -> ()
+    | Some f -> f ~latency));
+  (msg, cid)
+
 let receive_queuing ?now t ~caller ~port =
   let* e = find t port in
   let* e = check_owner caller e in
@@ -215,21 +278,33 @@ let receive_queuing ?now t ~caller ~port =
   | Queuing_buffer { queue; _ } ->
     if Queue.is_empty queue then Ok None
     else begin
-      let msg, sent = Queue.pop queue in
-      Air_obs.Metrics.incr t.messages_received;
-      (* Delivery latency: ticks the message spent queued. Only callers
-         passing the current time contribute a sample. *)
+      let msg, cid = pop_queuing t ?now queue in
+      (* Clock-less legacy callers contribute neither a latency sample
+         nor a flow close; every runtime path passes [~now]. *)
       (match now with
-      | None -> ()
-      | Some now ->
-        let latency = Stdlib.max 0 (now - sent) in
-        Air_obs.Metrics.observe t.delivery_latency latency;
-        (match t.on_delivery with
-        | None -> ()
-        | Some f -> f ~latency));
+      | Some now -> note_receive t ~now ~caller cid
+      | None -> ());
       Ok (Some msg)
     end
   | Sampling_slot _ | Source_end -> Error (Wrong_mode port)
+
+(* Gateway drain towards a cluster link: identical accounting to
+   [receive_queuing ~now] (so cluster metrics and telemetry match the
+   single-module path byte for byte), but the causal record is a
+   [Forward] — the message is changing modules, not being consumed — and
+   the id is surfaced so the link transfer can carry it. *)
+let drain t ~port ~now =
+  match Hashtbl.find_opt t.endpoints port with
+  | Some { buffer = Queuing_buffer { queue; _ }; _ } ->
+    if Queue.is_empty queue then None
+    else begin
+      let msg, cid = pop_queuing t ~now queue in
+      (match t.causal with
+      | None -> ()
+      | Some c -> Air_obs.Causal.forward c ~now cid);
+      Some (msg, cid)
+    end
+  | Some _ | None -> None
 
 let pending t ~port =
   match Hashtbl.find_opt t.endpoints port with
@@ -238,13 +313,13 @@ let pending t ~port =
 
 let last_write_time t ~port =
   match Hashtbl.find_opt t.endpoints port with
-  | Some { buffer = Sampling_slot { content = Some (_, time) }; _ } ->
+  | Some { buffer = Sampling_slot { content = Some (_, time, _) }; _ } ->
     Some time
   | Some _ | None -> None
 
 type inject_outcome = Injected | Inject_overflow | Inject_bad_port
 
-let inject t ~port ~now msg =
+let inject ?(cid = Air_obs.Causal.none) t ~port ~now msg =
   match Hashtbl.find_opt t.endpoints port with
   | None -> Inject_bad_port
   | Some e ->
@@ -255,7 +330,7 @@ let inject t ~port ~now msg =
     else begin
       match e.buffer with
       | Sampling_slot slot ->
-        slot.content <- Some (Bytes.copy msg, now);
+        slot.content <- Some (Bytes.copy msg, now, cid);
         Air_obs.Metrics.add t.bytes_copied (Bytes.length msg);
         record_instant t ~now ~track:(-1) ~port "ipc.inject";
         Injected
@@ -265,7 +340,7 @@ let inject t ~port ~now msg =
           Inject_overflow
         end
         else begin
-          Queue.push (Bytes.copy msg, now) queue;
+          Queue.push (Bytes.copy msg, now, cid) queue;
           Air_obs.Metrics.add t.bytes_copied (Bytes.length msg);
           record_instant t ~now ~track:(-1) ~port "ipc.inject";
           Injected
@@ -285,58 +360,77 @@ let dest_endpoint t ~port =
   | None | Some { buffer = Source_end; _ } -> None
   | Some e -> Some e
 
-let drop_head t ~port =
+let drop_head ?(now = 0) t ~port =
   match dest_endpoint t ~port with
   | None -> Perturb_bad_port
   | Some { buffer = Sampling_slot slot; _ } -> (
     match slot.content with
     | None -> No_message
-    | Some _ ->
+    | Some (_, _, cid) ->
+      note_perturb t ~now ~what:Air_obs.Causal.Drop cid;
       slot.content <- None;
       Perturbed)
   | Some { buffer = Queuing_buffer { queue; _ }; _ } ->
     if Queue.is_empty queue then No_message
     else begin
-      ignore (Queue.pop queue);
+      let _, _, cid = Queue.pop queue in
+      note_perturb t ~now ~what:Air_obs.Causal.Drop cid;
       Perturbed
     end
   | Some { buffer = Source_end; _ } -> Perturb_bad_port
 
-let steal_head t ~port =
+let steal_head ?(now = 0) t ~port =
   match dest_endpoint t ~port with
   | None -> None
   | Some { buffer = Sampling_slot slot; _ } ->
-    let taken = Option.map fst slot.content in
+    let taken =
+      Option.map (fun (msg, _, cid) -> (msg, cid)) slot.content
+    in
     slot.content <- None;
+    (match taken with
+    | Some (_, cid) -> note_perturb t ~now ~what:Air_obs.Causal.Delay cid
+    | None -> ());
     taken
   | Some { buffer = Queuing_buffer { queue; _ }; _ } ->
-    if Queue.is_empty queue then None else Some (fst (Queue.pop queue))
+    if Queue.is_empty queue then None
+    else begin
+      let msg, _, cid = Queue.pop queue in
+      note_perturb t ~now ~what:Air_obs.Causal.Delay cid;
+      Some (msg, cid)
+    end
   | Some { buffer = Source_end; _ } -> None
 
-let duplicate_head t ~port =
+let duplicate_head ?(now = 0) t ~port =
   match dest_endpoint t ~port with
   | None -> Perturb_bad_port
   | Some { buffer = Sampling_slot slot; _ } ->
     (* Sampling semantics absorb duplicates: redelivering the same value
        overwrites the slot with itself. Still counts as applied. *)
-    if Option.is_some slot.content then Perturbed else No_message
+    (match slot.content with
+    | Some (_, _, cid) ->
+      note_perturb t ~now ~what:Air_obs.Causal.Duplicate cid;
+      Perturbed
+    | None -> No_message)
   | Some { buffer = Queuing_buffer { depth; queue }; _ } ->
     if Queue.is_empty queue then No_message
     else begin
-      let msg, sent = Queue.peek queue in
+      let msg, sent, cid = Queue.peek queue in
+      note_perturb t ~now ~what:Air_obs.Causal.Duplicate cid;
       if Queue.length queue >= depth then
         (* The duplicate arrives at a full queue and overflows, exactly as
            a regular late delivery would. *)
         Air_obs.Metrics.incr t.overflows
       else begin
-        Queue.push (Bytes.copy msg, sent) queue;
+        (* The copy keeps the original's id: it is the same logical
+           message twice on the wire. *)
+        Queue.push (Bytes.copy msg, sent, cid) queue;
         Air_obs.Metrics.add t.bytes_copied (Bytes.length msg)
       end;
       Perturbed
     end
   | Some { buffer = Source_end; _ } -> Perturb_bad_port
 
-let corrupt_head t ~port ~byte =
+let corrupt_head ?(now = 0) t ~port ~byte =
   let flip msg =
     let len = Bytes.length msg in
     if len = 0 then ()
@@ -350,7 +444,8 @@ let corrupt_head t ~port ~byte =
   | Some { buffer = Sampling_slot slot; _ } -> (
     match slot.content with
     | None -> No_message
-    | Some (msg, _) ->
+    | Some (msg, _, cid) ->
+      note_perturb t ~now ~what:Air_obs.Causal.Corrupt cid;
       flip msg;
       Perturbed)
   | Some { buffer = Queuing_buffer { queue; _ }; _ } ->
@@ -358,18 +453,22 @@ let corrupt_head t ~port ~byte =
     else begin
       (* The queue owns its payloads (enqueue always copies), so the head
          can be mutated in place. *)
-      flip (fst (Queue.peek queue));
+      let msg, _, cid = Queue.peek queue in
+      note_perturb t ~now ~what:Air_obs.Causal.Corrupt cid;
+      flip msg;
       Perturbed
     end
   | Some { buffer = Source_end; _ } -> Perturb_bad_port
 
-let reorder_head t ~port =
+let reorder_head ?(now = 0) t ~port =
   match dest_endpoint t ~port with
   | None | Some { buffer = Sampling_slot _; _ } -> Perturb_bad_port
   | Some { buffer = Queuing_buffer { queue; _ }; _ } ->
     if Queue.length queue < 2 then No_message
     else begin
-      Queue.push (Queue.pop queue) queue;
+      let ((_, _, cid) as head) = Queue.pop queue in
+      note_perturb t ~now ~what:Air_obs.Causal.Reorder cid;
+      Queue.push head queue;
       Perturbed
     end
   | Some { buffer = Source_end; _ } -> Perturb_bad_port

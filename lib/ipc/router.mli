@@ -24,14 +24,28 @@ type error =
 val pp_error : Format.formatter -> error -> unit
 
 val create :
-  ?metrics:Air_obs.Metrics.t -> ?recorder:Air_obs.Span.t -> Port.network -> t
+  ?metrics:Air_obs.Metrics.t ->
+  ?recorder:Air_obs.Span.t ->
+  ?causal:Air_obs.Causal.t ->
+  Port.network ->
+  t
 (** Raises [Invalid_argument] when {!Port.validate} reports diagnostics.
     [metrics] receives the [ipc.*] series (message/byte/overflow/stale
     counters plus the [ipc.delivery_latency] histogram); a private registry
     is used when omitted. [recorder], when given, receives delivery
     instants: [ipc.write-sampling] / [ipc.send-queuing] on the sending
     partition's track and [ipc.inject] on the module track, each carrying
-    the port name as detail. *)
+    the port name as detail. [causal], when given, stamps every
+    originating write with a correlation id (origin partition + the
+    port's declaration index + monotone sequence) that travels with the
+    buffered payload, and records send/receive/forward/perturbation hops
+    into the tracker — all allocation-free. *)
+
+val causal : t -> Air_obs.Causal.t option
+
+val port_names : t -> (int * string) list
+(** Declaration index → port name, sorted by index — resolves the port
+    field of a causal id back to its name. *)
 
 val set_delivery_observer : t -> (latency:int -> unit) -> unit
 (** Install the observer invoked with each queuing delivery latency sample
@@ -95,7 +109,17 @@ val receive_queuing :
     NOT_AVAILABLE or blocks the caller). FIFO order. When [now] is given,
     the popped message contributes a delivery-latency sample
     ([now - enqueue time]) to the [ipc.delivery_latency] histogram and the
-    {!set_delivery_observer} observer. *)
+    {!set_delivery_observer} observer, and closes the message's causal
+    flow with a [Receive] record. *)
+
+val drain :
+  t -> port:Port_name.t -> now:Time.t -> (bytes * Air_obs.Causal.id) option
+(** Gateway pop towards a cluster link: same pop, metric and latency
+    accounting as [receive_queuing ~now] on the port's owner, but the
+    causal record is a [Forward] (the message continues to another
+    module) and the buffered correlation id is returned so the link
+    transfer can carry it. [None] on empty, unknown or non-queuing
+    ports. *)
 
 val pending : t -> port:Port_name.t -> int
 (** Messages currently queued at a destination port (0 for sampling and
@@ -115,11 +139,18 @@ val last_write_time : t -> port:Port_name.t -> Time.t option
 type inject_outcome = Injected | Inject_overflow | Inject_bad_port
 
 val inject :
-  t -> port:Port_name.t -> now:Time.t -> bytes -> inject_outcome
+  ?cid:Air_obs.Causal.id ->
+  t ->
+  port:Port_name.t ->
+  now:Time.t ->
+  bytes ->
+  inject_outcome
 (** Write into a destination port: overwrite for sampling, enqueue for
     queuing (bounded — [Inject_overflow] on a full queue). Size limits are
     enforced as for local traffic ([Inject_bad_port] also covers oversized
-    or empty messages). *)
+    or empty messages). [cid] (default {!Air_obs.Causal.none}) is the
+    correlation id the message carried on the wire; it is stored with the
+    payload so the eventual receive closes the originating flow. *)
 
 (** {1 Fault-injection perturbations}
 
@@ -137,26 +168,35 @@ type perturb_outcome =
       (** Unknown port, a source end, or a mode that cannot express the
           fault (e.g. reorder on a sampling slot). *)
 
-val drop_head : t -> port:Port_name.t -> perturb_outcome
-(** Message loss: clear a sampling slot / pop the oldest queued message. *)
+val drop_head : ?now:Time.t -> t -> port:Port_name.t -> perturb_outcome
+(** Message loss: clear a sampling slot / pop the oldest queued message.
+    [now] (here and below, default 0) timestamps the [Perturb] record
+    written to the causal tracker for the struck message's id. *)
 
-val duplicate_head : t -> port:Port_name.t -> perturb_outcome
+val duplicate_head : ?now:Time.t -> t -> port:Port_name.t -> perturb_outcome
 (** Message duplication: re-enqueue a copy of the queue head at the tail
     (overflowing queues discard the duplicate, counted as an overflow).
-    Sampling slots absorb duplicates by construction. *)
+    The copy keeps the original's correlation id. Sampling slots absorb
+    duplicates by construction. *)
 
-val corrupt_head : t -> port:Port_name.t -> byte:int -> perturb_outcome
+val corrupt_head :
+  ?now:Time.t -> t -> port:Port_name.t -> byte:int -> perturb_outcome
 (** Payload corruption: invert all bits of byte [byte mod length] of the
     slot content / queue head. *)
 
-val reorder_head : t -> port:Port_name.t -> perturb_outcome
+val reorder_head : ?now:Time.t -> t -> port:Port_name.t -> perturb_outcome
 (** Reordering: rotate the queue head to the tail ([No_message] unless at
     least two messages are queued; meaningless for sampling ports). *)
 
-val steal_head : t -> port:Port_name.t -> bytes option
+val steal_head :
+  ?now:Time.t ->
+  t ->
+  port:Port_name.t ->
+  (bytes * Air_obs.Causal.id) option
 (** Remove and return the slot content / queue head without any accounting;
     the campaign engine uses this to model delay faults by re-injecting the
-    stolen payload later through {!inject}. *)
+    stolen payload later through {!inject} (passing the returned id as
+    [?cid] keeps the flow intact across the delay). *)
 
 (** {1 Accounting} *)
 

@@ -103,6 +103,7 @@ let depth t ~track =
 
 let length t = Queue.length t.done_
 let total t = t.total
+let dropped t = t.total - Queue.length t.done_
 let mismatches t = t.mismatches
 
 let clear t =

@@ -78,6 +78,10 @@ val length : t -> int
 val total : t -> int
 (** Spans ever completed (≥ {!length} when bounded). *)
 
+val dropped : t -> int
+(** Completed spans evicted by bounded retention ([total - length]) — an
+    exported trace with [dropped > 0] is a window, not the whole run. *)
+
 val mismatches : t -> int
 (** [end_span] calls that found no open span to close. *)
 

@@ -63,11 +63,81 @@ let event_row (time, name, detail) =
          \"tid\":%d%s}"
         (esc name) time events_pid events_tid (args_field detail) }
 
-let to_chrome ?(tracks = []) ?(events = []) spans =
+(* Causal hops map onto Chrome flow events: the origin [Send] starts a
+   flow ("s"), gateway [Forward]s are intermediate steps ("t"), the final
+   [Receive] ends it ("f" with binding point "e" so the arrow lands on
+   the enclosing slice). Matching relies on the shared [id] + [cat]
+   fields, which is exactly what the packed correlation id provides.
+   Perturbations render as zero-duration instants so a faulted flow is
+   visibly annotated where the fault hit. *)
+let flow_row (e : Causal.entry) =
+  let pid = pid_of_track e.Causal.track in
+  let label = Causal.to_string e.Causal.id in
+  match e.Causal.kind with
+  | Causal.Send ->
+    Some
+      { ts = e.Causal.time;
+        order = 2;
+        body =
+          Printf.sprintf
+            "{\"name\":\"flow\",\"cat\":\"ipc\",\"ph\":\"s\",\"ts\":%d,\
+             \"pid\":%d,\"tid\":1,\"id\":%d,\"args\":{\"flow\":\"%s\"}}"
+            e.Causal.time pid e.Causal.id (esc label) }
+  | Causal.Forward ->
+    Some
+      { ts = e.Causal.time;
+        order = 2;
+        body =
+          Printf.sprintf
+            "{\"name\":\"flow\",\"cat\":\"ipc\",\"ph\":\"t\",\"ts\":%d,\
+             \"pid\":%d,\"tid\":1,\"id\":%d,\"args\":{\"flow\":\"%s\"}}"
+            e.Causal.time pid e.Causal.id (esc label) }
+  | Causal.Receive ->
+    Some
+      { ts = e.Causal.time;
+        order = 2;
+        body =
+          Printf.sprintf
+            "{\"name\":\"flow\",\"cat\":\"ipc\",\"ph\":\"f\",\"bp\":\"e\",\
+             \"ts\":%d,\"pid\":%d,\"tid\":1,\"id\":%d,\
+             \"args\":{\"flow\":\"%s\"}}"
+            e.Causal.time pid e.Causal.id (esc label) }
+  | Causal.Perturb what ->
+    Some
+      { ts = e.Causal.time;
+        order = 2;
+        body =
+          Printf.sprintf
+            "{\"name\":\"flow.perturb\",\"ph\":\"X\",\"ts\":%d,\"dur\":0,\
+             \"pid\":%d,\"tid\":1,\"args\":{\"detail\":\"%s\",\
+             \"flow\":\"%s\"}}"
+            e.Causal.time pid
+            (esc (Causal.perturbation_label what))
+            (esc label) }
+
+(* Export-level counters (e.g. spans/records evicted by bounded
+   retention) ride along as one metadata event so a truncated trace is
+   distinguishable from a complete one. *)
+let meta_row meta =
+  let args =
+    String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" (esc k) v) meta)
+  in
+  { ts = 0;
+    order = -1;
+    body =
+      Printf.sprintf
+        "{\"name\":\"air.meta\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{%s}}"
+        args }
+
+let to_chrome ?(tracks = []) ?(events = []) ?(flows = []) ?(meta = []) spans =
   let rows =
     metadata_rows tracks
+    @ (if meta = [] then [] else [ meta_row meta ])
     @ List.map span_row spans
     @ List.map event_row events
+    @ List.filter_map flow_row flows
   in
   let rows =
     List.stable_sort

@@ -16,7 +16,15 @@
       that did not finish);
     - point events from [~events] → ["X"] with [dur = 0] on [pid] 0,
       [tid] 2 (a dedicated "events" lane);
-    - track names from [~tracks] → ["M"] [process_name] metadata.
+    - track names from [~tracks] → ["M"] [process_name] metadata;
+    - causal records from [~flows] → flow events: [Send] ["s"],
+      [Forward] ["t"], [Receive] ["f"] (binding point ["e"]), all
+      sharing [cat] ["ipc"] and the packed correlation id as the Chrome
+      flow [id], so the viewer draws arrows from the originating send to
+      the consuming receive — across processes, i.e. across modules;
+      [Perturb] records → a ["flow.perturb"] instant;
+    - [~meta] counters → one ["M"] ["air.meta"] metadata event (bounded
+      retention drop counts, so a truncated export is recognizable).
 
     Integer clock ticks are exported one-to-one as microsecond timestamps
     ([ts]), the unit the viewers assume. *)
@@ -24,8 +32,12 @@
 val to_chrome :
   ?tracks:(int * string) list ->
   ?events:(int * string * string) list ->
+  ?flows:Causal.entry list ->
+  ?meta:(string * int) list ->
   Span.span list ->
   string
-(** [to_chrome ~tracks ~events spans] renders the trace. [tracks] maps a
-    span track index to a display name; [events] is a [(time, name,
-    detail)] list of point events. Events are sorted by timestamp. *)
+(** [to_chrome ~tracks ~events ~flows ~meta spans] renders the trace.
+    [tracks] maps a span track index to a display name; [events] is a
+    [(time, name, detail)] list of point events; [flows] are causal hop
+    records; [meta] is a list of named export counters. Events are
+    sorted by timestamp. *)

@@ -5,6 +5,7 @@ type row = {
   detected_at : int option;
   latency : int option;
   action : string option;
+  flows : string list;
 }
 
 type latency_summary = {
@@ -36,7 +37,10 @@ let render ~name ~seed ~horizon ~mtf ~findings ?latency ?reproducible rows =
     List.iter
       (fun r ->
         line "%8d  %-*s  %-24s %9s %8s  %s" r.at label_w r.label r.status
-          (opt_int r.detected_at) (opt_int r.latency) (opt_str r.action))
+          (opt_int r.detected_at) (opt_int r.latency) (opt_str r.action);
+        match r.flows with
+        | [] -> ()
+        | fs -> line "%8s  flows touched: %s" "" (String.concat ", " fs))
       rows
   end;
   (match latency with

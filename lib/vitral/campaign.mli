@@ -13,6 +13,10 @@ type row = {
   detected_at : int option;
   latency : int option;
   action : string option;  (** HM action answering the detection. *)
+  flows : string list;
+      (** Correlation ids of the message flows the fault touched; rendered
+          as an indented "flows touched" line under the row when
+          non-empty. *)
 }
 
 type latency_summary = {

@@ -1,0 +1,131 @@
+open Air_obs
+
+(* Per-flow aggregation of causal hop records: group every entry by its
+   flow key (origin module/partition/port, sequence cleared), pair each
+   Receive with the Send of the same id to get an end-to-end latency
+   sample, and summarize the samples with a quantile sketch. *)
+
+type flow = {
+  key : Causal.id;
+  origin : string;
+  sent : int;
+  delivered : int;
+  forwarded : int;
+  perturbed : int;
+  latency : Quantile.t;
+}
+
+type t = { flows : flow list; unmatched : int }
+
+(* One accumulator per flow key, plus a send-time table keyed by full id
+   so a Receive finds its Send even with interleaved flows. *)
+type acc = {
+  mutable a_sent : int;
+  mutable a_delivered : int;
+  mutable a_forwarded : int;
+  mutable a_perturbed : int;
+  a_latency : Quantile.t;
+}
+
+let summarize entries =
+  let flows = Hashtbl.create 16 in
+  let send_times = Hashtbl.create 64 in
+  let unmatched = ref 0 in
+  let acc_of id =
+    let key = Causal.flow_of id in
+    match Hashtbl.find_opt flows key with
+    | Some a -> a
+    | None ->
+      let a =
+        { a_sent = 0;
+          a_delivered = 0;
+          a_forwarded = 0;
+          a_perturbed = 0;
+          a_latency = Quantile.create () }
+      in
+      Hashtbl.add flows key a;
+      a
+  in
+  List.iter
+    (fun (e : Causal.entry) ->
+      if Causal.is_some e.id then begin
+        let a = acc_of e.id in
+        match e.kind with
+        | Causal.Send ->
+          a.a_sent <- a.a_sent + 1;
+          Hashtbl.replace send_times e.id e.time
+        | Causal.Forward -> a.a_forwarded <- a.a_forwarded + 1
+        | Causal.Perturb _ -> a.a_perturbed <- a.a_perturbed + 1
+        | Causal.Receive -> (
+          a.a_delivered <- a.a_delivered + 1;
+          match Hashtbl.find_opt send_times e.id with
+          | Some sent -> Quantile.record a.a_latency (e.time - sent)
+          | None ->
+            (* The Send fell out of the tracker's bounded ring (or the
+               message was re-delivered after a duplicate): delivery still
+               counts, the latency sample is lost. *)
+            incr unmatched)
+      end)
+    entries;
+  let flows =
+    Hashtbl.fold
+      (fun key (a : acc) l ->
+        { key;
+          origin = Causal.flow_to_string key;
+          sent = a.a_sent;
+          delivered = a.a_delivered;
+          forwarded = a.a_forwarded;
+          perturbed = a.a_perturbed;
+          latency = a.a_latency }
+        :: l)
+      flows []
+  in
+  { flows = List.sort (fun a b -> compare a.key b.key) flows;
+    unmatched = !unmatched }
+
+let render ?port_name entries =
+  let t = summarize entries in
+  let buf = Buffer.create 512 in
+  let line fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt
+  in
+  if t.flows = [] then line "no stamped flows recorded"
+  else begin
+    let label f =
+      match port_name with
+      | None -> f.origin
+      | Some name -> (
+        match
+          name ~module_id:(Causal.module_of f.key)
+            ~port:(Causal.port_of f.key)
+        with
+        | Some n -> Printf.sprintf "%s (%s)" f.origin n
+        | None -> f.origin)
+    in
+    let labeled = List.map (fun f -> (label f, f)) t.flows in
+    let w =
+      List.fold_left
+        (fun w (l, _) -> Stdlib.max w (String.length l))
+        4 labeled
+    in
+    line "%-*s %6s %6s %6s %6s  %s" w "flow" "sent" "recv" "fwd" "pert"
+      "end-to-end latency";
+    List.iter
+      (fun (l, f) ->
+        let lat =
+          if Quantile.count f.latency = 0 then "-"
+          else
+            Printf.sprintf "p50=%d p90=%d p99=%d max=%d"
+              (Quantile.p50 f.latency) (Quantile.p90 f.latency)
+              (Quantile.p99 f.latency)
+              (Quantile.max_value f.latency)
+        in
+        line "%-*s %6d %6d %6d %6d  %s" w l f.sent f.delivered f.forwarded
+          f.perturbed lat)
+      labeled;
+    if t.unmatched > 0 then
+      line "(%d receive%s without a retained send — no latency sample)"
+        t.unmatched
+        (if t.unmatched = 1 then "" else "s")
+  end;
+  Buffer.contents buf

@@ -30,7 +30,7 @@ let layout spans =
   in
   place [] [] ordered
 
-let render ?(tracks = []) spans =
+let render ?(tracks = []) ?(lanes = 1) spans =
   let by_track = Hashtbl.create 8 in
   List.iter
     (fun (s : Span.span) ->
@@ -61,7 +61,14 @@ let render ?(tracks = []) spans =
             | Span.Complete -> Printf.sprintf "@%6d ‥%6d" s.start s.stop
             | Span.Open -> Printf.sprintf "@%6d ‥  open" s.start
           in
-          let sub = if s.sub = 0 then "" else Printf.sprintf " #%d" s.sub in
+          (* Multicore runs attribute every span to its lane (the span's
+             sub-lane is the core index, see [Pmk]); single-core keeps the
+             terse form where sub 0 is implicit. *)
+          let sub =
+            if lanes > 1 then Printf.sprintf " [lane %d]" s.sub
+            else if s.sub = 0 then ""
+            else Printf.sprintf " #%d" s.sub
+          in
           let detail =
             if String.equal s.detail "" then ""
             else "  (" ^ s.detail ^ ")"

@@ -6,7 +6,14 @@
     print their half-open tick interval, instants a single tick, and spans
     still open at the end of the run are marked as such. *)
 
-val render : ?tracks:(int * string) list -> Air_obs.Span.span list -> string
+val render :
+  ?tracks:(int * string) list ->
+  ?lanes:int ->
+  Air_obs.Span.span list ->
+  string
 (** [render ~tracks spans] — [tracks] maps track numbers to display names
     (as {!Air.System.track_names} produces); unnamed tracks print as
-    ["track <n>"]. Spans may be given in any order. *)
+    ["track <n>"]. Spans may be given in any order. [lanes] (default 1) is
+    the executive's core count: when above 1 every span line carries a
+    [\[lane <n>\]] tag naming the core that recorded it (the span's
+    sub-lane); single-core rendering is unchanged. *)

@@ -1,14 +1,16 @@
 (* Minimal substring search shared by test modules (no external string
    library in the sealed environment). *)
 
-let contains haystack needle =
+let find haystack needle =
   let nh = String.length haystack and nn = String.length needle in
-  if nn = 0 then true
+  if nn = 0 then Some 0
   else begin
     let rec go i =
-      if i + nn > nh then false
-      else if String.equal (String.sub haystack i nn) needle then true
+      if i + nn > nh then None
+      else if String.equal (String.sub haystack i nn) needle then Some i
       else go (i + 1)
     in
     go 0
   end
+
+let contains haystack needle = Option.is_some (find haystack needle)

@@ -22,4 +22,5 @@ let () =
       ("arinc", Test_arinc.suite);
       ("cluster", Test_cluster.suite);
       ("faults", Test_faults.suite);
-      ("exec", Test_exec.suite) ]
+      ("exec", Test_exec.suite);
+      ("causal", Test_causal.suite) ]

@@ -450,7 +450,7 @@ let bus_reorder_swaps_deliveries () =
   let router = System.router deaf in
   let pop () =
     match Router.steal_head router ~port:"TM_IN" with
-    | Some b -> Bytes.to_string b
+    | Some (b, _cid) -> Bytes.to_string b
     | None -> Alcotest.fail "destination queue shorter than expected"
   in
   check Alcotest.string "second message first" "m2" (pop ());

@@ -150,7 +150,7 @@ let modes_agree_dense =
 (* A fully dense module: one partition owns the whole 50-tick MTF and its
    single process computes on every tick, so no tick is ever quiescent and
    skip-ahead can never engage. *)
-let dense_system () =
+let dense_system ?causal () =
   let p =
     Partition.make ~id:(pid 0) ~name:"dense"
       [ Process.spec ~base_priority:1 "spin" ]
@@ -165,7 +165,7 @@ let dense_system () =
       [ w (pid 0) 0 50 ]
   in
   System.create
-    (System.config
+    (System.config ?causal
        ~partitions:[ System.partition_setup p [ script ] ]
        ~schedules:[ schedule ] ())
 
@@ -194,7 +194,10 @@ let adaptive_never_probes_when_dense () =
    itself returns a boxed float, so the probe's own cost is calibrated
    first and the measured delta must equal it exactly. *)
 let steady_state_tick_is_allocation_free () =
-  let s = dense_system () in
+  (* The causal tracker rides along: its presence on the config must not
+     put anything on the tick path (stamping itself is pinned
+     allocation-free in [test_causal.ml]). *)
+  let s = dense_system ~causal:(Air_obs.Causal.create ()) () in
   System.run s ~ticks:200;
   let calibration =
     let a = Gc.minor_words () in
@@ -206,6 +209,78 @@ let steady_state_tick_is_allocation_free () =
   let after = Gc.minor_words () in
   check (Alcotest.float 0.) "minor words across 5000 steady ticks"
     calibration (after -. before)
+
+(* --- Self-profiler -------------------------------------------------------- *)
+
+(* The profiler is observational: attaching one must not change a single
+   bit of the observable run, and its step/batch/skip tick buckets must
+   partition the simulated horizon exactly — in every mode. The satellite
+   workload exercises all three buckets (sparse spans skip, dense phases
+   batch, interesting ticks step). *)
+let profile_ticks = 20_000
+
+let profiler_buckets_partition_ticks () =
+  let reference = Air_workload.Satellite.make () in
+  System.run reference ~ticks:profile_ticks;
+  List.iter
+    (fun (label, mode) ->
+      let profiler = Air_exec.Profiler.create () in
+      let engine =
+        Engine.create ~profiler ~mode (Air_workload.Satellite.make ())
+      in
+      Engine.advance engine ~ticks:profile_ticks;
+      check Alcotest.bool
+        (label ^ ": engine keeps the profiler")
+        true
+        (match Engine.profiler engine with
+        | Some p -> p == profiler
+        | None -> false);
+      check Alcotest.int
+        (label ^ ": buckets partition the horizon")
+        profile_ticks
+        (Air_exec.Profiler.simulated profiler);
+      check Alcotest.int
+        (label ^ ": probes attributed")
+        (Engine.stats engine).Engine.probes
+        (Air_exec.Profiler.probes profiler);
+      assert_equivalent ~what:(label ^ ": profiled run") reference
+        (Engine.system engine);
+      let json = Air_exec.Profiler.to_json profiler in
+      (match Json_lint.check json with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: invalid profile JSON: %s" label e);
+      check Alcotest.bool
+        (label ^ ": profile schema")
+        true
+        (Astring_contains.contains json "\"schema\":\"air-profile/1\""))
+    [ ("per-tick", Engine.Per_tick); ("skip", Engine.Skip);
+      ("adaptive", Engine.Adaptive) ]
+
+(* Mode-specific attribution: per-tick advances are blind batches (no
+   probes, no skips); always-skip pays a probe per executed tick and
+   never batches; the adaptive satellite run uses skips (sparse idle
+   spans) and records a density trajectory. *)
+let profiler_attributes_by_mode () =
+  let run mode =
+    let profiler = Air_exec.Profiler.create () in
+    let engine =
+      Engine.create ~profiler ~mode (Air_workload.Satellite.make ())
+    in
+    Engine.advance engine ~ticks:profile_ticks;
+    (profiler, Engine.stats engine)
+  in
+  let p, _ = run Engine.Per_tick in
+  check Alcotest.int "per-tick: no probes" 0 (Air_exec.Profiler.probes p);
+  check Alcotest.(list int) "per-tick: no density samples" []
+    (Air_exec.Profiler.density_trajectory p);
+  let p, stats = run Engine.Skip in
+  check Alcotest.bool "skip: probes paid" true (stats.Engine.probes > 0);
+  check Alcotest.int "skip: every probe attributed" stats.Engine.probes
+    (Air_exec.Profiler.probes p);
+  let p, stats = run Engine.Adaptive in
+  check Alcotest.bool "adaptive: skips engaged" true (stats.Engine.skipped > 0);
+  check Alcotest.bool "adaptive: density sampled" true
+    (Air_exec.Profiler.density_trajectory p <> [])
 
 (* --- Horizon arithmetic -------------------------------------------------- *)
 
@@ -386,6 +461,10 @@ let suite =
       adaptive_never_probes_when_dense;
     Alcotest.test_case "dense module: steady tick is allocation-free" `Quick
       steady_state_tick_is_allocation_free;
+    Alcotest.test_case "profiler: buckets partition the horizon" `Quick
+      profiler_buckets_partition_ticks;
+    Alcotest.test_case "profiler: attribution per mode" `Quick
+      profiler_attributes_by_mode;
     Alcotest.test_case "horizon saturates near max_int" `Quick
       horizon_saturates_near_max_int;
     Alcotest.test_case "run_mtfs: whole frames across a schedule switch"
