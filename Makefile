@@ -1,5 +1,5 @@
 .PHONY: all build test check bench bench-diff fmt exec-smoke trace-smoke \
-  telemetry-smoke fault-smoke profile-smoke clean
+  telemetry-smoke fault-smoke profile-smoke fleet-smoke clean
 
 all: build
 
@@ -18,13 +18,13 @@ check:
 
 # Full benchmark run with committed JSON artifact.
 bench:
-	dune exec bench/main.exe -- --json BENCH_7.json
+	dune exec bench/main.exe -- --json BENCH_8.json
 
 # Regression gate over the two most recent committed artifacts: every row
 # present in both is compared against its group's threshold ratio
 # (bench/diff.ml); nonzero exit on any regression beyond threshold.
 bench-diff:
-	dune exec bench/diff.exe -- BENCH_6.json BENCH_7.json
+	dune exec bench/diff.exe -- BENCH_7.json BENCH_8.json
 
 # Format gate: the build image carries no ocamlformat, so the gate enforces
 # the cheap invariants every formatter run would — no tab characters and no
@@ -90,6 +90,15 @@ profile-smoke:
 	dune exec bin/air_run.exe -- examples/configs/leo_satellite.air \
 	  -t 20000 --speed --profile-json /tmp/air_profile.json
 	dune exec test/profile_smoke.exe -- /tmp/air_profile.json 20000
+
+# End-to-end parallel-fleet pass: advance the shipped constellation
+# document sequentially and across 2 and 4 OCaml domains, and require the
+# three observable fingerprints (traces, counters, bus state) to be
+# byte-identical — the conservative engine's bit-identity guarantee,
+# enforced by the exit code. Also lints the fleet's stats JSON.
+fleet-smoke:
+	dune build test/fleet_smoke.exe
+	dune exec test/fleet_smoke.exe -- examples/configs/constellation.air 5000
 
 clean:
 	dune clean

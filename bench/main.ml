@@ -558,8 +558,8 @@ let extension_tests =
     let cluster =
       Air.Cluster.create
         ~links:
-          [ { Air.Cluster.from_module = 0; from_port = "GW"; to_module = 1;
-              to_port = "IN" } ]
+          [ Air.Cluster.link ~from_module:0 ~from_port:"GW" ~to_module:1
+              ~to_port:"IN" () ]
         [ sender; receiver ]
     in
     Staged.stage (fun () -> Air.Cluster.step cluster)
@@ -737,6 +737,91 @@ let exec_tests =
     @ modes "leo_satellite, 10 MTFs" leo leo_ticks
     @ modes "fig8, 2 cores, 10 MTFs" fig8 fig8_ticks)
 
+(* --- fleet/* : parallel constellation engine ------------------------------- *)
+
+let fleet_tests =
+  (* A 256-satellite LEO ring: every module is a 1%-duty beacon pushing
+     one ISL frame per 100-tick MTF through its TX0 gateway into the next
+     satellite's RX. The sequential row is [Cluster.run]; the fleet rows
+     advance an equivalent constellation through the conservative
+     windowed engine at increasing domain counts (bit-identical
+     observables, see DESIGN.md §10). The fleets stay open across
+     measured runs, so the rows price steady-state windows — lookahead
+     segmentation, mailbox buffering, barrier merge — not domain
+     spawning. On a single hardware core the domain rows can only show
+     the protocol overhead; the speedup claim needs real parallelism. *)
+  let satellites = 256 in
+  let isl_latency = 8 in
+  let satellite index =
+    let sat = Air_model.Ident.Partition_id.make 0 in
+    let network =
+      { Air_ipc.Port.ports =
+          [ Air_ipc.Port.queuing_port ~name:"ISL_SRC" ~partition:sat
+              ~direction:Air_ipc.Port.Source ~depth:8 ~max_message_size:64;
+            Air_ipc.Port.queuing_port ~name:"TX0" ~partition:sat
+              ~direction:Air_ipc.Port.Destination ~depth:8
+              ~max_message_size:64;
+            Air_ipc.Port.queuing_port ~name:"RX" ~partition:sat
+              ~direction:Air_ipc.Port.Destination ~depth:16
+              ~max_message_size:64 ];
+        channels =
+          [ { Air_ipc.Port.source = "ISL_SRC"; destinations = [ "TX0" ] } ] }
+    in
+    let partition =
+      Air_model.Partition.make ~id:sat ~name:"SAT"
+        [ Air_model.Process.spec ~periodicity:(Air_model.Process.Periodic 100)
+            ~time_capacity:100 ~wcet:2 ~base_priority:5 "beacon";
+          Air_model.Process.spec ~base_priority:4 "uplink" ]
+    in
+    let schedule =
+      Air_model.Schedule.make
+        ~id:(Air_model.Ident.Schedule_id.make 0)
+        ~name:"solo" ~mtf:100
+        ~requirements:
+          [ { Air_model.Schedule.partition = sat; cycle = 100; duration = 100 } ]
+        [ { Air_model.Schedule.partition = sat; offset = 0; duration = 100 } ]
+    in
+    Air.System.create
+      (Air.System.config ~network
+         ~partitions:
+           [ Air.System.partition_setup partition
+               [ Air_pos.Script.periodic_body
+                   [ Air_pos.Script.Compute 1;
+                     Air_pos.Script.Send_queuing
+                       ("ISL_SRC", Printf.sprintf "isl-frame-%d" index) ];
+                 Air_pos.Script.make
+                   [ Air_pos.Script.Receive_queuing ("RX", Air_sim.Time.infinity) ] ] ]
+         ~schedules:[ schedule ] ())
+  in
+  let make_constellation () =
+    Air.Cluster.create
+      ~bus:{ Air.Cluster.latency = isl_latency; bytes_per_tick = 64 }
+      ~links:
+        (Air_fleet.Topology.links ~latency:isl_latency ~gateway:"TX"
+           ~ingress:"RX" Air_fleet.Topology.Ring ~n:satellites)
+      (List.init satellites satellite)
+  in
+  let ticks = 1_000 in
+  (* Built lazily on the row's first measured run: staging-time
+     construction would leave four 256-module constellations resident on
+     the heap for the whole harness, inflating GC costs in every earlier
+     group's nanosecond-scale rows. *)
+  let sequential () =
+    let cluster = lazy (make_constellation ()) in
+    Staged.stage (fun () -> Air.Cluster.run (Lazy.force cluster) ~ticks)
+  in
+  let fleet domains () =
+    let fleet =
+      lazy (Air_fleet.Fleet.create ~domains (make_constellation ()))
+    in
+    Staged.stage (fun () -> Air_fleet.Fleet.run (Lazy.force fleet) ~ticks)
+  in
+  Test.make_grouped ~name:"fleet"
+    [ Test.make ~name:"ring 256, sequential, 10 MTFs" (sequential ());
+      Test.make ~name:"ring 256, 1 domain, 10 MTFs" (fleet 1 ());
+      Test.make ~name:"ring 256, 2 domains, 10 MTFs" (fleet 2 ());
+      Test.make ~name:"ring 256, 4 domains, 10 MTFs" (fleet 4 ()) ]
+
 (* --- harness ---------------------------------------------------------------- *)
 
 let benchmark ~quota ~dry_run tests =
@@ -839,7 +924,7 @@ let () =
     [ scheduler_tests; store_tests; pal_tests; ipc_tests; mmu_tests;
       analysis_tests; system_tests; recorder_tests; telemetry_tests;
       faults_tests; extension_tests; exec_tests; causal_tests;
-      profiler_tests ]
+      profiler_tests; fleet_tests ]
   in
   let all_rows =
     List.concat_map

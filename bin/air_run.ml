@@ -49,7 +49,8 @@ let run_cluster path ticks trace_json flows =
     Air.Cluster.run cluster ~ticks;
     let stats = Air.Cluster.stats cluster in
     Format.printf
-      "cluster ran %d ticks: %d messages transferred, %d dropped, %d in        flight@."
+      "cluster ran %d ticks: %d messages transferred, %d dropped, %d in \
+       flight@."
       ticks stats.Air.Cluster.transferred stats.Air.Cluster.dropped
       stats.Air.Cluster.in_flight;
     let systems = Air.Cluster.systems cluster in
@@ -77,6 +78,81 @@ let run_cluster path ticks trace_json flows =
               Out_channel.output_string oc (Air.Cluster.chrome_trace cluster);
               Out_channel.output_char oc '\n');
           Format.printf "cluster chrome trace exported to %s@." file;
+          true
+        with Sys_error msg ->
+          Format.eprintf "%s@." msg;
+          false)
+    in
+    if chrome_ok then 0 else 1
+
+(* Fleet mode: an (air-fleet …) document stamps a constellation out of a
+   template and runs it through the parallel discrete-event engine —
+   bit-identical to the sequential cluster run for any --domains. *)
+let run_fleet path ticks domains trace_json flows speed =
+  let instrument _ (cfg : Air.System.config) =
+    let cfg =
+      if cfg.Air.System.recorder = None then
+        { cfg with Air.System.recorder = Some (Air_obs.Span.create ()) }
+      else cfg
+    in
+    if cfg.Air.System.causal = None then
+      { cfg with Air.System.causal = Some (Air_obs.Causal.create ()) }
+    else cfg
+  in
+  let instrument =
+    if trace_json <> None || flows then Some instrument else None
+  in
+  match Air_config.Loader.load_fleet_file ?instrument path with
+  | Error e ->
+    Format.eprintf "%s: %s@." path e;
+    1
+  | Ok { Air_config.Loader.fleet_cluster = cluster; fleet_domains } ->
+    let domains = Option.value domains ~default:fleet_domains in
+    let fleet = Air_fleet.Fleet.create ~domains cluster in
+    let wall_start = Unix.gettimeofday () in
+    Air_fleet.Fleet.run fleet ~ticks;
+    let wall = Unix.gettimeofday () -. wall_start in
+    Air_fleet.Fleet.close fleet;
+    let stats = Air.Cluster.stats cluster in
+    Format.printf
+      "fleet ran %d ticks on %d domain%s: %d messages transferred, %d \
+       dropped, %d in flight@."
+      ticks domains
+      (if domains = 1 then "" else "s")
+      stats.Air.Cluster.transferred stats.Air.Cluster.dropped
+      stats.Air.Cluster.in_flight;
+    let systems = Air.Cluster.systems cluster in
+    Array.iteri
+      (fun i system ->
+        let violations = List.length (Air.System.violations system) in
+        if violations > 0 || Air.System.halted system <> None then
+          Format.printf "module %d: %d deadline violations%s@." i violations
+            (match Air.System.halted system with
+            | Some reason -> Printf.sprintf " (HALTED: %s)" reason
+            | None -> ""))
+      systems;
+    print_string (Air_obs.Fleet_stats.to_text (Air_fleet.Fleet.stats fleet));
+    Format.printf "fingerprint: %s@." (Air_fleet.Fleet.fingerprint cluster);
+    if speed then
+      Format.eprintf "speed: %d simulated ticks in %.3f s wall (%.0f ticks/s)@."
+        ticks wall
+        (float_of_int ticks /. Float.max wall 1e-9);
+    if flows then begin
+      Format.printf "@.cross-module flows:@.";
+      print_string
+        (Air_vitral.Flows.render
+           ~port_name:(port_name_of systems)
+           (Air.Cluster.flow_entries cluster))
+    end;
+    let chrome_ok =
+      match trace_json with
+      | None -> true
+      | Some file -> (
+        try
+          Out_channel.with_open_text file (fun oc ->
+              Out_channel.output_string oc (Air.Cluster.chrome_trace cluster);
+              Out_channel.output_char oc '\n');
+          Format.printf "fleet chrome trace exported to %s@." file;
           true
         with Sys_error msg ->
           Format.eprintf "%s@." msg;
@@ -150,22 +226,32 @@ let run_campaigns path campaign_json ~turbo ~cores =
       in
       if not json_ok then 1 else if contained && deterministic then 0 else 2)
 
-let is_cluster_document path =
+let document_tag path =
   match Air_config.Sexp.parse_file path with
-  | Ok (Air_config.Sexp.List (Air_config.Sexp.Atom "air-cluster" :: _) :: _) ->
-    true
-  | Ok _ | Error _ -> false
+  | Ok (Air_config.Sexp.List (Air_config.Sexp.Atom tag :: _) :: _) -> Some tag
+  | Ok _ | Error _ -> None
+
+let is_cluster_document path = document_tag path = Some "air-cluster"
+let is_fleet_document path = document_tag path = Some "air-fleet"
 
 let run_file path ticks show_trace show_gantt export metrics_json trace_json
     check_trace timeline telemetry_csv telemetry_json watch faults
-    campaign_json cores no_skip speed profile profile_json flows =
+    campaign_json cores no_skip speed profile profile_json flows fleet domains
+    =
   let turbo = not no_skip in
-  if faults || campaign_json <> None then
-    if is_cluster_document path then begin
+  if (fleet || domains <> None) && not (is_fleet_document path) then begin
+    Format.eprintf "%s: --fleet/--domains need an (air-fleet …) document@."
+      path;
+    1
+  end
+  else if faults || campaign_json <> None then
+    if is_cluster_document path || is_fleet_document path then begin
       Format.eprintf "%s: --faults runs against a module document@." path;
       1
     end
     else run_campaigns path campaign_json ~turbo ~cores
+  else if is_fleet_document path then
+    run_fleet path ticks domains trace_json flows speed
   else if is_cluster_document path then run_cluster path ticks trace_json flows
   else
   match Air_config.Loader.load_file path with
@@ -604,6 +690,26 @@ let speed_flag =
   in
   Arg.(value & flag & info [ "speed" ] ~doc)
 
+let fleet_flag =
+  let doc =
+    "Require the document to be an (air-fleet …) constellation and run it \
+     through the parallel fleet engine (fleet documents are detected \
+     automatically; this flag makes the intent explicit and errors on any \
+     other document kind)."
+  in
+  Arg.(value & flag & info [ "fleet" ] ~doc)
+
+let domains_arg =
+  let doc =
+    "Advance the constellation on $(docv) OCaml domains (overrides the \
+     document's (domains N)). Whatever the count, traces, telemetry, \
+     counters and the printed fingerprint are bit-identical to the \
+     sequential run: shards only advance inside the conservative lookahead \
+     window granted by the minimum link latency, and cross-shard messages \
+     are replayed in the sequential drain order at every window barrier."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "run an AIR module from its integration configuration" in
   Cmd.v
@@ -613,6 +719,6 @@ let cmd =
           $ timeline_flag $ telemetry_csv_arg $ telemetry_json_arg
           $ watch_arg $ faults_flag $ campaign_json_arg $ cores_arg
           $ no_skip_flag $ speed_flag $ profile_flag $ profile_json_arg
-          $ flows_flag)
+          $ flows_flag $ fleet_flag $ domains_arg)
 
 let () = exit (Cmd.eval' cmd)

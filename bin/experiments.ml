@@ -718,8 +718,8 @@ let e13 () =
         Cluster.create
           ~bus:{ Cluster.latency; bytes_per_tick }
           ~links:
-            [ { Cluster.from_module = 0; from_port = "TM_GW"; to_module = 1;
-                to_port = "TM_IN" } ]
+            [ Cluster.link ~from_module:0 ~from_port:"TM_GW" ~to_module:1
+                ~to_port:"TM_IN" () ]
           [ sensor_module (); ground_module () ]
       in
       Cluster.run cluster ~ticks:3000;

@@ -85,8 +85,8 @@ let () =
     Cluster.create
       ~bus:{ Cluster.latency = 12; bytes_per_tick = 4 }
       ~links:
-        [ { Cluster.from_module = 0; from_port = "ATT_GW"; to_module = 1;
-            to_port = "ATT_IN" } ]
+        [ Cluster.link ~from_module:0 ~from_port:"ATT_GW" ~to_module:1
+            ~to_port:"ATT_IN" () ]
       [ platform (); payload () ]
   in
   Cluster.run cluster ~ticks:2000;

@@ -883,8 +883,10 @@ let decode_link module_names s =
   in
   let* from_module, from_port = endpoint "from" in
   let* to_module, to_port = endpoint "to" in
-  let* () = assert_no_extra f ~known:[ "from"; "to" ] in
-  Ok { Air.Cluster.from_module; from_port; to_module; to_port }
+  let* latency = optional f "latency" (one int) in
+  let* () = assert_no_extra f ~known:[ "from"; "to"; "latency" ] in
+  Ok
+    (Air.Cluster.link ?latency ~from_module ~from_port ~to_module ~to_port ())
 
 let load_cluster_file ?instrument path =
   let dir = Filename.dirname path in
@@ -936,6 +938,81 @@ let load_cluster_file ?instrument path =
       | cluster -> Ok cluster
       | exception Invalid_argument m -> Error m))
   | Ok _ -> Error "expected exactly one (air-cluster …) form"
+
+(* --- Fleets -------------------------------------------------------------- *)
+
+let decode_topology = function
+  | [] | [ Sexp.Atom "ring" ] -> Ok Air_fleet.Topology.Ring
+  | [ Sexp.Atom "mesh" ] -> Ok Air_fleet.Topology.Mesh
+  | [ Sexp.Atom "grid"; rows; cols ] ->
+    let* rows = int rows in
+    let* cols = int cols in
+    Ok (Air_fleet.Topology.Grid { rows; cols })
+  | _ -> error "topology: expected ring, mesh or grid ROWS COLS"
+
+type fleet = { fleet_cluster : Air.Cluster.t; fleet_domains : int }
+
+let load_fleet_file ?instrument path =
+  let dir = Filename.dirname path in
+  match Sexp.parse_file path with
+  | Error e -> Error (Format.asprintf "%a" Sexp.pp_error e)
+  | Ok [ doc ] ->
+    let* body = tagged "air-fleet" doc in
+    let* f = fields_of ~context:"air-fleet" body in
+    let* template = required f "template" (one atom) in
+    let* n = required f "modules" (one int) in
+    let* () =
+      if n < 2 then error "air-fleet: needs at least 2 modules" else Ok ()
+    in
+    let* shape = decode_topology (rest_of f "topology") in
+    let* gateway = with_default f "gateway" (one atom) "TX" in
+    let* ingress = with_default f "ingress" (one atom) "RX" in
+    let* bus =
+      match rest_of f "bus" with
+      | [] -> Ok Air.Cluster.default_bus
+      | args -> decode_bus args
+    in
+    let* isl_latency = optional f "isl-latency" (one time) in
+    let* domains = with_default f "domains" (one int) 1 in
+    let* () =
+      if domains < 1 then error "air-fleet: domains must be >= 1" else Ok ()
+    in
+    let* () =
+      assert_no_extra f
+        ~known:
+          [ "template"; "modules"; "topology"; "gateway"; "ingress"; "bus";
+            "isl-latency"; "domains" ]
+    in
+    let* links =
+      match
+        Air_fleet.Topology.links ?latency:isl_latency ~gateway ~ingress shape
+          ~n
+      with
+      | links -> Ok links
+      | exception Invalid_argument m -> error "air-fleet: %s" m
+    in
+    let resolved =
+      if Filename.is_relative template then Filename.concat dir template
+      else template
+    in
+    let* systems =
+      map_all
+        (fun i ->
+          (* The template is reloaded per module so clones never share
+             mutable observability state (trackers, recorders). *)
+          match load_file resolved with
+          | Ok cfg ->
+            let cfg =
+              match instrument with None -> cfg | Some f -> f i cfg
+            in
+            Ok (Air.System.create cfg)
+          | Error e -> error "air-fleet template %s: %s" resolved e)
+        (List.init n Fun.id)
+    in
+    (match Air.Cluster.create ~bus ~links systems with
+    | cluster -> Ok { fleet_cluster = cluster; fleet_domains = domains }
+    | exception Invalid_argument m -> error "air-fleet: %s" m)
+  | Ok _ -> Error "expected exactly one (air-fleet …) form"
 
 let schedule_index name s =
   let* body = tagged "air-system" s in

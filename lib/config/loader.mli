@@ -67,6 +67,42 @@ val load_cluster_file :
     e.g. attaching a flight recorder and causal flow tracker to every
     module for a traced run. *)
 
+(** {1 Fleets}
+
+    A fleet document stamps out an [n]-module constellation from one
+    template configuration and wires it with a generated topology
+    ({!Air_fleet.Topology}):
+
+    {v
+(air-fleet
+  (template "constellation_node.air")
+  (modules 12)
+  (topology ring)            ; ring | mesh | (topology grid ROWS COLS)
+  (gateway TX)               ; outbound port prefix: TX0, TX1, …
+  (ingress RX)               ; every inbound link lands here
+  (bus (latency 8) (bytes-per-tick 16))
+  (isl-latency 8)            ; per-link latency override (optional)
+  (domains 2))               ; default domain count for parallel runs
+    v}
+
+    The template must declare the gateway ports the topology drains
+    ({!Air_fleet.Topology.gateway_ports}) and the ingress port. It is
+    reloaded once per module, so clones share no mutable state. *)
+
+type fleet = {
+  fleet_cluster : Air.Cluster.t;
+  fleet_domains : int;
+      (** The document's [(domains N)], a default for {!Air_fleet.Fleet}
+          runs — callers may override it. *)
+}
+
+val load_fleet_file :
+  ?instrument:(int -> Air.System.config -> Air.System.config) ->
+  string ->
+  (fleet, string) result
+(** Parses the fleet document, clones and instruments the template per
+    module (as in {!load_cluster_file}) and wires the generated links. *)
+
 val schedule_index : string -> Sexp.t -> (int, string) result
 (** Resolve a schedule name to its index within a parsed [(air-system …)]
     form — used by tools that take a schedule by name. *)

@@ -5,7 +5,11 @@ type link = {
   from_port : string;
   to_module : int;
   to_port : string;
+  link_latency : Time.t option;
 }
+
+let link ?latency ~from_module ~from_port ~to_module ~to_port () =
+  { from_module; from_port; to_module; to_port; link_latency = latency }
 
 type bus = { latency : Time.t; bytes_per_tick : int }
 
@@ -13,6 +17,12 @@ let default_bus = { latency = 4; bytes_per_tick = 16 }
 
 type transfer = {
   arrival : Time.t;
+  seq : int;
+      (* Serialization order on the bus. Ties the heap order down among
+         equal arrival instants, so pops — and therefore every delivery
+         and fault-injection victim — are reproducible from the send
+         sequence alone (the parallel fleet engine replays sends in the
+         sequential order and relies on this). *)
   target_module : int;
   target_port : string;
   payload : bytes;
@@ -23,9 +33,10 @@ type transfer = {
 
 type t = {
   modules : System.t array;
-  links : link list;
+  links : link array;
   bus : bus;
   in_flight : transfer Heap.t;
+  mutable next_seq : int;
   mutable clock : Time.t;
   mutable bus_busy_until : Time.t;
   mutable transferred : int;
@@ -34,6 +45,11 @@ type t = {
       (* Flows touched by the most recent [inject_bus_fault] — campaign
          reports annotate outcomes with them. *)
 }
+
+let transfer_cmp a b =
+  match Time.compare a.arrival b.arrival with
+  | 0 -> Stdlib.compare a.seq b.seq
+  | c -> c
 
 let create ?(bus = default_bus) ~links modules =
   if modules = [] then invalid_arg "Cluster.create: no modules";
@@ -45,7 +61,11 @@ let create ?(bus = default_bus) ~links modules =
       if
         l.from_module < 0 || l.from_module >= n || l.to_module < 0
         || l.to_module >= n
-      then invalid_arg "Cluster.create: link module index out of range")
+      then invalid_arg "Cluster.create: link module index out of range";
+      match l.link_latency with
+      | Some d when d < 0 ->
+        invalid_arg "Cluster.create: negative link latency"
+      | Some _ | None -> ())
     links;
   (* A gateway feeds exactly one link: the drain is destructive, so two
      links sharing a gateway would race for its messages. *)
@@ -68,65 +88,130 @@ let create ?(bus = default_bus) ~links modules =
       | None -> ())
     modules;
   { modules;
-    links;
+    links = Array.of_list links;
     bus;
-    in_flight =
-      Heap.create ~cmp:(fun a b -> Time.compare a.arrival b.arrival);
+    in_flight = Heap.create ~cmp:transfer_cmp;
+    next_seq = 0;
     clock = 0;
     bus_busy_until = 0;
     transferred = 0;
     dropped = 0;
     last_perturbed = [] }
 
-(* Serialize a message onto the bus: it occupies the medium for its
-   transmission time after any transfer already under way, and arrives a
-   propagation delay later. *)
-let send_on_bus t ~target_module ~target_port ~cid payload =
+let links t = Array.copy t.links
+let bus t = t.bus
+
+let effective_latency t l =
+  match l.link_latency with Some d -> d | None -> t.bus.latency
+
+(* The shortest propagation delay of any link: a message drained onto the
+   bus at clock [c] cannot arrive before [c + lookahead], which is the
+   safe horizon the parallel fleet engine advances modules by between
+   barriers. Infinite without links (nothing ever crosses). *)
+let lookahead t =
+  Array.fold_left
+    (fun acc l -> Time.min acc (effective_latency t l))
+    Time.infinity t.links
+
+let fresh_seq t =
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  s
+
+(* Serialize a message onto the bus as of instant [at]: it occupies the
+   medium for its transmission time after any transfer already under way,
+   and arrives a propagation delay later. *)
+let send_on_bus t ~at ~latency ~target_module ~target_port ~cid payload =
   let transmission =
     (Bytes.length payload + t.bus.bytes_per_tick - 1) / t.bus.bytes_per_tick
   in
-  let start = Time.max t.clock t.bus_busy_until in
+  let start = Time.max at t.bus_busy_until in
   let done_transmitting = Time.add start transmission in
   t.bus_busy_until <- done_transmitting;
   Heap.push t.in_flight
-    { arrival = Time.add done_transmitting t.bus.latency;
+    { arrival = Time.add done_transmitting latency;
+      seq = fresh_seq t;
       target_module;
       target_port;
       payload;
       cid }
 
-let drain_gateways t =
-  List.iter
-    (fun l ->
-      let source = t.modules.(l.from_module) in
-      let rec pump () =
-        match System.drain_remote source ~port:l.from_port with
-        | None -> ()
-        | Some (payload, cid) ->
-          send_on_bus t ~target_module:l.to_module ~target_port:l.to_port
-            ~cid payload;
-          pump ()
-      in
-      pump ())
-    t.links
+let drain_gateway t l =
+  let source = t.modules.(l.from_module) in
+  let rec pump () =
+    match System.drain_remote source ~port:l.from_port with
+    | None -> ()
+    | Some (payload, cid) ->
+      send_on_bus t ~at:t.clock ~latency:(effective_latency t l)
+        ~target_module:l.to_module ~target_port:l.to_port ~cid payload;
+      pump ()
+  in
+  pump ()
 
-(* Next-event query for the bus: the earliest in-flight arrival instant,
-   read off the heap top in O(1) without a pop/push round-trip. *)
-let next_arrival t = Heap.peek_key t.in_flight ~key:(fun tr -> tr.arrival)
+let drain_gateways t = Array.iter (drain_gateway t) t.links
+
+(* Messages already sitting in a gateway port are committed future bus
+   traffic the in-flight heap cannot see yet: anything delivered (or
+   fault-redelivered) into a forwarding gateway after this tick's drain
+   will be serialized at the next drain — clock+1 at the earliest — and
+   arrive no sooner than max(clock+1, bus_busy_until) + the link's
+   propagation delay. Fold that bound in so a lookahead built on
+   [next_arrival] can never admit a causality violation (transmission
+   time only pushes the true arrival later). *)
+let pending_gateway_bound t =
+  let earliest_start = Time.max (t.clock + 1) t.bus_busy_until in
+  Array.fold_left
+    (fun acc l ->
+      if System.remote_pending t.modules.(l.from_module) ~port:l.from_port > 0
+      then Time.min acc (Time.add earliest_start (effective_latency t l))
+      else acc)
+    Time.infinity t.links
+
+(* Next-event query for the bus: the earliest instant a message can reach
+   any module — the heap top in O(1), lower-bounded by traffic still
+   queued in gateway ports (see [pending_gateway_bound]). *)
+let next_arrival t =
+  let bound = pending_gateway_bound t in
+  match Heap.peek_key t.in_flight ~key:(fun tr -> tr.arrival) with
+  | Some a -> Some (Time.min a bound)
+  | None -> if Time.is_infinite bound then None else Some bound
+
+let next_arrival_for t ~dest =
+  let heap_min =
+    Heap.fold t.in_flight ~init:Time.infinity ~f:(fun acc tr ->
+        if tr.target_module = dest then Time.min acc tr.arrival else acc)
+  in
+  let bound =
+    let earliest_start = Time.max (t.clock + 1) t.bus_busy_until in
+    Array.fold_left
+      (fun acc l ->
+        if
+          l.to_module = dest
+          && System.remote_pending t.modules.(l.from_module)
+               ~port:l.from_port
+             > 0
+        then Time.min acc (Time.add earliest_start (effective_latency t l))
+        else acc)
+      Time.infinity t.links
+  in
+  let m = Time.min heap_min bound in
+  if Time.is_infinite m then None else Some m
+
+let deliver_transfer t tr =
+  match
+    System.deliver_remote ~cid:tr.cid t.modules.(tr.target_module)
+      ~port:tr.target_port tr.payload
+  with
+  | Ok () -> t.transferred <- t.transferred + 1
+  | Error _ -> t.dropped <- t.dropped + 1
 
 let deliver_arrivals t =
   let rec go () =
-    match next_arrival t with
-    | Some arrival when Time.(arrival <= t.clock) ->
+    match Heap.peek t.in_flight with
+    | Some tr when Time.(tr.arrival <= t.clock) ->
       (match Heap.pop t.in_flight with
       | None -> assert false
-      | Some tr ->
-      match
-         System.deliver_remote ~cid:tr.cid t.modules.(tr.target_module)
-           ~port:tr.target_port tr.payload
-       with
-      | Ok () -> t.transferred <- t.transferred + 1
-      | Error _ -> t.dropped <- t.dropped + 1);
+      | Some tr -> deliver_transfer t tr);
       go ()
     | Some _ | None -> ()
   in
@@ -146,6 +231,31 @@ let run t ~ticks =
 let now t = t.clock
 
 let systems t = t.modules
+
+(* --- Fleet engine primitives -------------------------------------------- *)
+
+let set_clock t clock = t.clock <- clock
+
+let send_via t ~at ~link ~cid payload =
+  let l = t.links.(link) in
+  send_on_bus t ~at ~latency:(effective_latency t l)
+    ~target_module:l.to_module ~target_port:l.to_port ~cid payload
+
+let take_due t ~upto =
+  let rec go acc =
+    match Heap.peek t.in_flight with
+    | Some tr when Time.(tr.arrival <= upto) ->
+      ignore (Heap.pop t.in_flight);
+      go (tr :: acc)
+    | Some _ | None -> List.rev acc
+  in
+  go []
+
+let account t ~transferred ~dropped =
+  t.transferred <- t.transferred + transferred;
+  t.dropped <- t.dropped + dropped
+
+let in_flight_transfers t = Heap.to_sorted_list t.in_flight
 
 let flow_entries t =
   List.concat_map System.flow_entries (Array.to_list t.modules)
@@ -272,9 +382,11 @@ let inject_bus_fault t fault =
     | Bus_duplicate ->
       note_bus_perturb t tr Air_obs.Causal.Bus_duplicate;
       Heap.push t.in_flight tr;
-      (* The copy keeps the id: the same logical message, twice on the
-         wire. *)
-      Heap.push t.in_flight { tr with payload = Bytes.copy tr.payload }
+      (* The copy keeps the id — the same logical message, twice on the
+         wire — but serializes after the original (fresh seq), so heap
+         order stays total and runs stay reproducible. *)
+      Heap.push t.in_flight
+        { tr with payload = Bytes.copy tr.payload; seq = fresh_seq t }
     | Bus_delay d ->
       note_bus_perturb t tr Air_obs.Causal.Bus_delay;
       Heap.push t.in_flight

@@ -21,7 +21,21 @@ type link = {
   from_port : string;   (** Queuing destination port acting as gateway. *)
   to_module : int;
   to_port : string;     (** Destination port in the target module. *)
+  link_latency : Time.t option;
+      (** Per-link propagation delay; [None] inherits the bus default.
+          The minimum across links is the fleet engine's {!lookahead}. *)
 }
+
+val link :
+  ?latency:Time.t ->
+  from_module:int ->
+  from_port:string ->
+  to_module:int ->
+  to_port:string ->
+  unit ->
+  link
+(** Smart constructor — the spelled-out record with [link_latency]
+    defaulting to [None] (bus latency). *)
 
 type bus = {
   latency : Time.t;        (** Propagation delay, ticks. *)
@@ -35,11 +49,11 @@ type t
 
 val create : ?bus:bus -> links:link list -> System.t list -> t
 (** Raises [Invalid_argument] on module indices out of range, an empty
-    module list, or two links draining the same gateway port. Port names
-    are checked lazily (a missing gateway simply never yields traffic; a
-    missing target port counts as a drop). Modules configured with a
-    causal flow tracker get their tracker homed to their cluster index,
-    so correlation ids are unique cluster-wide. *)
+    module list, a negative per-link latency, or two links draining the
+    same gateway port. Port names are checked lazily (a missing gateway
+    simply never yields traffic; a missing target port counts as a drop).
+    Modules configured with a causal flow tracker get their tracker homed
+    to their cluster index, so correlation ids are unique cluster-wide. *)
 
 val step : t -> unit
 (** One global clock tick: every module steps, gateways drain onto the
@@ -50,11 +64,36 @@ val run : t -> ticks:int -> unit
 val now : t -> Time.t
 
 val next_arrival : t -> Time.t option
-(** Earliest in-flight bus arrival instant — an O(1) read of the heap top
-    ({!Heap.peek_key}), for next-event queries. [None] when the bus is
-    empty. *)
+(** Earliest instant a message can reach any module: the heap top
+    ({!Heap.peek_key}, O(1)), lower-bounded by messages still queued in
+    gateway ports — e.g. delivered into a forwarding gateway after this
+    tick's drain — which the next drain will serialize no earlier than
+    [max (now+1) bus_busy_until + link latency]. Without the bound a
+    lookahead window computed between steps could skip past traffic that
+    was enqueued mid-step and admit a causality violation. [None] when
+    the bus is empty and every gateway is drained. *)
+
+val next_arrival_for : t -> dest:int -> Time.t option
+(** {!next_arrival} restricted to transfers (and pending gateway traffic)
+    targeting module [dest] — the per-destination variant conservative
+    lookahead engines shard by. O(in-flight + links). *)
 
 val systems : t -> System.t array
+
+val links : t -> link array
+(** The links in drain order (a copy; index = the [link] argument of
+    {!send_via}). *)
+
+val bus : t -> bus
+
+val effective_latency : t -> link -> Time.t
+(** The link's propagation delay: its own override or the bus default. *)
+
+val lookahead : t -> Time.t
+(** Minimum effective latency across links — a message drained at clock
+    [c] can arrive no earlier than [c + lookahead t], so modules may
+    safely advance that far between communication barriers.
+    {!Time.infinity} without links. *)
 
 val flow_entries : t -> Air_obs.Causal.entry list
 (** Every module's retained causal hop records, concatenated in module
@@ -76,6 +115,53 @@ type stats = {
 }
 
 val stats : t -> stats
+
+(** {1 Fleet engine primitives}
+
+    Low-level hooks for {!Air_fleet.Fleet}, the parallel windowed engine:
+    it advances modules privately between barriers and then replays the
+    buffered gateway drains through the cluster in the exact sequential
+    order, so arrival instants, serialization [seq]s and counters match a
+    per-tick {!run} bit for bit. Mixing these with {!step} outside that
+    protocol will desynchronize the cluster clock from its modules. *)
+
+type transfer = {
+  arrival : Time.t;
+  seq : int;           (** Bus serialization order; heap ties break on it. *)
+  target_module : int;
+  target_port : string;
+  payload : bytes;
+  cid : Air_obs.Causal.id;
+}
+
+val set_clock : t -> Time.t -> unit
+(** Reposition the cluster clock at a window barrier (the modules were
+    advanced out-of-band). *)
+
+val send_via : t -> at:Time.t -> link:int -> cid:Air_obs.Causal.id -> bytes -> unit
+(** Replay one gateway drain that happened at instant [at] on the
+    [link]-th link (index into {!links}): serializes onto the bus exactly
+    as the drain inside {!step} would have — same occupancy, arrival and
+    [seq] — provided replays come in the sequential drain order
+    [(at, link, FIFO position)]. *)
+
+val take_due : t -> upto:Time.t -> transfer list
+(** Pop every in-flight transfer with [arrival <= upto], in delivery
+    order [(arrival, seq)] — the window's incoming traffic, for the
+    caller to deliver at the right module-local instants. *)
+
+val deliver_transfer : t -> transfer -> unit
+(** Inject one transfer into its target port and account it in
+    [transferred]/[dropped] — the delivery half of {!step}, with the
+    caller in charge of timing. *)
+
+val account : t -> transferred:int -> dropped:int -> unit
+(** Merge externally-accumulated delivery counters (per-shard counts) into
+    the cluster's totals. *)
+
+val in_flight_transfers : t -> transfer list
+(** Snapshot of the bus in delivery order — for state fingerprints.
+    O(n log n), non-destructive. *)
 
 (** {1 Fault injection on inter-module links}
 

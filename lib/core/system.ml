@@ -508,6 +508,7 @@ let deliver_remote ?cid t ~port msg =
     Ok ()
 
 let drain_remote t ~port = Router.drain t.router ~port ~now:(now t)
+let remote_pending t ~port = Router.pending t.router ~port
 
 let note_flow_perturb t ~what cid =
   match t.cfg.causal with

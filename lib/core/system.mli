@@ -313,6 +313,11 @@ val drain_remote : t -> port:string -> (bytes * Air_obs.Causal.id) option
     consumed). [None] when empty. The returned correlation id rides the
     link transfer to the destination module. *)
 
+val remote_pending : t -> port:string -> int
+(** Messages currently queued at the named destination port (0 for
+    unknown, sampling or source ports) — the non-destructive occupancy
+    probe behind {!Cluster.next_arrival}'s pending-gateway bound. *)
+
 val note_flow_perturb :
   t -> what:Air_obs.Causal.perturbation -> Air_obs.Causal.id -> unit
 (** Record a fault striking a stamped message currently outside any

@@ -29,6 +29,11 @@ type t = {
      right after one, the dense phase ended inside the batch (overshoot)
      and a probe — amortized by the batch — re-engages skipping at once. *)
   mutable just_batched : bool;
+  on_tick : (unit -> unit) option;
+      (* Fired after every tick executed through the per-tick path (and
+         never across a skipped span, which is quiescent by proof): the
+         fleet engine hangs its gateway pump here so cross-module sends
+         are observed at exactly the tick that produced them. *)
   profiler : Profiler.t option;
       (* Null-object discipline: every instrumented operation matches on
          this once; [None] takes the original uninstrumented path, so an
@@ -41,7 +46,7 @@ let dense_threshold = 192
 let blind_init = 16
 let blind_max = 4096
 
-let create ?profiler ?skip_ahead ?mode system =
+let create ?profiler ?on_tick ?skip_ahead ?mode system =
   let mode =
     match (mode, skip_ahead) with
     | Some m, _ -> m
@@ -55,6 +60,7 @@ let create ?profiler ?skip_ahead ?mode system =
     blind = blind_init;
     streak = 0;
     just_batched = false;
+    on_tick;
     profiler }
 
 let system t = t.system
@@ -90,23 +96,44 @@ let probe t ~remaining =
     Profiler.note_probe p ~skipped ~seconds:(Profiler.timestamp () -. t0);
     skipped
 
+(* One executed tick, plus the per-tick observer when one is hooked. *)
+let step_raw t =
+  match t.on_tick with
+  | None -> System.step t.system
+  | Some f ->
+    System.step t.system;
+    f ()
+
+(* [n] executed ticks. Without an observer this is [System.run] — the
+   reference path; with one, the same per-tick loop with the hook fired
+   after each step, so hooked and unhooked advances execute the module
+   identically. *)
+let run_raw t ~ticks =
+  match t.on_tick with
+  | None -> System.run t.system ~ticks
+  | Some f ->
+    for _ = 1 to ticks do
+      System.step t.system;
+      f ()
+    done
+
 (* One tick through the per-tick path, attributed to the step bucket. *)
 let step_one t =
   match t.profiler with
-  | None -> System.step t.system
+  | None -> step_raw t
   | Some p ->
     let t0 = Profiler.timestamp () in
-    System.step t.system;
+    step_raw t;
     Profiler.note_step p ~seconds:(Profiler.timestamp () -. t0)
 
-(* [n] ticks through [System.run] (blind batch or a whole Per_tick-mode
+(* [n] ticks through [run_raw] (blind batch or a whole Per_tick-mode
    advance), attributed to the batch bucket. *)
 let run_batch t ~ticks =
   match t.profiler with
-  | None -> System.run t.system ~ticks
+  | None -> run_raw t ~ticks
   | Some p ->
     let t0 = Profiler.timestamp () in
-    System.run t.system ~ticks;
+    run_raw t ~ticks;
     Profiler.note_batch p ~ticks ~seconds:(Profiler.timestamp () -. t0)
 
 let sample_density t =

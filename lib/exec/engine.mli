@@ -44,13 +44,22 @@ type stats = {
 type t
 
 val create :
-  ?profiler:Profiler.t -> ?skip_ahead:bool -> ?mode:mode -> Air.System.t -> t
+  ?profiler:Profiler.t ->
+  ?on_tick:(unit -> unit) ->
+  ?skip_ahead:bool ->
+  ?mode:mode ->
+  Air.System.t ->
+  t
 (** [mode] selects the strategy and wins over [skip_ahead] when both are
     given. Without [mode], [~skip_ahead:false] maps to {!Per_tick} and
     [~skip_ahead:true] (or nothing) to {!Adaptive}. [profiler], when
     given, receives wall-clock and tick attribution for every engine
     operation ({!Profiler}); without one the engine takes the original
-    uninstrumented paths and reads no clocks. *)
+    uninstrumented paths and reads no clocks. [on_tick] is fired after
+    {e every} executed tick — including inside blind batches — and never
+    across a skipped span (skips are quiescence-proved, so nothing the
+    observer could see happens in them); the fleet engine hangs its
+    per-module gateway pump here. *)
 
 val system : t -> Air.System.t
 val mode : t -> mode

@@ -2,9 +2,16 @@ open Air_sim
 open Air_model
 open Air_model.Ident
 
+type driver_ops = {
+  d_system : Air.System.t;
+  d_advance : int -> unit;
+  d_link_fault : Air.Cluster.bus_fault -> Air_obs.Causal.id list option;
+}
+
 type target =
   | Module of Air.System.t
   | Cluster of Air.Cluster.t * int
+  | Driver of driver_ops
 
 type applied = Applied | Absorbed of string | Failed of string
 
@@ -34,10 +41,12 @@ type run = {
 let observed = function
   | Module s -> s
   | Cluster (c, i) -> (Air.Cluster.systems c).(i)
+  | Driver d -> d.d_system
 
 let step_target = function
   | Module s -> Air.System.step s
   | Cluster (c, _) -> Air.Cluster.step c
+  | Driver d -> d.d_advance 1
 
 (* Turbo: module targets advance through the skip-ahead executive; the
    injection points bound every span, so a campaign's faults still land on
@@ -48,11 +57,15 @@ type driver = Skip of Air_exec.Engine.t | Per_tick of target
 let driver_of ~turbo target =
   match (turbo, target) with
   | true, Module s -> Skip (Air_exec.Engine.create s)
-  | true, Cluster _ | false, _ -> Per_tick target
+  | true, (Cluster _ | Driver _) | false, _ -> Per_tick target
 
 let advance_driver d ~ticks =
   match d with
   | Skip e -> Air_exec.Engine.advance e ~ticks
+  | Per_tick (Driver d) ->
+    (* The driver is its own executive (e.g. the windowed fleet engine);
+       hand it the whole span so it can barrier only where it must. *)
+    d.d_advance ticks
   | Per_tick target ->
     for _ = 1 to ticks do
       step_target target
@@ -202,7 +215,11 @@ let apply_fault target ~schedule_redelivery (fault : Fault.t) =
       if Air.Cluster.inject_bus_fault c (bus_fault_of_comm cf) then
         ( Applied,
           List.map Air_obs.Causal.to_string (Air.Cluster.last_perturbed c) )
-      else no_flow (Absorbed "no transfer in flight"))
+      else no_flow (Absorbed "no transfer in flight")
+    | Driver d -> (
+      match d.d_link_fault (bus_fault_of_comm cf) with
+      | Some flows -> (Applied, List.map Air_obs.Causal.to_string flows)
+      | None -> no_flow (Absorbed "no transfer in flight")))
   | Fault.Module_error { code } ->
     Air.System.inject_module_error sys code
       ~detail:(Printf.sprintf "injected (%s)" (Fault.label fault));

@@ -16,12 +16,27 @@
 
 open Air_sim
 
-(** What a campaign runs against: a single module, or a cluster observed
+(** A custom execution driver: anything that can advance simulated time
+    and absorb link faults — the hook through which the parallel fleet
+    engine ([Air_fleet]) runs campaigns over whole constellations without
+    this engine depending on it. Faults other than [Link_fault] apply to
+    [d_system], the observed module, at instants the engine has already
+    advanced to (every [d_advance] return is a synchronization point). *)
+type driver_ops = {
+  d_system : Air.System.t;  (** Observed module (verdicts, redeliveries). *)
+  d_advance : int -> unit;  (** Advance the whole target by n ticks. *)
+  d_link_fault : Air.Cluster.bus_fault -> Air_obs.Causal.id list option;
+      (** Apply a bus fault; [None] when nothing was in flight
+          (absorbed), [Some flows] the touched correlation ids. *)
+}
+
+(** What a campaign runs against: a single module, a cluster observed
     through one of its modules (faults other than [Link_fault] apply to the
-    observed module). *)
+    observed module), or a custom driver. *)
 type target =
   | Module of Air.System.t
   | Cluster of Air.Cluster.t * int  (** Observed module index. *)
+  | Driver of driver_ops
 
 type applied =
   | Applied  (** The fault took effect. *)
@@ -71,7 +86,7 @@ val execute : ?turbo:bool -> make:(unit -> target) -> Campaign.spec -> run
     ({!Air_exec.Engine}): every planned injection tick bounds a span, so
     the faults land on exactly the planned instants and the run —
     fingerprint included — is bit-identical to the per-tick one. Cluster
-    targets always run per-tick. *)
+    targets always run per-tick; driver targets pace themselves. *)
 
 val observed : target -> Air.System.t
 (** The module whose trace the campaign is judged against. *)

@@ -1,0 +1,95 @@
+(** Constellation-scale parallel discrete-event execution.
+
+    A [Fleet.t] advances the modules of an {!Air.Cluster} in parallel
+    across OCaml domains with a {e conservative} (Chandy–Misra–Bryant
+    style) protocol, bit-identically to the sequential {!Air.Cluster.run}:
+
+    {ul
+    {- {b Lookahead.} The cluster's minimum link latency [L]
+       ({!Air.Cluster.lookahead}) bounds how early a message drained at
+       clock [c] can arrive ([c + L]), so between two barriers at [T] and
+       [T + W], [W <= L], every delivery is already known at [T] — no
+       traffic produced inside the window can land inside it.}
+    {- {b Windows.} Each module advances privately through its own
+       {!Air_exec.Engine} (adaptive skip-ahead), segmented at its arrival
+       instants; a per-tick hook pumps its gateways into the shard's
+       mailbox, tagged with the sequential drain position
+       [(clock, link, fifo)].}
+    {- {b Deterministic merge.} At the barrier the coordinator replays
+       all buffered sends through the shared bus in that exact sequential
+       order, reproducing bus occupancy, arrival instants and
+       serialization order — transfers are totally ordered by
+       [(arrival, seq)] — so traces, telemetry, counters, fingerprints
+       and fault-campaign verdicts are independent of the domain count.}}
+
+    The protocol needs no explicit null messages: the barrier itself is
+    the null message, granting every shard the same horizon. Windows in
+    which a shard executes nothing are counted as {e null windows} in
+    {!Air_obs.Fleet_stats}. *)
+
+open Air
+open Air_sim
+
+type t
+
+val create : ?domains:int -> Cluster.t -> t
+(** Wrap a cluster (fresh or already partially run — the fleet continues
+    from its clock). [domains] (default 1) is capped at the module count;
+    [domains - 1] worker domains are spawned lazily on the first {!run}.
+    Raises [Invalid_argument] if some link has zero latency (no
+    conservative lookahead window exists) or [domains < 1]. The cluster
+    must not be stepped directly between fleet runs (fault injection and
+    module inspection are fine — every {!run} return is a barrier). *)
+
+val run : t -> ticks:int -> unit
+(** Advance the whole fleet by [ticks] global clock ticks — bit-identical
+    to [Cluster.run ~ticks] on the same cluster. Returns at a barrier:
+    clock, modules, bus and counters all agree with the sequential run at
+    the same instant. *)
+
+val close : t -> unit
+(** Join the worker domains. Idempotent; the fleet cannot run again. *)
+
+val cluster : t -> Cluster.t
+val domains : t -> int
+
+val lookahead : t -> Time.t
+(** The window bound [L] ({!Air.Cluster.lookahead} at creation). *)
+
+val stats : t -> Air_obs.Fleet_stats.t
+(** Per-shard progress / null-window / blocked-time counters and the
+    fleet summary frame. Read between runs (barriers), not concurrently
+    with one. *)
+
+val fingerprint_text : Cluster.t -> string
+(** The un-hashed form of {!fingerprint}, one observable per line — diff
+    two of these to localize a divergence. *)
+
+val fingerprint : Cluster.t -> string
+(** Digest of the full observable state of a cluster — clock, bus
+    occupancy and in-flight transfers, and every module's clock, halt
+    reason, HM counters, partition modes, event counts, retained trace,
+    telemetry frames and causal flow records. A fleet run and a
+    sequential run of equivalent clusters yield equal fingerprints at
+    equal instants, for any domain count. *)
+
+(** {1 Fault campaigns over fleets} *)
+
+val campaign_target : ?observed:int -> t -> Air_faults.Engine.target
+(** The fleet as a campaign target ({!Air_faults.Engine.Driver}):
+    injections advance the fleet to the planned tick (a barrier) and
+    apply there, link faults strike the shared bus, verdicts are judged
+    against module [observed] (default 0). *)
+
+val execute_campaign :
+  ?turbo:bool ->
+  ?domains:int ->
+  ?observed:int ->
+  make:(unit -> Cluster.t) ->
+  Air_faults.Campaign.spec ->
+  Air_faults.Engine.run
+(** {!Air_faults.Engine.execute} with fleet targets built from [make]
+    (called once for the campaign and once for the fault-free baseline);
+    the fleets are closed before returning. Outcomes and fingerprint are
+    bit-identical to the sequential cluster campaign for any domain
+    count. *)

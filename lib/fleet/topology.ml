@@ -1,0 +1,57 @@
+open Air
+
+type shape =
+  | Ring
+  | Grid of { rows : int; cols : int }
+  | Mesh
+
+let pp_shape ppf = function
+  | Ring -> Format.pp_print_string ppf "ring"
+  | Grid { rows; cols } -> Format.fprintf ppf "grid %dx%d" rows cols
+  | Mesh -> Format.pp_print_string ppf "mesh"
+
+let port gateway k = gateway ^ string_of_int k
+
+(* Link lists are module-major — every outbound link of module 0, then of
+   module 1, … — so the drain order (and with it every arrival instant on
+   a shared bus) is a deterministic function of the shape alone. *)
+let links ?latency ~gateway ~ingress shape ~n =
+  let link ~from_module ~k ~to_module =
+    Cluster.link ?latency ~from_module ~from_port:(port gateway k)
+      ~to_module ~to_port:ingress ()
+  in
+  match shape with
+  | Ring ->
+    if n < 2 then invalid_arg "Topology.links: a ring needs >= 2 modules";
+    List.init n (fun i -> link ~from_module:i ~k:0 ~to_module:((i + 1) mod n))
+  | Grid { rows; cols } ->
+    if rows < 1 || cols < 1 || rows * cols <> n then
+      invalid_arg "Topology.links: grid dimensions must multiply to the size";
+    List.concat
+      (List.init n (fun i ->
+           let r = i / cols and c = i mod cols in
+           let right =
+             if cols < 2 then []
+             else [ link ~from_module:i ~k:0
+                      ~to_module:((r * cols) + ((c + 1) mod cols)) ]
+           in
+           let down =
+             if rows < 2 then []
+             else [ link ~from_module:i ~k:1
+                      ~to_module:((((r + 1) mod rows) * cols) + c) ]
+           in
+           right @ down))
+  | Mesh ->
+    if n < 4 then invalid_arg "Topology.links: a mesh needs >= 4 modules";
+    List.concat
+      (List.init n (fun i ->
+           [ link ~from_module:i ~k:0 ~to_module:((i + 1) mod n);
+             link ~from_module:i ~k:1 ~to_module:((i + (n / 2)) mod n) ]))
+
+let gateway_ports shape ~gateway =
+  match shape with
+  | Ring -> [ port gateway 0 ]
+  | Grid { rows; cols } ->
+    (if cols > 1 then [ port gateway 0 ] else [])
+    @ (if rows > 1 then [ port gateway 1 ] else [])
+  | Mesh -> [ port gateway 0; port gateway 1 ]

@@ -1,0 +1,41 @@
+(** Constellation topology generator.
+
+    Produces the inter-satellite-link wiring of an [n]-module
+    constellation whose modules are clones of one template configuration:
+    each module sends through numbered gateway ports ([<gateway>0],
+    [<gateway>1], …) and receives every inbound link on one ingress
+    port. The template must declare those ports; {!gateway_ports} names
+    the ones a shape drains. *)
+
+open Air
+
+type shape =
+  | Ring  (** Module [i] → [i+1 mod n] through [<gateway>0] — an in-plane
+              LEO ring. *)
+  | Grid of { rows : int; cols : int }
+      (** Torus: right neighbour through [<gateway>0], down neighbour
+          through [<gateway>1] (degenerate dimensions drop that
+          direction). [rows * cols] must equal [n]. *)
+  | Mesh
+      (** ISL mesh: the ring through [<gateway>0] plus a cross-plane
+          chord to [i + n/2 mod n] through [<gateway>1]. Needs
+          [n >= 4]. *)
+
+val pp_shape : Format.formatter -> shape -> unit
+
+val links :
+  ?latency:Air_sim.Time.t ->
+  gateway:string ->
+  ingress:string ->
+  shape ->
+  n:int ->
+  Cluster.link list
+(** The shape's links in module-major order (all outbound links of module
+    0, then 1, …), so drain order — and every bus arrival instant — is a
+    deterministic function of the shape. [latency] overrides the bus
+    default on every generated link. Raises [Invalid_argument] on a
+    size/shape mismatch. *)
+
+val gateway_ports : shape -> gateway:string -> string list
+(** The outbound gateway port names the shape expects each module to
+    declare. *)

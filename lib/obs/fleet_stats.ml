@@ -1,0 +1,105 @@
+type shard = {
+  sh_id : int;
+  sh_modules : int;
+  mutable sh_windows : int;
+  mutable sh_null_windows : int;
+  mutable sh_stepped : int;
+  mutable sh_skipped : int;
+  mutable sh_sent : int;
+  mutable sh_delivered : int;
+  mutable sh_dropped : int;
+  mutable sh_forced : int;
+  mutable sh_blocked_s : float;
+}
+
+type t = {
+  domains : int;
+  lookahead : int;
+  shards : shard array;
+  mutable windows : int;
+  mutable replayed : int;
+}
+
+let create ~domains ~lookahead ~modules_per_shard =
+  { domains;
+    lookahead;
+    shards =
+      Array.mapi
+        (fun i n ->
+          { sh_id = i;
+            sh_modules = n;
+            sh_windows = 0;
+            sh_null_windows = 0;
+            sh_stepped = 0;
+            sh_skipped = 0;
+            sh_sent = 0;
+            sh_delivered = 0;
+            sh_dropped = 0;
+            sh_forced = 0;
+            sh_blocked_s = 0. })
+        modules_per_shard;
+    windows = 0;
+    replayed = 0 }
+
+let shard t i = t.shards.(i)
+let domains t = t.domains
+let windows t = t.windows
+let note_window t = t.windows <- t.windows + 1
+let note_replayed t n = t.replayed <- t.replayed + n
+
+let sum f t = Array.fold_left (fun acc sh -> acc + f sh) 0 t.shards
+
+let to_text t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "fleet: %d domain%s, lookahead %d, %d window%s, %d send%s replayed\n"
+       t.domains
+       (if t.domains = 1 then "" else "s")
+       t.lookahead t.windows
+       (if t.windows = 1 then "" else "s")
+       t.replayed
+       (if t.replayed = 1 then "" else "s"));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  totals: stepped %d, skipped %d, delivered %d, dropped %d, forced \
+        drains %d\n"
+       (sum (fun s -> s.sh_stepped) t)
+       (sum (fun s -> s.sh_skipped) t)
+       (sum (fun s -> s.sh_delivered) t)
+       (sum (fun s -> s.sh_dropped) t)
+       (sum (fun s -> s.sh_forced) t));
+  Array.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "  shard %d: %d modules, %d/%d null windows, stepped %d, skipped \
+            %d, sent %d, blocked %.3fs\n"
+           s.sh_id s.sh_modules s.sh_null_windows s.sh_windows s.sh_stepped
+           s.sh_skipped s.sh_sent s.sh_blocked_s))
+    t.shards;
+  Buffer.contents b
+
+let schema = "air-fleet-stats/1"
+
+let to_json t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"schema\":%S,\"domains\":%d,\"lookahead\":%d,\"windows\":%d,\
+        \"replayed\":%d,\"shards\":["
+       schema t.domains t.lookahead t.windows t.replayed);
+  Array.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"id\":%d,\"modules\":%d,\"windows\":%d,\"null_windows\":%d,\
+            \"stepped\":%d,\"skipped\":%d,\"sent\":%d,\"delivered\":%d,\
+            \"dropped\":%d,\"forced\":%d,\"blocked_s\":%.6f}"
+           s.sh_id s.sh_modules s.sh_windows s.sh_null_windows s.sh_stepped
+           s.sh_skipped s.sh_sent s.sh_delivered s.sh_dropped s.sh_forced
+           s.sh_blocked_s))
+    t.shards;
+  Buffer.add_string b "]}";
+  Buffer.contents b

@@ -56,6 +56,8 @@ let pop t =
       Some top
   end
 
+let fold t ~init ~f = Vec.fold_left f init t.data
+
 let to_sorted_list t =
   let copy = create ~cmp:t.cmp in
   Vec.iter (push copy) t.data;

@@ -24,6 +24,11 @@ val peek_key : 'a t -> key:('a -> 'b) -> 'b option
 val pop : 'a t -> 'a option
 (** Removes and returns the smallest element, O(log n). *)
 
+val fold : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b
+(** Fold over every element in unspecified (heap-internal) order — O(n),
+    non-destructive. For order-insensitive queries such as a filtered
+    minimum (e.g. the earliest arrival towards one destination). *)
+
 val to_sorted_list : 'a t -> 'a list
 (** Non-destructive; O(n log n). *)
 

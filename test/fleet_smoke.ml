@@ -1,0 +1,58 @@
+(* Standalone validator for the fleet-smoke make target: load an
+   (air-fleet ...) document, advance one copy sequentially through
+   [Air.Cluster.run] and two more through the parallel engine at
+   different domain counts, and require all three observable
+   fingerprints to be byte-identical — the bit-identity acceptance
+   criterion, enforced outside the test harness on the shipped
+   constellation document. Also lints the engine's stats JSON. Exits
+   nonzero on the first problem. *)
+
+module Fleet = Air_fleet.Fleet
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let load path =
+  match Air_config.Loader.load_fleet_file path with
+  | Ok fleet -> fleet.Air_config.Loader.fleet_cluster
+  | Error m -> fail "%s: %s" path m
+
+let parallel_fingerprint path ~domains ~ticks =
+  let cluster = load path in
+  let fleet = Fleet.create ~domains cluster in
+  Fleet.run fleet ~ticks;
+  Fleet.close fleet;
+  let stats_json = Air_obs.Fleet_stats.to_json (Fleet.stats fleet) in
+  (match Json_lint.check stats_json with
+  | Ok () -> ()
+  | Error e -> fail "fleet stats (%d domains): invalid JSON: %s" domains e);
+  if not (Astring_contains.contains stats_json "\"air-fleet-stats/1\"") then
+    fail "fleet stats (%d domains): missing air-fleet-stats/1 marker" domains;
+  Fleet.fingerprint cluster
+
+let () =
+  let path, ticks =
+    match Sys.argv with
+    | [| _; path; ticks |] -> (
+      match int_of_string_opt ticks with
+      | Some t when t > 0 -> (path, t)
+      | _ -> fail "TICKS must be a positive integer, got %S" ticks)
+    | _ -> fail "usage: %s FLEET.air TICKS" Sys.argv.(0)
+  in
+  let reference = load path in
+  Air.Cluster.run reference ~ticks;
+  let stats = Air.Cluster.stats reference in
+  if stats.Air.Cluster.transferred = 0 then
+    fail "%s: no inter-module traffic in %d ticks; smoke proves nothing" path
+      ticks;
+  let sequential = Fleet.fingerprint reference in
+  List.iter
+    (fun domains ->
+      let parallel = parallel_fingerprint path ~domains ~ticks in
+      if not (String.equal sequential parallel) then
+        fail "%d-domain fleet diverged from the sequential run:\n  %s\n  %s"
+          domains sequential parallel)
+    [ 2; 4 ];
+  Printf.printf
+    "fleet smoke OK: %d ticks, %d transfers, 2- and 4-domain runs \
+     bit-identical to sequential (%s)\n"
+    ticks stats.Air.Cluster.transferred sequential

@@ -21,6 +21,7 @@ let () =
       ("properties", Test_properties.suite);
       ("arinc", Test_arinc.suite);
       ("cluster", Test_cluster.suite);
+      ("fleet", Test_fleet.suite);
       ("faults", Test_faults.suite);
       ("exec", Test_exec.suite);
       ("causal", Test_causal.suite) ]

@@ -407,8 +407,8 @@ let ground_module () =
 let make_cluster () =
   Cluster.create
     ~links:
-      [ { Cluster.from_module = 0; from_port = "TM_GW"; to_module = 1;
-          to_port = "TM_IN" } ]
+      [ Cluster.link ~from_module:0 ~from_port:"TM_GW" ~to_module:1
+          ~to_port:"TM_IN" () ]
     [ sensor_module (); ground_module () ]
 
 (* Acceptance: the merged cluster trace shows the whole flow — a send in

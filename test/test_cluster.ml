@@ -114,8 +114,8 @@ let ground_module () =
 let make_cluster ?bus () =
   Cluster.create ?bus
     ~links:
-      [ { Cluster.from_module = 0; from_port = "TM_GW"; to_module = 1;
-          to_port = "TM_IN" } ]
+      [ Cluster.link ~from_module:0 ~from_port:"TM_GW"
+          ~to_module:1 ~to_port:"TM_IN" () ]
     [ sensor_module (); ground_module () ]
 
 let cross_module_delivery () =
@@ -199,8 +199,8 @@ let remote_overflow_counts_as_drop () =
   let cluster =
     Cluster.create
       ~links:
-        [ { Cluster.from_module = 0; from_port = "TM_GW"; to_module = 1;
-            to_port = "TM_IN" } ]
+        [ Cluster.link ~from_module:0 ~from_port:"TM_GW"
+            ~to_module:1 ~to_port:"TM_IN" () ]
       [ sensor_module (); deaf ]
   in
   Cluster.run cluster ~ticks:500;
@@ -232,10 +232,10 @@ let duplicate_gateway_rejected () =
        ignore
          (Cluster.create
             ~links:
-              [ { Cluster.from_module = 0; from_port = "TM_GW"; to_module = 1;
-                  to_port = "A" };
-                { Cluster.from_module = 0; from_port = "TM_GW"; to_module = 1;
-                  to_port = "B" } ]
+              [ Cluster.link ~from_module:0 ~from_port:"TM_GW"
+                  ~to_module:1 ~to_port:"A" ();
+                Cluster.link ~from_module:0 ~from_port:"TM_GW"
+                  ~to_module:1 ~to_port:"B" () ]
             [ sensor_module (); ground_module () ]);
        false
      with Invalid_argument _ -> true)
@@ -246,8 +246,8 @@ let bad_link_rejected () =
        ignore
          (Cluster.create
             ~links:
-              [ { Cluster.from_module = 0; from_port = "X"; to_module = 7;
-                  to_port = "Y" } ]
+              [ Cluster.link ~from_module:0 ~from_port:"X"
+                  ~to_module:7 ~to_port:"Y" () ]
             [ sensor_module () ]);
        false
      with Invalid_argument _ -> true)
@@ -385,8 +385,8 @@ let bus_delay_wakes_blocked_receiver () =
     Cluster.create
       ~bus:{ Cluster.latency = 20; bytes_per_tick = 32 }
       ~links:
-        [ { Cluster.from_module = 0; from_port = "TM_GW"; to_module = 1;
-            to_port = "TM_IN" } ]
+        [ Cluster.link ~from_module:0 ~from_port:"TM_GW"
+            ~to_module:1 ~to_port:"TM_IN" () ]
       [ one_shot_sensor (); ground_module () ]
   in
   Cluster.run cluster ~ticks:10;
@@ -437,8 +437,8 @@ let bus_reorder_swaps_deliveries () =
     Cluster.create
       ~bus:{ Cluster.latency = 300; bytes_per_tick = 64 }
       ~links:
-        [ { Cluster.from_module = 0; from_port = "TM_GW"; to_module = 1;
-            to_port = "TM_IN" } ]
+        [ Cluster.link ~from_module:0 ~from_port:"TM_GW"
+            ~to_module:1 ~to_port:"TM_IN" () ]
       [ one_shot_sensor (); deaf ]
   in
   Cluster.run cluster ~ticks:60;
@@ -461,8 +461,8 @@ let bus_corrupt_flips_payload_byte () =
     Cluster.create
       ~bus:{ Cluster.latency = 300; bytes_per_tick = 64 }
       ~links:
-        [ { Cluster.from_module = 0; from_port = "TM_GW"; to_module = 1;
-            to_port = "TM_IN" } ]
+        [ Cluster.link ~from_module:0 ~from_port:"TM_GW"
+            ~to_module:1 ~to_port:"TM_IN" () ]
       [ one_shot_sensor (); ground_module () ]
   in
   Cluster.run cluster ~ticks:60;
@@ -477,10 +477,10 @@ let bus_corrupt_flips_payload_byte () =
 
 let cluster_document_loads () =
   let candidates =
-    [ "examples/configs/constellation.air";
-      "../examples/configs/constellation.air";
-      "../../examples/configs/constellation.air";
-      "../../../examples/configs/constellation.air" ]
+    [ "examples/configs/crosslink.air";
+      "../examples/configs/crosslink.air";
+      "../../examples/configs/crosslink.air";
+      "../../../examples/configs/crosslink.air" ]
   in
   match List.find_opt Sys.file_exists candidates with
   | None -> () (* source tree not visible from the test sandbox *)

@@ -1,0 +1,482 @@
+(* Tests for the parallel fleet engine: conservative windowed execution of
+   a constellation across domains must be bit-identical to the sequential
+   Cluster.run — same fingerprints (clocks, bus, traces, telemetry, causal
+   flows), same fault-campaign verdicts — for any domain count, any
+   topology and any window chunking. Also the next_arrival regression: a
+   message parked in a forwarding gateway must bound the next arrival even
+   when the in-flight heap is empty. *)
+
+open Air_sim
+open Air_model
+open Air_pos
+open Air_ipc
+open Air
+open Ident
+module Fleet = Air_fleet.Fleet
+module Topology = Air_fleet.Topology
+module Stats = Air_obs.Fleet_stats
+module F = Air_faults.Fault
+module C = Air_faults.Campaign
+module E = Air_faults.Engine
+
+let check = Alcotest.check
+let pid = Partition_id.make
+let sid = Schedule_id.make
+let w partition offset duration = { Schedule.partition; offset; duration }
+let q partition cycle duration = { Schedule.partition; cycle; duration }
+
+(* --- Constellation builders ----------------------------------------------- *)
+
+(* One satellite of the constellation: a periodic beacon process feeds the
+   shape's gateway ports through a fan-out channel, an aperiodic uplink
+   process drains the ingress port. The causal tracker is on so the
+   fingerprint also covers cross-module flow records. *)
+let node ~gateways ~period ~wcet ~payload () =
+  let sat = pid 0 in
+  let src g = "SRC_" ^ g in
+  (* Queuing channels are strictly 1:1: one source port per gateway. *)
+  let pair g =
+    [ Port.queuing_port ~name:(src g) ~partition:sat ~direction:Port.Source
+        ~depth:8 ~max_message_size:32;
+      Port.queuing_port ~name:g ~partition:sat ~direction:Port.Destination
+        ~depth:8 ~max_message_size:32 ]
+  in
+  let network =
+    { Port.ports =
+        Port.queuing_port ~name:"RX" ~partition:sat
+          ~direction:Port.Destination ~depth:16 ~max_message_size:32
+        :: List.concat_map pair gateways;
+      channels =
+        List.map (fun g -> { Port.source = src g; destinations = [ g ] })
+          gateways }
+  in
+  let p =
+    Partition.make ~id:sat ~name:"SAT"
+      [ Process.spec ~periodicity:(Process.Periodic period)
+          ~time_capacity:period ~wcet ~base_priority:5 "beacon";
+        Process.spec ~base_priority:4 "uplink" ]
+  in
+  let schedule =
+    Schedule.make ~id:(sid 0) ~name:"solo" ~mtf:50
+      ~requirements:[ q sat 50 50 ]
+      [ w sat 0 50 ]
+  in
+  System.create
+    (System.config ~network
+       ~causal:(Air_obs.Causal.create ())
+       ~partitions:
+         [ System.partition_setup p
+             [ Script.periodic_body
+                 (Script.Compute wcet
+                 :: List.map
+                      (fun g -> Script.Send_queuing (src g, payload))
+                      gateways);
+               Script.make
+                 [ Script.Receive_queuing ("RX", Time.infinity);
+                   Script.Log "isl frame" ] ] ]
+       ~schedules:[ schedule ] ())
+
+type scenario = {
+  shape : Topology.shape;
+  n : int;
+  latency : Time.t;
+  bytes_per_tick : int;
+  periods : int array;  (** multiples of the 50-tick MTF, one per node *)
+  wcets : int array;
+  ticks : int;
+  domains : int;
+}
+
+let make_constellation s =
+  let gateways = Topology.gateway_ports s.shape ~gateway:"TX" in
+  let modules =
+    List.init s.n (fun i ->
+        node ~gateways ~period:s.periods.(i) ~wcet:s.wcets.(i)
+          ~payload:(Printf.sprintf "b%d" i) ())
+  in
+  Cluster.create
+    ~bus:{ Cluster.latency = s.latency; bytes_per_tick = s.bytes_per_tick }
+    ~links:
+      (Topology.links ~latency:s.latency ~gateway:"TX" ~ingress:"RX" s.shape
+         ~n:s.n)
+    modules
+
+let ring ?(latency = 3) ?(domains = 2) ?(ticks = 600) n =
+  { shape = Topology.Ring;
+    n;
+    latency;
+    bytes_per_tick = 16;
+    periods = Array.init n (fun i -> 50 * (1 + (i mod 3)));
+    wcets = Array.init n (fun i -> 2 + (i mod 5));
+    ticks;
+    domains }
+
+(* Fingerprint of the sequential reference run of a scenario. *)
+let sequential_fingerprint s =
+  let cluster = make_constellation s in
+  Cluster.run cluster ~ticks:s.ticks;
+  Fleet.fingerprint cluster
+
+(* Fingerprint of the fleet run at [domains], advancing in [chunks] if
+   given (their sum must be [s.ticks]). *)
+let fleet_fingerprint ?chunks s =
+  let cluster = make_constellation s in
+  let fleet = Fleet.create ~domains:s.domains cluster in
+  (match chunks with
+  | None -> Fleet.run fleet ~ticks:s.ticks
+  | Some chunks -> List.iter (fun ticks -> Fleet.run fleet ~ticks) chunks);
+  Fleet.close fleet;
+  Fleet.fingerprint cluster
+
+(* --- Bit-identity on fixed topologies -------------------------------------- *)
+
+let ring_identity () =
+  let s = ring 4 in
+  let reference = sequential_fingerprint s in
+  List.iter
+    (fun domains ->
+      check Alcotest.string
+        (Printf.sprintf "%d-domain fleet == sequential" domains)
+        reference
+        (fleet_fingerprint { s with domains }))
+    [ 1; 2; 4 ]
+
+let grid_identity () =
+  let s = { (ring 6) with shape = Topology.Grid { rows = 2; cols = 3 } } in
+  let reference = sequential_fingerprint s in
+  List.iter
+    (fun domains ->
+      check Alcotest.string
+        (Printf.sprintf "%d-domain fleet == sequential" domains)
+        reference
+        (fleet_fingerprint { s with domains }))
+    [ 2; 3 ]
+
+let mesh_identity () =
+  let s = { (ring 6) with shape = Topology.Mesh; latency = 2 } in
+  let reference = sequential_fingerprint s in
+  check Alcotest.string "4-domain mesh == sequential" reference
+    (fleet_fingerprint { s with domains = 4 })
+
+let chunked_runs_identity () =
+  (* Barriers are resume points: odd-sized run chunks (including chunks
+     far smaller and larger than the lookahead window) change nothing. *)
+  let s = ring ~domains:3 ~ticks:500 5 in
+  let reference = sequential_fingerprint s in
+  check Alcotest.string "chunked fleet == sequential" reference
+    (fleet_fingerprint ~chunks:[ 1; 2; 123; 210; 164 ] s)
+
+let fleet_is_deterministic () =
+  let s = ring ~domains:4 6 in
+  check Alcotest.string "two fleet runs agree" (fleet_fingerprint s)
+    (fleet_fingerprint s)
+
+(* --- Randomized equivalence ------------------------------------------------ *)
+
+let scenario_gen =
+  QCheck.Gen.(
+    let* shape, n =
+      oneofl
+        [ (Topology.Ring, 2); (Topology.Ring, 3); (Topology.Ring, 5);
+          (Topology.Grid { rows = 2; cols = 2 }, 4);
+          (Topology.Grid { rows = 2; cols = 3 }, 6);
+          (Topology.Mesh, 4); (Topology.Mesh, 6) ]
+    in
+    let* latency = int_range 1 6 in
+    let* bytes_per_tick = int_range 4 32 in
+    let* periods = array_size (return n) (map (fun k -> 50 * k) (int_range 1 3)) in
+    let* wcets = array_size (return n) (int_range 1 10) in
+    let* ticks = int_range 150 450 in
+    let* domains = int_range 2 4 in
+    return { shape; n; latency; bytes_per_tick; periods; wcets; ticks; domains })
+
+let print_scenario s =
+  Format.asprintf "%a n=%d lat=%d bpt=%d ticks=%d domains=%d" Topology.pp_shape
+    s.shape s.n s.latency s.bytes_per_tick s.ticks s.domains
+
+let qcheck_equivalence =
+  QCheck.Test.make ~name:"random constellations: fleet == sequential"
+    ~count:12
+    (QCheck.make ~print:print_scenario scenario_gen)
+    (fun s -> String.equal (sequential_fingerprint s) (fleet_fingerprint s))
+
+(* --- The forwarding relay (next_arrival regression + cross-window hop) ----- *)
+
+(* A -> B -> C: A sends a single message; B's RELAY port is both the
+   target of A's link and the gateway of B's own link to C — pure
+   store-and-forward, no partition involvement. One message means the
+   in-flight heap is empty while the relay holds it: exactly the state
+   the old next_arrival misjudged. *)
+let relay_sender () =
+  let sat = pid 0 in
+  let network =
+    { Port.ports =
+        [ Port.queuing_port ~name:"SRC" ~partition:sat ~direction:Port.Source
+            ~depth:8 ~max_message_size:32;
+          Port.queuing_port ~name:"TM_GW" ~partition:sat
+            ~direction:Port.Destination ~depth:8 ~max_message_size:32 ];
+      channels = [ { Port.source = "SRC"; destinations = [ "TM_GW" ] } ] }
+  in
+  let p =
+    Partition.make ~id:sat ~name:"SENDER" [ Process.spec ~base_priority:5 "tx" ]
+  in
+  let schedule =
+    Schedule.make ~id:(sid 0) ~name:"solo" ~mtf:50
+      ~requirements:[ q sat 50 50 ]
+      [ w sat 0 50 ]
+  in
+  System.create
+    (System.config ~network
+       ~partitions:
+         [ System.partition_setup p
+             [ Script.make
+                 [ Script.Compute 2;
+                   Script.Send_queuing ("SRC", "r1");
+                   Script.Timed_wait 100_000 ] ] ]
+       ~schedules:[ schedule ] ())
+
+let relay_hop () =
+  let sat = pid 0 in
+  let network =
+    { Port.ports =
+        [ Port.queuing_port ~name:"RELAY" ~partition:sat
+            ~direction:Port.Destination ~depth:8 ~max_message_size:32 ];
+      channels = [] }
+  in
+  let p =
+    Partition.make ~id:sat ~name:"RELAY" [ Process.spec "idle" ]
+  in
+  let schedule =
+    Schedule.make ~id:(sid 0) ~name:"solo" ~mtf:50
+      ~requirements:[ q sat 50 50 ]
+      [ w sat 0 50 ]
+  in
+  System.create
+    (System.config ~network
+       ~partitions:
+         [ System.partition_setup p [ Script.make [ Script.Timed_wait 100_000 ] ] ]
+       ~schedules:[ schedule ] ())
+
+let relay_ground () =
+  let sat = pid 0 in
+  let network =
+    { Port.ports =
+        [ Port.queuing_port ~name:"TM_IN" ~partition:sat
+            ~direction:Port.Destination ~depth:8 ~max_message_size:32 ];
+      channels = [] }
+  in
+  let p =
+    Partition.make ~id:sat ~name:"GROUND" [ Process.spec ~base_priority:5 "rx" ]
+  in
+  let schedule =
+    Schedule.make ~id:(sid 0) ~name:"solo" ~mtf:50
+      ~requirements:[ q sat 50 50 ]
+      [ w sat 0 50 ]
+  in
+  System.create
+    (System.config ~network
+       ~partitions:
+         [ System.partition_setup p
+             [ Script.make
+                 [ Script.Receive_queuing ("TM_IN", Time.infinity);
+                   Script.Log "relayed" ] ] ]
+       ~schedules:[ schedule ] ())
+
+let make_relay () =
+  Cluster.create
+    ~bus:{ Cluster.latency = 5; bytes_per_tick = 32 }
+    ~links:
+      [ Cluster.link ~from_module:0 ~from_port:"TM_GW" ~to_module:1
+          ~to_port:"RELAY" ();
+        Cluster.link ~from_module:1 ~from_port:"RELAY" ~to_module:2
+          ~to_port:"TM_IN" () ]
+    [ relay_sender (); relay_hop (); relay_ground () ]
+
+let next_arrival_sees_pending_gateway () =
+  let cluster = make_relay () in
+  (* Step until the first hop has delivered into B's relay gateway and the
+     heap is momentarily empty: the old next_arrival answered None here,
+     silently hiding the second hop from any skip-ahead consumer. *)
+  let relay = (Cluster.systems cluster).(1) in
+  let parked () =
+    Router.pending (System.router relay) ~port:"RELAY" > 0
+    && (Cluster.stats cluster).Cluster.in_flight = 0
+  in
+  let guard = ref 0 in
+  while (not (parked ())) && !guard < 200 do
+    Cluster.step cluster;
+    incr guard
+  done;
+  check Alcotest.bool "reached the parked state" true (parked ());
+  let bound =
+    match Cluster.next_arrival cluster with
+    | None ->
+      Alcotest.fail
+        "next_arrival ignored the message parked in the forwarding gateway"
+    | Some t -> t
+  in
+  check Alcotest.bool "bound lies in the future" true
+    (bound > Cluster.now cluster);
+  (* The bound discriminates by destination: the parked message heads to
+     module 2, nothing heads to module 1. *)
+  check Alcotest.bool "bound visible for dest 2" true
+    (Cluster.next_arrival_for cluster ~dest:2 <> None);
+  check Alcotest.bool "no bound for dest 1" true
+    (Cluster.next_arrival_for cluster ~dest:1 = None);
+  (* Conservative: the true second-hop arrival is never earlier. *)
+  let transferred () = (Cluster.stats cluster).Cluster.transferred in
+  let before = transferred () in
+  let guard = ref 0 in
+  while transferred () = before && !guard < 200 do
+    Cluster.step cluster;
+    incr guard
+  done;
+  check Alcotest.bool "second hop delivered" true (transferred () > before);
+  check Alcotest.bool "bound was conservative" true
+    (bound <= Cluster.now cluster)
+
+let relay_fleet_identity () =
+  (* The two-hop forward crosses shard and window boundaries; the fleet
+     must re-drain the relay gateway at the right instants. *)
+  let reference =
+    let c = make_relay () in
+    Cluster.run c ~ticks:400;
+    Fleet.fingerprint c
+  in
+  List.iter
+    (fun domains ->
+      let c = make_relay () in
+      let fleet = Fleet.create ~domains c in
+      Fleet.run fleet ~ticks:400;
+      Fleet.close fleet;
+      check Alcotest.string
+        (Printf.sprintf "%d-domain relay == sequential" domains)
+        reference (Fleet.fingerprint c))
+    [ 2; 3 ]
+
+(* --- Fault campaigns over fleets ------------------------------------------- *)
+
+let campaign_spec =
+  C.spec ~seed:42 ~horizon:1200
+    ~injections:
+      [ { C.at = 120; fault = F.Link_fault { fault = F.Msg_delay { ticks = 90 } } };
+        { C.at = 260; fault = F.Link_fault { fault = F.Msg_duplicate } };
+        { C.at = 305; fault = F.Clock_jitter { partition = 0; ticks = 7 } };
+        { C.at = 430; fault = F.Link_fault { fault = F.Msg_loss } };
+        { C.at = 431; fault = F.Link_fault { fault = F.Msg_corrupt { byte = 0 } } };
+        { C.at = 700; fault = F.Port_fault { port = "RX"; fault = F.Msg_loss } } ]
+    ()
+
+let campaign_scenario = ring ~latency:4 ~ticks:0 5
+
+let campaign_matches_sequential () =
+  let make () = make_constellation campaign_scenario in
+  let sequential =
+    E.execute ~make:(fun () -> E.Cluster (make (), 0)) campaign_spec
+  in
+  List.iter
+    (fun domains ->
+      let fleet = Fleet.execute_campaign ~domains ~make campaign_spec in
+      check Alcotest.string
+        (Printf.sprintf "%d-domain campaign fingerprint" domains)
+        sequential.E.fingerprint fleet.E.fingerprint;
+      check Alcotest.int "same number of outcomes"
+        (List.length sequential.E.outcomes)
+        (List.length fleet.E.outcomes))
+    [ 1; 2; 3 ]
+
+let campaign_reproducible () =
+  let make () = make_constellation campaign_scenario in
+  let one () = (Fleet.execute_campaign ~domains:3 ~make campaign_spec).E.fingerprint in
+  check Alcotest.string "same seed, same fleet campaign" (one ()) (one ())
+
+(* --- Construction and bookkeeping ------------------------------------------ *)
+
+let zero_lookahead_rejected () =
+  let s = ring 3 in
+  let cluster =
+    Cluster.create
+      ~bus:{ Cluster.latency = 0; bytes_per_tick = 16 }
+      ~links:(Topology.links ~latency:0 ~gateway:"TX" ~ingress:"RX" Topology.Ring ~n:3)
+      (List.init 3 (fun i ->
+           node ~gateways:[ "TX0" ] ~period:s.periods.(i) ~wcet:s.wcets.(i)
+             ~payload:"z" ()))
+  in
+  check Alcotest.bool "zero-latency link rejected" true
+    (try
+       ignore (Fleet.create ~domains:2 cluster);
+       false
+     with Invalid_argument _ -> true)
+
+let stats_account_progress () =
+  let s = ring ~domains:2 ~ticks:600 4 in
+  let cluster = make_constellation s in
+  let fleet = Fleet.create ~domains:s.domains cluster in
+  Fleet.run fleet ~ticks:s.ticks;
+  let stats = Fleet.stats fleet in
+  check Alcotest.int "two shards" 2 (Stats.domains stats);
+  check Alcotest.bool "windows advanced" true (Stats.windows stats > 0);
+  let stepped = ref 0 and skipped = ref 0 and delivered = ref 0 in
+  for d = 0 to Stats.domains stats - 1 do
+    let sh = Stats.shard stats d in
+    check Alcotest.int "round-robin shard size" 2 sh.Stats.sh_modules;
+    stepped := !stepped + sh.Stats.sh_stepped;
+    skipped := !skipped + sh.Stats.sh_skipped;
+    delivered := !delivered + sh.Stats.sh_delivered
+  done;
+  (* Every module accounts every tick, either executed or skipped. *)
+  check Alcotest.int "ticks conserved" (s.n * s.ticks) (!stepped + !skipped);
+  check Alcotest.int "deliveries match the bus ledger"
+    (Cluster.stats cluster).Cluster.transferred !delivered;
+  (match Json_lint.check (Stats.to_json stats) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("fleet stats JSON: " ^ e));
+  Fleet.close fleet
+
+let topology_shapes () =
+  let count shape n =
+    List.length (Topology.links ~gateway:"TX" ~ingress:"RX" shape ~n)
+  in
+  check Alcotest.int "ring links" 5 (count Topology.Ring 5);
+  check Alcotest.int "grid links" 12 (count (Topology.Grid { rows = 2; cols = 3 }) 6);
+  check Alcotest.int "row-vector grid drops the column direction" 4
+    (count (Topology.Grid { rows = 1; cols = 4 }) 4);
+  check Alcotest.int "mesh links" 12 (count Topology.Mesh 6);
+  check
+    Alcotest.(list string)
+    "mesh gateways" [ "TX0"; "TX1" ]
+    (Topology.gateway_ports Topology.Mesh ~gateway:"TX");
+  check Alcotest.bool "grid size mismatch rejected" true
+    (try
+       ignore (count (Topology.Grid { rows = 2; cols = 2 }) 6);
+       false
+     with Invalid_argument _ -> true);
+  check Alcotest.bool "tiny mesh rejected" true
+    (try
+       ignore (count Topology.Mesh 3);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [ Alcotest.test_case "fleet: ring bit-identity (1/2/4 domains)" `Quick
+      ring_identity;
+    Alcotest.test_case "fleet: grid bit-identity" `Quick grid_identity;
+    Alcotest.test_case "fleet: mesh bit-identity" `Quick mesh_identity;
+    Alcotest.test_case "fleet: chunked runs hit the same barriers" `Quick
+      chunked_runs_identity;
+    Alcotest.test_case "fleet: deterministic across runs" `Quick
+      fleet_is_deterministic;
+    QCheck_alcotest.to_alcotest qcheck_equivalence;
+    Alcotest.test_case "cluster: next_arrival sees pending gateways" `Quick
+      next_arrival_sees_pending_gateway;
+    Alcotest.test_case "fleet: relay forwards across windows" `Quick
+      relay_fleet_identity;
+    Alcotest.test_case "fleet: campaign matches sequential verdicts" `Quick
+      campaign_matches_sequential;
+    Alcotest.test_case "fleet: campaign reproducible" `Quick
+      campaign_reproducible;
+    Alcotest.test_case "fleet: zero lookahead rejected" `Quick
+      zero_lookahead_rejected;
+    Alcotest.test_case "fleet: stats account progress" `Quick
+      stats_account_progress;
+    Alcotest.test_case "topology: shapes and ports" `Quick topology_shapes ]
