@@ -1,5 +1,6 @@
 .PHONY: all build test check bench bench-diff fmt exec-smoke trace-smoke \
-  telemetry-smoke fault-smoke profile-smoke fleet-smoke clean
+  telemetry-smoke fault-smoke profile-smoke fleet-smoke \
+  interference-smoke clean
 
 all: build
 
@@ -18,13 +19,13 @@ check:
 
 # Full benchmark run with committed JSON artifact.
 bench:
-	dune exec bench/main.exe -- --json BENCH_8.json
+	dune exec bench/main.exe -- --json BENCH_9.json
 
 # Regression gate over the two most recent committed artifacts: every row
 # present in both is compared against its group's threshold ratio
 # (bench/diff.ml); nonzero exit on any regression beyond threshold.
 bench-diff:
-	dune exec bench/diff.exe -- BENCH_7.json BENCH_8.json
+	dune exec bench/diff.exe -- BENCH_8.json BENCH_9.json
 
 # Format gate: the build image carries no ocamlformat, so the gate enforces
 # the cheap invariants every formatter run would — no tab characters and no
@@ -99,6 +100,16 @@ profile-smoke:
 fleet-smoke:
 	dune build test/fleet_smoke.exe
 	dune exec test/fleet_smoke.exe -- examples/configs/constellation.air 5000
+
+# End-to-end interference pass: replay the bus-hog scenario against the
+# example satellite sharded over two lanes, and validate the interference
+# telemetry (throttled ticks on a partition other than the hog, JSON
+# well-formedness) and the health-monitor discipline (temporal
+# degradation exactly once per offending frame).
+interference-smoke:
+	dune build test/interference_smoke.exe
+	dune exec test/interference_smoke.exe -- \
+	  examples/configs/leo_satellite.air CAMERA
 
 clean:
 	dune clean

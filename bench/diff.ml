@@ -26,7 +26,8 @@ let threshold_for name =
     | None -> name
   in
   match group with
-  | "scheduler" | "deadline" | "pal" | "ipc" | "mmu" | "causal" -> 2.0
+  | "scheduler" | "deadline" | "pal" | "ipc" | "mmu" | "causal"
+  | "contention" -> 2.0
   | "system" | "recorder" | "telemetry" -> 1.75
   | "exec" | "faults" | "analysis" | "extensions" | "profiler" -> 1.5
   (* Whole-horizon rows, but the domain rows contend for whatever cores

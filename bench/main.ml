@@ -244,6 +244,61 @@ let mmu_tests =
       Test.make ~name:"tlb-served access" (tlb_hit ());
       Test.make ~name:"fault (unmapped)" (fault ()) ]
 
+(* --- contention (shared-resource interference) ------------------------------ *)
+
+let contention_tests =
+  let model ~budget () =
+    Air_spatial.Contention.create ~partitions:4 ~lanes:2
+      (Air_spatial.Contention.config ~default_budget:budget
+         ~curve:[ (0, 1); (500, 2) ] ~compute_cost:1 ())
+  in
+  (* The per-access hot path with nothing armed: one bounds check and two
+     integer adds. This is what every memory touch pays once a module
+     carries a contention model. *)
+  let charge_within () =
+    let c = model ~budget:1_000_000_000 () in
+    Staged.stage (fun () ->
+        ignore (Air_spatial.Contention.charge c ~partition:1 ~cost:2))
+  in
+  (* The armed path: two busy lanes over the aggregate budget, so every
+     charge walks the curve and queues stall debt which the executive
+     then consumes. *)
+  let charge_throttled () =
+    let c = model ~budget:8 () in
+    Air_spatial.Contention.set_lane c 0;
+    ignore (Air_spatial.Contention.charge c ~partition:0 ~cost:64);
+    Air_spatial.Contention.set_lane c 1;
+    ignore (Air_spatial.Contention.charge c ~partition:1 ~cost:64);
+    Staged.stage (fun () ->
+        ignore (Air_spatial.Contention.charge c ~partition:1 ~cost:1);
+        if Air_spatial.Contention.stall_pending c ~partition:1 then
+          Air_spatial.Contention.consume_stall c ~partition:1)
+  in
+  (* MTF-boundary window reset: account zeroing plus pressure decay. *)
+  let window_rollover () =
+    let c = model ~budget:1_000 () in
+    Staged.stage (fun () -> Air_spatial.Contention.rollover c ~now:0)
+  in
+  (* Instrumentation overhead in situ: the full prototype tick with a
+     generous contention model attached (every compute tick charges, no
+     stalls), to be read against system/"prototype tick". *)
+  let prototype_tick_contended () =
+    let cfg =
+      { (Air_workload.Satellite.config ()) with
+        Air.System.contention =
+          Some
+            (Air_spatial.Contention.config ~default_budget:1_000_000_000
+               ~compute_cost:1 ()) }
+    in
+    let s = Air.System.create cfg in
+    Staged.stage (fun () -> Air.System.step s)
+  in
+  Test.make_grouped ~name:"contention"
+    [ Test.make ~name:"charge (within budget)" (charge_within ());
+      Test.make ~name:"charge + stall (curve armed)" (charge_throttled ());
+      Test.make ~name:"window rollover" (window_rollover ());
+      Test.make ~name:"prototype tick (charged)" (prototype_tick_contended ()) ]
+
 (* --- analysis (E1/E11 tooling) --------------------------------------------- *)
 
 let analysis_tests =
@@ -922,9 +977,9 @@ let () =
     "main.exe [--json FILE] [--quota SECONDS] [--dry-run]";
   let groups =
     [ scheduler_tests; store_tests; pal_tests; ipc_tests; mmu_tests;
-      analysis_tests; system_tests; recorder_tests; telemetry_tests;
-      faults_tests; extension_tests; exec_tests; causal_tests;
-      profiler_tests; fleet_tests ]
+      contention_tests; analysis_tests; system_tests; recorder_tests;
+      telemetry_tests; faults_tests; extension_tests; exec_tests;
+      causal_tests; profiler_tests; fleet_tests ]
   in
   let all_rows =
     List.concat_map

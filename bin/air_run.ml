@@ -296,9 +296,24 @@ let run_file path ticks show_trace show_gantt export metrics_json trace_json
     let schedule_names =
       List.mapi (fun i s -> (i, s.Schedule.name)) cfg.Air.System.schedules
     in
+    (* With a contention model, the dashboard grows a derived throttle
+       column: the share of the partition's held ticks served as
+       interference stall in its latest frame. *)
+    let derived =
+      match Air.System.contention system with
+      | None -> []
+      | Some _ ->
+        [ ( "thr%",
+            fun (pf : Air_obs.Telemetry.partition_frame) ->
+              if pf.Air_obs.Telemetry.pf_window_ticks <= 0 then "-"
+              else
+                Printf.sprintf "%d%%"
+                  (pf.Air_obs.Telemetry.pf_throttled * 100
+                  / pf.Air_obs.Telemetry.pf_window_ticks) ) ]
+    in
     let print_dashboard () =
       print_string
-        (Air_vitral.Dashboard.render ~schedules:schedule_names
+        (Air_vitral.Dashboard.render ~schedules:schedule_names ~derived
            ~partitions:partition_names
            (Air.System.telemetry_frames system))
     in

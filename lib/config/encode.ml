@@ -324,6 +324,28 @@ let encode_telemetry names (c : Air_obs.Telemetry.config) =
     (retention
     @ match watchdogs with [] -> [] | ws -> [ field "watchdogs" ws ])
 
+let encode_contention names (c : Air_spatial.Contention.config) =
+  let budget =
+    field "default" [ int c.Air_spatial.Contention.default_budget ]
+    :: List.map
+         (fun (i, b) ->
+           if i >= Array.length names.partitions then
+             invalid_arg "Encode: contention partition index out of range"
+           else list [ atom names.partitions.(i); int b ])
+         c.Air_spatial.Contention.budgets
+  in
+  let curve =
+    List.map
+      (fun (t, s) -> list [ int t; int s ])
+      c.Air_spatial.Contention.curve
+  in
+  field "contention"
+    (field "budget" budget
+     :: field "curve" curve
+     :: field "compute-cost" [ int c.Air_spatial.Contention.compute_cost ]
+     :: [ field "pressure-decay"
+            [ int c.Air_spatial.Contention.pressure_decay_permille ] ])
+
 let encode (cfg : Air.System.config) =
   let names =
     { partitions =
@@ -368,6 +390,11 @@ let encode (cfg : Air.System.config) =
     match cfg.Air.System.telemetry with
     | None -> fields
     | Some c -> fields @ [ encode_telemetry names c ]
+  in
+  let fields =
+    match cfg.Air.System.contention with
+    | None -> fields
+    | Some c -> fields @ [ encode_contention names c ]
   in
   list (atom "air-system" :: fields)
 

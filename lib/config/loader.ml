@@ -580,6 +580,81 @@ let decode_causal args =
   let* () = assert_no_extra f ~known:[ "retention" ] in
   Ok (Air_obs.Causal.create ?capacity:retention ())
 
+(* --- Contention ----------------------------------------------------------- *)
+
+(* (contention
+     (budget (default N) (NAME N) …)
+     (curve (THRESHOLD STALL) …)
+     (compute-cost N)
+     (pressure-decay N))
+   Shared-resource contention model: per-partition memory-bandwidth
+   budgets per MTF window, a slowdown curve in (overage permille,
+   stall ticks per access) steps, an optional per-compute-tick cost and
+   the window-to-window cache-pressure decay (permille). *)
+let decode_contention env args =
+  let* f = fields_of ~context:"contention" args in
+  let* entries =
+    map_all
+      (fun s ->
+        match s with
+        | Sexp.List [ Sexp.Atom "default"; n ] ->
+          let* n = int n in
+          Ok (`Default n)
+        | Sexp.List [ Sexp.Atom name; n ] ->
+          let* i = index_of env.partition_names "partition" name in
+          let* n = int n in
+          Ok (`Partition (i, n))
+        | _ -> error "contention.budget: expected (default N) or (PARTITION N)")
+      (rest_of f "budget")
+  in
+  let* default_budget =
+    List.fold_left
+      (fun acc e ->
+        let* acc = acc in
+        match e with
+        | `Default n ->
+          if Option.is_some acc then
+            error "contention.budget: duplicate (default N)"
+          else Ok (Some n)
+        | `Partition _ -> Ok acc)
+      (Ok None) entries
+  in
+  let* default_budget =
+    match default_budget with
+    | Some n -> Ok n
+    | None -> error "contention.budget: missing (default N)"
+  in
+  let budgets =
+    List.filter_map
+      (function `Partition e -> Some e | `Default _ -> None)
+      entries
+  in
+  (* A present-but-empty (curve) is meaningful — contention accounting
+     without slowdown — and distinct from an absent field (the default
+     one-step curve), so the lookup goes through [optional]. *)
+  let* curve =
+    optional f "curve"
+      (many (fun s ->
+           match s with
+           | Sexp.List [ t; step ] ->
+             let* t = int t in
+             let* step = int step in
+             Ok (t, step)
+           | _ -> error "contention.curve: expected (THRESHOLD STALL)"))
+  in
+  let* compute_cost = optional f "compute-cost" (one int) in
+  let* pressure_decay = optional f "pressure-decay" (one int) in
+  let* () =
+    assert_no_extra f
+      ~known:[ "budget"; "curve"; "compute-cost"; "pressure-decay" ]
+  in
+  match
+    Air_spatial.Contention.config ~budgets ?curve ?compute_cost
+      ?pressure_decay_permille:pressure_decay ~default_budget ()
+  with
+  | c -> Ok c
+  | exception Invalid_argument m -> error "contention: %s" m
+
 (* --- Fault campaigns ------------------------------------------------------ *)
 
 (* (faults
@@ -600,6 +675,7 @@ let decode_causal args =
      (request-schedule SCHEDULE)           (clock-jitter PARTITION TICKS)
      (wild-access PARTITION SECTION read|write [OFFSET])
      (bit-flip PARTITION SECTION BIT read|write)
+     (bandwidth-hog PARTITION PERMILLE)
      (message-loss PORT)                   (message-duplicate PORT)
      (message-corrupt PORT BYTE)           (message-delay PORT TICKS)
      (message-reorder PORT)
@@ -681,6 +757,10 @@ let decode_fault env s =
     let* bit = int bit in
     let* write = decode_rw rw in
     Ok (Bit_flip { partition; section; bit; write })
+  | "bandwidth-hog", [ p; permille ] ->
+    let* partition = partition_index p in
+    let* permille = int permille in
+    Ok (Bandwidth_hog { partition; permille })
   | "message-loss", [ port ] -> port_fault port Msg_loss
   | "message-duplicate", [ port ] -> port_fault port Msg_duplicate
   | "message-corrupt", [ port; byte ] ->
@@ -798,6 +878,13 @@ let decode_system s =
       let* c = decode_causal args in
       Ok (Some c)
   in
+  let* contention =
+    match rest_of f "contention" with
+    | [] -> Ok None
+    | args ->
+      let* c = decode_contention env args in
+      Ok (Some c)
+  in
   (* Multicore executive: (cores N) shards every schedule over N PMK
      lanes (Air.System sharding; window offsets preserved). *)
   let* cores = optional f "cores" (one int) in
@@ -813,12 +900,13 @@ let decode_system s =
     assert_no_extra f
       ~known:
         [ "partitions"; "schedules"; "ports"; "channels"; "initial-schedule";
-          "hm"; "telemetry"; "causal"; "faults"; "cores" ]
+          "hm"; "telemetry"; "causal"; "contention"; "faults"; "cores" ]
   in
   Ok
     (Air.System.config ?initial_schedule
        ~network:{ Port.ports; channels }
-       ~hm_tables ?telemetry ?causal ?cores ~partitions ~schedules ())
+       ~hm_tables ?telemetry ?causal ?contention ?cores ~partitions
+       ~schedules ())
 
 let load input =
   match Sexp.parse_one input with

@@ -48,6 +48,25 @@ let create (cfg : config) =
            ?initial_schedule:cfg.initial_schedule ~partition_count
            cfg.schedules)
   in
+  (* Shared-resource contention model: lane-local accounts sized to the
+     executive's core count; telemetry (if any) switches its interference
+     fields on and learns every partition's budget for the first window
+     (co-runner pressure starts at zero — no window has closed yet). *)
+  let contention =
+    Option.map
+      (fun c ->
+        Contention.create ~partitions:partition_count
+          ~lanes:(Lane.core_count lane) c)
+      cfg.contention
+  in
+  (match (contention, telemetry) with
+  | Some c, Some tel ->
+    Air_obs.Telemetry.enable_interference tel;
+    for p = 0 to partition_count - 1 do
+      Air_obs.Telemetry.set_interference_window tel ~partition:p
+        ~budget:(Contention.budget c p) ~co_pressure:0
+    done
+  | (Some _ | None), (Some _ | None) -> ());
   let hm = Hm.create ~metrics ~tables:cfg.hm_tables () in
   let router =
     Router.create ~metrics ?recorder:cfg.recorder ?causal:cfg.causal
@@ -161,7 +180,7 @@ let create (cfg : config) =
   in
   let t =
     { cfg; lane; hm; router; protection; trace; metrics; events; telemetry;
-      partitions; halt_reason = None }
+      contention; partitions; halt_reason = None }
   in
   system_ref := Some t;
   t

@@ -53,14 +53,17 @@ let exec_action t prt q (action : Script.action) : Apex.outcome =
       | _ -> Mmu.Read
     in
     let pid = prt.setup.partition.Partition.id in
-    let granted =
-      match
-        Protection.access t.protection ~partition:pid
-          ~level:Memory.Application ~access addr
-      with
-      | Ok () -> true
-      | Error _ -> false
+    (* The costed access reports the bandwidth units this touch consumed
+       (TLB hit = 1, miss = 1 + walk depth); the charge is a no-op when
+       no contention model is configured, and [fst access_costed] is
+       exactly the historical [Protection.access] — metrics, TLB fills
+       and outcomes are bit-identical either way. *)
+    let result, cost =
+      Protection.access_costed t.protection ~partition:pid
+        ~level:Memory.Application ~access addr
     in
+    charge_shared_access t prt ~cost;
+    let granted = match result with Ok () -> true | Error _ -> false in
     emit t (Event.Memory_access { partition = pid; address = addr; granted });
     if granted then Apex.Done Apex.No_error
     else begin
@@ -148,6 +151,9 @@ let rec exec_loop t prt q task body on_end consumed actions =
         else begin
           if task.compute_left = 0 then task.compute_left <- n;
           task.compute_left <- task.compute_left - 1;
+          (* Cache pressure of a busy core: charged per consumed compute
+             tick when the contention model prices computation. *)
+          charge_compute_tick t prt;
           if task.compute_left = 0 then begin
             task.pc <- task.pc + 1;
             exec_loop t prt q task body on_end true actions

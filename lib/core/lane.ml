@@ -58,6 +58,26 @@ let combined_active t =
     let actives = Pmk_mc.active_partitions mc in
     first_active actives (Array.length actives) 0
 
+(* The lane on which [pid] currently holds a core, if any — used to
+   attribute injected bandwidth demand to the offender's own lane-local
+   account. *)
+let rec find_lane actives pid n i =
+  if i >= n then None
+  else
+    match actives.(i) with
+    | Some p when Air_model.Ident.Partition_id.equal p pid -> Some i
+    | Some _ | None -> find_lane actives pid n (i + 1)
+
+let active_lane_of t pid =
+  match t with
+  | Single pmk -> (
+    match Pmk.active_partition pmk with
+    | Some p when Air_model.Ident.Partition_id.equal p pid -> Some 0
+    | Some _ | None -> None)
+  | Multi mc ->
+    let actives = Pmk_mc.active_partitions mc in
+    find_lane actives pid (Array.length actives) 0
+
 let next_preemption_tick = function
   | Single pmk -> Pmk.next_preemption_tick pmk
   | Multi mc -> Pmk_mc.next_preemption_tick mc

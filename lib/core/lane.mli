@@ -47,6 +47,10 @@ val combined_active : t -> Partition_id.t option
     mutually exclusive in time, so at most one lane is busy under sharded
     schedules). Feeds the combined telemetry occupancy sample. *)
 
+val active_lane_of : t -> Partition_id.t -> int option
+(** The lane on which the partition currently holds a core, if any — the
+    contention model attributes injected bandwidth demand to it. *)
+
 val next_preemption_tick : t -> Time.t
 (** The next instant at which any lane's heir can change (minimum over
     lanes of {!Pmk.next_preemption_tick}). *)

@@ -95,17 +95,18 @@ type config = {
   telemetry : Air_obs.Telemetry.config option;
   causal : Air_obs.Causal.t option;
   cores : int option;
+  contention : Contention.config option;
 }
 
 let config ?initial_schedule ?(network = { Port.ports = []; channels = [] })
     ?(hm_tables = Hm.default_tables) ?trace_capacity ?recorder ?telemetry
-    ?causal ?cores ~partitions ~schedules () =
+    ?causal ?cores ?contention ~partitions ~schedules () =
   (match cores with
   | Some n when n <= 0 ->
     invalid_arg "System.config: core count must be positive"
   | Some _ | None -> ());
   { partitions; schedules; initial_schedule; network; hm_tables;
-    trace_capacity; recorder; telemetry; causal; cores }
+    trace_capacity; recorder; telemetry; causal; cores; contention }
 
 type task = {
   mutable pc : int;
@@ -142,6 +143,7 @@ type t = {
   metrics : Air_obs.Metrics.t;
   events : Event.t Air_obs.Event.t;
   telemetry : Air_obs.Telemetry.t option;
+  contention : Contention.t option;
   partitions : prt array;
   mutable halt_reason : string option;
 }
@@ -331,6 +333,36 @@ let report_partition_error t prt code ~detail =
     "hm.partition-error" (fun () ->
       let action = Hm.resolve_partition_error t.hm ~partition ~code in
       apply_partition_action t prt action)
+
+(* --- Shared-resource charging (contention model) ------------------------ *)
+
+(* Every memory/TLB touch and (optionally) compute tick flows through
+   here. With no contention model this is a single match on [None]; with
+   one, plain integer account updates — the only allocation is the HM
+   detail string at the (once-per-window-per-partition) budget blow,
+   which escalates as a temporal-degradation error exactly like a
+   watchdog breach. *)
+let charge_shared_access t prt ~cost =
+  match t.contention with
+  | None -> ()
+  | Some c ->
+    let pi = Partition_id.index prt.setup.partition.Partition.id in
+    (match t.telemetry with
+    | Some tel -> Air_obs.Telemetry.on_mem_demand tel ~partition:pi ~cost
+    | None -> ());
+    if Contention.charge c ~partition:pi ~cost then
+      report_partition_error t prt Error.Temporal_degradation
+        ~detail:
+          (Printf.sprintf
+             "memory-bandwidth budget blown: window demand %d > budget %d"
+             (Contention.demand c pi) (Contention.budget c pi))
+
+let charge_compute_tick t prt =
+  match t.contention with
+  | None -> ()
+  | Some c ->
+    let cost = (Contention.configuration c).Contention.compute_cost in
+    if cost > 0 then charge_shared_access t prt ~cost
 
 let report_module_error t code ~detail =
   emit t

@@ -137,19 +137,64 @@ let drive_partition t prt ~elapsed =
           violations
     end;
     (* Second scheduling level: the POS selects the heir process and it
-       executes one tick of its body. *)
+       executes one tick of its body — unless the partition owes
+       interference stall, in which case the tick is consumed as slowdown
+       instead (the contention model's "extra consumed window ticks").
+       Stall is only ever consumed when a process is schedulable, so a
+       blocked partition does not burn its debt while idle. *)
     if
       Option.is_none t.halt_reason
       && Partition.mode_equal prt.mode Partition.Normal
     then begin
       let q = Kernel.schedule_idx prt.kernel ~now:(now t) in
-      if q >= 0 then Interp.run_task_tick t prt q
+      if q >= 0 then begin
+        match t.contention with
+        | None -> Interp.run_task_tick t prt q
+        | Some c ->
+          let pi = Partition_id.index prt.setup.partition.Partition.id in
+          if Contention.stall_pending c ~partition:pi then begin
+            Contention.consume_stall c ~partition:pi;
+            match t.telemetry with
+            | Some tel -> Air_obs.Telemetry.on_throttled tel ~partition:pi
+            | None -> ()
+          end
+          else Interp.run_task_tick t prt q
+      end
     end
   | Partition.Idle | Partition.Cold_start | Partition.Warm_start -> ()
+
+(* MTF-boundary window rollover for the contention model. Every
+   preemption table carries a tick-0 entry, so the executive's skip-ahead
+   never crosses an MTF boundary — boundary ticks always execute through
+   [step], in every engine mode, which is what makes this per-tick hook
+   sound. It runs after the lane tick (the telemetry frame for the closed
+   window is already snapshotted) and before any partition is driven, so
+   the boundary tick's charges land in the new window — mirroring the
+   boundary-tick-opens-the-new-frame telemetry convention. The new
+   window's budgets and co-runner pressure are pushed into the frame
+   accumulator here. *)
+let contention_rollover t c =
+  if Pmk.mtf_position (Lane.primary t.lane) = 0 then begin
+    let tnow = now t in
+    if tnow > Contention.window_start c then begin
+      Contention.rollover c ~now:tnow;
+      match t.telemetry with
+      | None -> ()
+      | Some tel ->
+        for p = 0 to Array.length t.partitions - 1 do
+          Air_obs.Telemetry.set_interference_window tel ~partition:p
+            ~budget:(Contention.budget c p)
+            ~co_pressure:(Contention.co_runner_pressure c p)
+        done
+    end
+  end
 
 let step_single t pmk =
   let outcome = Pmk.tick pmk in
   apply_outcome t ~primary:true outcome;
+  (match t.contention with
+  | Some c -> contention_rollover t c
+  | None -> ());
   match Pmk.active_partition pmk with
   | None -> ()
   | Some pid -> drive_partition t (prt_of t pid) ~elapsed:outcome.Pmk.elapsed
@@ -170,10 +215,18 @@ let step_multi t mc =
         | Some p -> Partition_id.index p
         | None -> -1)
   | None -> ());
+  (match t.contention with
+  | Some c -> contention_rollover t c
+  | None -> ());
   let actives = Pmk_mc.active_partitions mc in
   for core = 0 to Array.length actives - 1 do
     match actives.(core) with
     | Some pid when Option.is_none t.halt_reason ->
+      (* Lane-local charging: every shared-resource touch made while this
+         core's partition is driven debits this lane's account. *)
+      (match t.contention with
+      | Some c -> Contention.set_lane c core
+      | None -> ());
       drive_partition t (prt_of t pid) ~elapsed:outcomes.(core).Pmk.elapsed
     | Some _ | None -> ()
   done
@@ -221,24 +274,34 @@ let halted t = t.halt_reason
 
 (* A span of ticks is quiet — skippable without observable difference —
    when every partition currently holding a core would do nothing under
-   per-tick execution: normal mode with no schedulable process and no
-   pending clock-jitter bookkeeping, or parked in idle mode. Partitions
-   not holding a core are never driven per-tick, so they cannot constrain
-   the span; starting modes initialize at the dispatch tick itself, which
-   is always an event tick. *)
-let prt_quiescent prt =
+   per-tick execution: normal mode with no schedulable process, no
+   pending clock-jitter bookkeeping and no owed interference stall, or
+   parked in idle mode. Partitions not holding a core are never driven
+   per-tick, so they cannot constrain the span; starting modes initialize
+   at the dispatch tick itself, which is always an event tick. The stall
+   conjunct keeps a partition in slowdown interesting to the executive's
+   clock ([Exec.Clock.next_interesting]); it is trivially true when no
+   contention model is configured, preserving bit-identity. *)
+let prt_quiescent t prt =
   match prt.mode with
   | Partition.Idle -> true
   | Partition.Cold_start | Partition.Warm_start -> false
   | Partition.Normal ->
     prt.jitter_left = 0 && prt.jitter_deferred = 0
-    && not (Kernel.has_schedulable prt.kernel)
+    && (not (Kernel.has_schedulable prt.kernel))
+    && (match t.contention with
+       | None -> true
+       | Some c ->
+         not
+           (Contention.stall_pending c
+              ~partition:
+                (Partition_id.index prt.setup.partition.Partition.id)))
 
 let rec lanes_quiescent t actives n i =
   i >= n
   || (match actives.(i) with
      | None -> true
-     | Some pid -> prt_quiescent (prt_of t pid))
+     | Some pid -> prt_quiescent t (prt_of t pid))
      && lanes_quiescent t actives n (i + 1)
 
 let quiescent t =
@@ -250,7 +313,7 @@ let quiescent t =
   | Lane.Single pmk -> (
     match Pmk.active_partition pmk with
     | None -> true
-    | Some pid -> prt_quiescent (prt_of t pid))
+    | Some pid -> prt_quiescent t (prt_of t pid))
   | Lane.Multi mc ->
     let actives = Pmk_mc.active_partitions mc in
     lanes_quiescent t actives (Array.length actives) 0
@@ -354,6 +417,7 @@ let metrics_json t =
 let recorder t = t.cfg.recorder
 let causal t = t.cfg.causal
 let telemetry t = t.telemetry
+let contention t = t.contention
 
 let telemetry_frames t =
   match t.telemetry with
@@ -523,19 +587,48 @@ let note_fault t ~label = emit t (Event.Fault_injected { label })
 
 let inject_memory_access t pid ~access ~address =
   let prt = prt_of t pid in
-  let granted =
-    match
-      Protection.access t.protection ~partition:pid ~level:Memory.Application
-        ~access address
-    with
-    | Ok () -> true
-    | Error _ -> false
+  let result, cost =
+    Protection.access_costed t.protection ~partition:pid
+      ~level:Memory.Application ~access address
   in
+  (match t.contention with
+  | None -> ()
+  | Some c ->
+    (* Attribute the injected touch to the lane the partition currently
+       occupies (lane 0 if it is not holding a core). *)
+    Contention.set_lane c
+      (match Lane.active_lane_of t.lane pid with Some l -> l | None -> 0);
+    charge_shared_access t prt ~cost);
+  let granted = match result with Ok () -> true | Error _ -> false in
   emit t (Event.Memory_access { partition = pid; address; granted });
   if not granted then
     report_partition_error t prt Error.Memory_violation
       ~detail:(Printf.sprintf "address 0x%x (injected)" address);
   granted
+
+(* A bandwidth-hog fault: the partition saturates its lane's memory
+   bandwidth. Modeled as a bulk demand injection of
+   [budget * permille / 1000] units charged to the offender's account and
+   lane at the injection tick. Returns the charged demand ([None] when no
+   contention model is configured — the fault cannot exist without the
+   model). A hog that pushes its account past its budget escalates
+   through the HM as temporal-degradation via the ordinary charge path;
+   victims co-running on other lanes degrade only through the modeled
+   slowdown curve, which the campaign oracle checks from telemetry. *)
+let inject_bandwidth_hog t pid ~permille =
+  match t.contention with
+  | None -> None
+  | Some c ->
+    if permille <= 0 then Some 0
+    else begin
+      let prt = prt_of t pid in
+      let pi = Partition_id.index pid in
+      let cost = Stdlib.max 1 (Contention.budget c pi * permille / 1000) in
+      Contention.set_lane c
+        (match Lane.active_lane_of t.lane pid with Some l -> l | None -> 0);
+      charge_shared_access t prt ~cost;
+      Some cost
+    end
 
 let inject_clock_jitter t pid ~ticks =
   if ticks > 0 then begin

@@ -115,6 +115,17 @@ type config = Runtime.config = {
           global clock ({!Pmk_mc}); mode-based schedule switches are
           broadcast to every lane. [None] or [Some 1] keeps the
           single-core executive. *)
+  contention : Contention.config option;
+      (** Shared-resource contention model: per-partition memory-bandwidth
+          budgets per MTF window, a decayed cache-pressure score and a
+          slowdown curve applied when partitions co-running on different
+          lanes exceed the aggregate budget. Every memory/TLB touch is
+          charged ({!Air_spatial.Protection.access_costed}); a partition
+          that blows its own budget escalates through the HM as
+          {!Air_model.Error.Temporal_degradation} exactly once per window;
+          owed slowdown is consumed as extra window ticks in place of
+          script ticks. [None] disables the model entirely — the executive
+          is then bit-identical to the pre-contention code path. *)
 }
 
 val config :
@@ -126,6 +137,7 @@ val config :
   ?telemetry:Air_obs.Telemetry.config ->
   ?causal:Air_obs.Causal.t ->
   ?cores:int ->
+  ?contention:Contention.config ->
   partitions:partition_setup list ->
   schedules:Schedule.t list ->
   unit ->
@@ -164,9 +176,11 @@ val halted : t -> string option
 val quiescent : t -> bool
 (** Whether per-tick execution would be a pure clock advance right now:
     every partition currently holding a core is either idle or in normal
-    mode with no schedulable process and no pending clock-jitter
-    bookkeeping. Partitions not holding a core are never driven per-tick
-    and cannot break quiescence. *)
+    mode with no schedulable process, no pending clock-jitter bookkeeping
+    and no owed interference stall. Partitions not holding a core are
+    never driven per-tick and cannot break quiescence. The stall conjunct
+    keeps a partition in contention slowdown interesting to the
+    executive's clock; without a contention model it is trivially true. *)
 
 val next_partition_event : t -> Time.t
 (** The earliest future tick at which a currently-active partition becomes
@@ -231,6 +245,9 @@ val export_meta : t -> (string * int) list
 
 val telemetry : t -> Air_obs.Telemetry.t option
 (** The telemetry accumulator, when the config enabled telemetry. *)
+
+val contention : t -> Contention.t option
+(** The live contention accounts, when the config enabled the model. *)
 
 val telemetry_frames : t -> Air_obs.Telemetry.frame list
 (** Retained closed frames, oldest first; [[]] without telemetry. *)
@@ -344,6 +361,17 @@ val inject_memory_access :
     partition-level [Memory_violation] through the Health Monitor. Returns
     whether the access was granted — a bit flip landing inside the
     partition's own region is spatially contained by construction. *)
+
+val inject_bandwidth_hog : t -> Partition_id.t -> permille:int -> int option
+(** Bandwidth-hog fault: charge the partition a bulk demand of
+    [its budget * permille / 1000] bandwidth units (minimum 1) against its
+    window account and its current lane's account, exactly as if it had
+    issued that many unit accesses. Returns the charged demand, or [None]
+    when no contention model is configured (the fault has nothing to
+    saturate). Blowing the budget escalates through the Health Monitor as
+    [Temporal_degradation] once per window; co-runners on other lanes may
+    subsequently accrue slowdown per the configured curve — and only per
+    that curve, which the campaign oracle verifies from telemetry. *)
 
 val inject_clock_jitter : t -> Partition_id.t -> ticks:int -> unit
 (** Suppress the PAL surrogate clock-tick announcement for the partition's

@@ -38,5 +38,7 @@ let horizon ~now ~remaining =
 (* Whether the instants strictly between now and [next] can be skipped:
    nothing is due in the open interval, and the module is quiescent (no
    schedulable process, no jitter bookkeeping, no partition initializing
-   on a held core). *)
+   on a held core, and no contention stall debt left to serve — a
+   partition in interference slowdown is burning real window ticks, so
+   its span is interesting and must run per-tick). *)
 let span_quiet system = System.quiescent system

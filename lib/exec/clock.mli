@@ -26,4 +26,7 @@ val horizon : now:Time.t -> remaining:int -> Time.t
 
 val span_quiet : Air.System.t -> bool
 (** Whether the instants strictly before the next interesting tick can be
-    skipped — an alias for {!Air.System.quiescent}. *)
+    skipped — an alias for {!Air.System.quiescent}. A partition serving
+    contention stall debt (interference slowdown) is {e not} quiescent:
+    its extra consumed window ticks execute through the per-tick path, so
+    skip-ahead never jumps over a throttled span. *)

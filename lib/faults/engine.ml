@@ -177,6 +177,21 @@ let apply_fault target ~schedule_redelivery (fault : Fault.t) =
       if Air.System.inject_memory_access sys pid ~access ~address then
         no_flow (Absorbed "flipped address stayed in-region")
       else no_flow Applied)
+  | Fault.Bandwidth_hog { partition; permille } -> (
+    let pid = Partition_id.make partition in
+    match Air.System.inject_bandwidth_hog sys pid ~permille with
+    | None -> no_flow (Failed "contention model not configured")
+    | Some _ ->
+      (* Applied iff the burst blew the hog's own window budget (the HM
+         escalation the detection matcher then looks for); a sub-budget
+         burst is absorbed by the contention accounts. *)
+      let blown =
+        match Air.System.contention sys with
+        | Some c -> Air_spatial.Contention.blown c partition
+        | None -> false
+      in
+      if blown then no_flow Applied
+      else no_flow (Absorbed "demand within budget"))
   | Fault.Port_fault { port; fault = cf } -> (
     let router = Air.System.router sys in
     let now = Air.System.now sys in
@@ -237,6 +252,8 @@ let expected_detection (fault : Fault.t) =
     Some (Error.Deadline_missed, `Partition partition)
   | Fault.Clock_jitter { partition; _ } ->
     Some (Error.Deadline_missed, `Partition partition)
+  | Fault.Bandwidth_hog { partition; _ } ->
+    Some (Error.Temporal_degradation, `Partition partition)
   | Fault.Module_error { code } -> Some (code, `Module)
   | Fault.Process_stop _ | Fault.Partition_restart _ | Fault.Schedule_request _
   | Fault.Port_fault _ | Fault.Link_fault _ ->

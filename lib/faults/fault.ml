@@ -25,6 +25,7 @@ type t =
       bit : int;
       write : bool;
     }
+  | Bandwidth_hog of { partition : int; permille : int }
   | Port_fault of { port : string; fault : comm_fault }
   | Link_fault of { fault : comm_fault }
   | Module_error of { code : Error.code }
@@ -41,7 +42,8 @@ let scope = function
   | Partition_restart { partition; _ }
   | Clock_jitter { partition; _ }
   | Wild_access { partition; _ }
-  | Bit_flip { partition; _ } ->
+  | Bit_flip { partition; _ }
+  | Bandwidth_hog { partition; _ } ->
     Scope_partition partition
   | Port_fault { port; _ } -> Scope_port port
   | Schedule_request _ -> Scope_benign
@@ -52,6 +54,10 @@ let guaranteed_detection = function
     (* Out-of-region by construction: the MMU walk must deny it. *)
     Some Error.Memory_violation
   | Module_error { code } -> Some code
+  | Bandwidth_hog _ ->
+    (* Applied means the hog's own window demand blew its budget, which
+       the executive must escalate as temporal degradation. *)
+    Some Error.Temporal_degradation
   | Runaway_start _ | Process_stop _ | Partition_restart _
   | Schedule_request _ | Clock_jitter _ | Bit_flip _ | Port_fault _
   | Link_fault _ ->
@@ -102,6 +108,8 @@ let label = function
     Printf.sprintf "bit-flip p%d %s bit%d %s" partition (section_name section)
       bit
       (if write then "write" else "read")
+  | Bandwidth_hog { partition; permille } ->
+    Printf.sprintf "bandwidth-hog p%d %d" partition permille
   | Port_fault { port; fault } ->
     Printf.sprintf "message-%s %s" (comm_name fault) port
   | Link_fault { fault } -> Printf.sprintf "link-%s" (comm_name fault)

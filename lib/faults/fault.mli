@@ -55,6 +55,13 @@ type t =
       (** Single-event-upset model: an address bit flips. Low bits stay
           inside the partition's region (benign by spatial construction);
           high bits leave it and must be denied. *)
+  | Bandwidth_hog of { partition : int; permille : int }
+      (** Shared-resource interference: a one-shot burst of memory-bus
+          demand charged to the partition's contention account, sized as
+          [permille] of its per-window budget (so [1500] blows the budget
+          outright). Requires a configured contention model; victims on
+          other lanes may only degrade within the modeled slowdown curve
+          (checked by the [Oracle]). *)
   (* Communication faults *)
   | Port_fault of { port : string; fault : comm_fault }
       (** Strike a channel of the module-local [Ipc.Router]. *)

@@ -241,6 +241,41 @@ let check ?(options = default_options) (run : Engine.run) =
         end)
       (Air.System.partition_ids sys)
   end;
+  (* Interference-curve containment: under a bandwidth-hog campaign,
+     victims on other lanes may degrade only within the modeled slowdown
+     curve — per telemetry frame, a partition's throttled ticks are
+     bounded by [max_stall_per_access * its own charged accesses] (each
+     charge accrues at most the curve's largest step). *)
+  let hogged =
+    List.exists
+      (fun (inj : Campaign.injection) ->
+        match inj.Campaign.fault with
+        | Fault.Bandwidth_hog _ -> true
+        | _ -> false)
+      run.Engine.plan
+  in
+  (match (hogged, Air.System.contention sys) with
+  | true, Some c ->
+    let bound = Air_spatial.Contention.max_stall_per_access c in
+    List.iter
+      (fun (f : Air_obs.Telemetry.frame) ->
+        Array.iter
+          (fun (pf : Air_obs.Telemetry.partition_frame) ->
+            count ();
+            if pf.Air_obs.Telemetry.pf_throttled
+               > bound * pf.Air_obs.Telemetry.pf_mem_demand
+            then
+              fail "interference-curve"
+                (Printf.sprintf
+                   "partition %d frame %d: %d throttled ticks exceed the \
+                    curve bound %d (= %d per access x %d accesses)"
+                   pf.Air_obs.Telemetry.pf_partition f.Air_obs.Telemetry.f_index
+                   pf.Air_obs.Telemetry.pf_throttled
+                   (bound * pf.Air_obs.Telemetry.pf_mem_demand)
+                   bound pf.Air_obs.Telemetry.pf_mem_demand))
+          f.Air_obs.Telemetry.f_partitions)
+      (Air.System.telemetry_frames sys)
+  | (true | false), _ -> ());
   (* HM action matching (stateful table replay). *)
   replay_actions ~fail ~count sys;
   (* Guaranteed detection. *)

@@ -21,8 +21,14 @@
       by exactly the action the configured HM tables resolve to, verified
       by replaying the table lookup (including stateful [Log_then]
       thresholds) over the trace;
+    - {b interference-curve containment} — under a bandwidth-hog
+      campaign, every partition's throttled ticks per telemetry frame
+      stay within the modeled slowdown curve
+      ([Contention.max_stall_per_access] times its own charged accesses),
+      so victims on other lanes degrade only as the model allows;
     - {b guaranteed detection} — faults that must be caught (wild
-      accesses, injected module errors) were caught. *)
+      accesses, injected module errors, budget-blowing bandwidth hogs)
+      were caught. *)
 
 type options = {
   output_tolerance_permille : int;

@@ -55,6 +55,14 @@ type partition_frame = {
   pf_catch_up_max : int;
   pf_deadline_misses : int;
   pf_hm_errors : int;
+  (* Interference fields, meaningful only when the frame's [f_interference]
+     flag is set (a contention model was configured); all zero otherwise
+     and omitted from the exports, keeping them byte-identical to the
+     pre-contention schema. *)
+  pf_mem_demand : int;
+  pf_mem_budget : int;
+  pf_throttled : int;
+  pf_co_pressure : int;
 }
 
 type frame = {
@@ -77,6 +85,7 @@ type frame = {
   f_ipc_p90 : int;
   f_ipc_p99 : int;
   f_ipc_max : int;
+  f_interference : bool;
   f_partitions : partition_frame array;
 }
 
@@ -107,6 +116,13 @@ type t = {
   hm_errors : int array;
   jitter : Quantile.t;
   ipc : Quantile.t;
+  mutable interference : bool;
+      (* Set once at boot when a contention model is attached; gates the
+         interference fields in frames and exports. *)
+  mem_demand : int array;
+  mem_budget : int array;
+  throttled : int array;
+  co_pressure : int array;
 }
 
 let create ?(config = default_config) ~partition_count () =
@@ -132,7 +148,12 @@ let create ?(config = default_config) ~partition_count () =
     deadline_misses = Array.make n 0;
     hm_errors = Array.make n 0;
     jitter = Quantile.create ();
-    ipc = Quantile.create () }
+    ipc = Quantile.create ();
+    interference = false;
+    mem_demand = Array.make n 0;
+    mem_budget = Array.make n 0;
+    throttled = Array.make n 0;
+    co_pressure = Array.make n 0 }
 
 let configuration t = t.cfg
 let frame_start t = t.cur_start
@@ -193,6 +214,24 @@ let on_hm_error t ~partition =
 
 let on_ipc_delivery t ~latency = Quantile.record t.ipc latency
 
+(* Interference accounting, fed by the executive's contention model. *)
+
+let interference_enabled t = t.interference
+let enable_interference t = t.interference <- true
+
+let on_mem_demand t ~partition ~cost =
+  t.mem_demand.(partition) <- t.mem_demand.(partition) + cost
+
+let on_throttled t ~partition =
+  t.throttled.(partition) <- t.throttled.(partition) + 1
+
+(* Budget and co-runner pressure are window-scoped facts, not counters:
+   pushed at every window open (and at boot) and carried into the frame
+   closing that window, like [allotted]. *)
+let set_interference_window t ~partition ~budget ~co_pressure =
+  t.mem_budget.(partition) <- budget;
+  t.co_pressure.(partition) <- co_pressure
+
 (* --- Frame close -------------------------------------------------------- *)
 
 let push_frame t frame =
@@ -215,7 +254,11 @@ let close_frame t ~now ~next_schedule ~next_allotted =
           pf_jitter_max = t.jitter_max.(i);
           pf_catch_up_max = t.catch_up_max.(i);
           pf_deadline_misses = t.deadline_misses.(i);
-          pf_hm_errors = t.hm_errors.(i) })
+          pf_hm_errors = t.hm_errors.(i);
+          pf_mem_demand = t.mem_demand.(i);
+          pf_mem_budget = t.mem_budget.(i);
+          pf_throttled = t.throttled.(i);
+          pf_co_pressure = t.co_pressure.(i) })
   in
   let frame =
     { f_index = t.total_frames;
@@ -237,6 +280,7 @@ let close_frame t ~now ~next_schedule ~next_allotted =
       f_ipc_p90 = Quantile.p90 t.ipc;
       f_ipc_p99 = Quantile.p99 t.ipc;
       f_ipc_max = Quantile.max_value t.ipc;
+      f_interference = t.interference;
       f_partitions = partitions }
   in
   push_frame t frame;
@@ -254,6 +298,8 @@ let close_frame t ~now ~next_schedule ~next_allotted =
   Array.fill t.catch_up_max 0 (Array.length t.catch_up_max) 0;
   Array.fill t.deadline_misses 0 (Array.length t.deadline_misses) 0;
   Array.fill t.hm_errors 0 (Array.length t.hm_errors) 0;
+  Array.fill t.mem_demand 0 (Array.length t.mem_demand) 0;
+  Array.fill t.throttled 0 (Array.length t.throttled) 0;
   Quantile.clear t.jitter;
   Quantile.clear t.ipc;
   Array.iteri
@@ -346,16 +392,26 @@ let breaches w frame =
 
 let schema = "air-telemetry/1"
 
-let json_partition b pf =
+(* The interference fields are appended only for frames accumulated with
+   a contention model attached, so exports from a module without one stay
+   byte-identical to the pre-contention schema. *)
+let json_partition b ~interference pf =
   Buffer.add_string b
     (Printf.sprintf
        "{\"partition\":%d,\"window_ticks\":%d,\"allotted\":%d,\
         \"utilization_permille\":%d,\"dispatches\":%d,\"jitter_max\":%d,\
-        \"catch_up_max\":%d,\"deadline_misses\":%d,\"hm_errors\":%d}"
+        \"catch_up_max\":%d,\"deadline_misses\":%d,\"hm_errors\":%d"
        pf.pf_partition pf.pf_window_ticks pf.pf_allotted
        (frame_utilization_permille pf)
        pf.pf_dispatches pf.pf_jitter_max pf.pf_catch_up_max
-       pf.pf_deadline_misses pf.pf_hm_errors)
+       pf.pf_deadline_misses pf.pf_hm_errors);
+  if interference then
+    Buffer.add_string b
+      (Printf.sprintf
+         ",\"mem_demand\":%d,\"mem_budget\":%d,\"throttled\":%d,\
+          \"co_pressure\":%d"
+         pf.pf_mem_demand pf.pf_mem_budget pf.pf_throttled pf.pf_co_pressure);
+  Buffer.add_char b '}'
 
 let json_frame b f =
   Buffer.add_string b
@@ -372,7 +428,7 @@ let json_frame b f =
   Array.iteri
     (fun i pf ->
       if i > 0 then Buffer.add_char b ',';
-      json_partition b pf)
+      json_partition b ~interference:f.f_interference pf)
     f.f_partitions;
   Buffer.add_string b "]}"
 
@@ -394,9 +450,18 @@ let csv_header =
    ipc_max,partition,window_ticks,allotted,utilization_permille,dispatches,\
    p_jitter_max,p_catch_up_max,p_deadline_misses,p_hm_errors"
 
+let csv_interference_columns = ",mem_demand,mem_budget,throttled,co_pressure"
+
 let to_csv frames =
+  (* A module either has a contention model for its whole run or none:
+     frames never mix, so the file-level header decision is sound (and
+     keeps contention-free exports byte-identical). *)
+  let interference =
+    List.exists (fun f -> f.f_interference) frames
+  in
   let b = Buffer.create 4096 in
   Buffer.add_string b csv_header;
+  if interference then Buffer.add_string b csv_interference_columns;
   Buffer.add_char b '\n';
   List.iter
     (fun f ->
@@ -405,7 +470,7 @@ let to_csv frames =
           Buffer.add_string b
             (Printf.sprintf
                "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,\
-                %d,%d,%d,%d,%d,%d,%d,%d,%d\n"
+                %d,%d,%d,%d,%d,%d,%d,%d,%d"
                f.f_index f.f_schedule f.f_start f.f_stop f.f_busy f.f_slack
                f.f_catch_up_max f.f_deadline_misses f.f_hm_errors
                f.f_jitter_count f.f_jitter_p50 f.f_jitter_p90 f.f_jitter_p99
@@ -414,7 +479,12 @@ let to_csv frames =
                pf.pf_allotted
                (frame_utilization_permille pf)
                pf.pf_dispatches pf.pf_jitter_max pf.pf_catch_up_max
-               pf.pf_deadline_misses pf.pf_hm_errors))
+               pf.pf_deadline_misses pf.pf_hm_errors);
+          if interference then
+            Buffer.add_string b
+              (Printf.sprintf ",%d,%d,%d,%d" pf.pf_mem_demand pf.pf_mem_budget
+                 pf.pf_throttled pf.pf_co_pressure);
+          Buffer.add_char b '\n')
         f.f_partitions)
     frames;
   Buffer.contents b

@@ -75,6 +75,15 @@ type partition_frame = {
   pf_catch_up_max : int;
   pf_deadline_misses : int;
   pf_hm_errors : int;
+  pf_mem_demand : int;
+      (** Bandwidth units the partition charged this frame (contention
+          model); 0 when no model is configured. *)
+  pf_mem_budget : int;  (** Its per-window bandwidth budget; 0 when none. *)
+  pf_throttled : int;
+      (** Ticks consumed as interference stall instead of script work. *)
+  pf_co_pressure : int;
+      (** Sum of the co-running partitions' cache-pressure scores at the
+          frame's window open. *)
 }
 
 type frame = {
@@ -97,6 +106,10 @@ type frame = {
   f_ipc_p90 : int;
   f_ipc_p99 : int;
   f_ipc_max : int;
+  f_interference : bool;
+      (** Whether a contention model fed this frame — gates the
+          interference fields in the JSON/CSV exports so contention-free
+          exports stay byte-identical to the pre-contention schema. *)
   f_partitions : partition_frame array;
 }
 
@@ -149,6 +162,27 @@ val on_hm_error : t -> partition:int option -> unit
 
 val on_ipc_delivery : t -> latency:int -> unit
 (** A queuing message received [latency] ticks after it was enqueued. *)
+
+(** {2 Interference hooks} — fed by the executive's contention model. *)
+
+val interference_enabled : t -> bool
+
+val enable_interference : t -> unit
+(** Called once at boot when a contention model is attached; from then on
+    every closed frame carries [f_interference = true] and the exports
+    include the interference columns. *)
+
+val on_mem_demand : t -> partition:int -> cost:int -> unit
+(** [cost] bandwidth units charged by the partition. *)
+
+val on_throttled : t -> partition:int -> unit
+(** One tick consumed as interference stall instead of script work. *)
+
+val set_interference_window : t -> partition:int -> budget:int -> co_pressure:int -> unit
+(** Window-scoped facts for the frame being accumulated — the partition's
+    bandwidth budget and the pressure its co-runners carried into the
+    window; pushed at boot and at every window rollover (they persist
+    across frame close, like the allotted ticks). *)
 
 (** {2 Frame lifecycle} *)
 
@@ -212,6 +246,12 @@ val to_json : frame list -> string
 
 val csv_header : string
 
+val csv_interference_columns : string
+(** Extra header columns appended when the exported frames carry
+    interference data (see {!to_csv}). *)
+
 val to_csv : frame list -> string
 (** Header plus one row per (frame × partition); frame-level columns are
-    repeated on each of the frame's partition rows. *)
+    repeated on each of the frame's partition rows. When any frame was
+    accumulated with a contention model ([f_interference]), the
+    interference columns are appended to the header and every row. *)

@@ -121,21 +121,23 @@ let unmap_context t ~context =
   check_context t context;
   Array.fill t.tables.(context) 0 l1_entries Invalid
 
-let lookup t ~context address =
-  if address < 0 || address >= address_space then None
+(* Depth = number of table levels consulted (1–3); the cost model of
+   [Protection]/[Contention] charges deeper walks more. *)
+let lookup_depth t ~context address =
+  if address < 0 || address >= address_space then (None, 1)
   else begin
     let l1 = t.tables.(context) in
     match l1.(address / l1_span) with
-    | Invalid -> None
-    | Pte pte -> Some pte
+    | Invalid -> (None, 1)
+    | Pte pte -> (Some pte, 1)
     | Ptd l2 -> (
       match l2.(address mod l1_span / l2_span) with
-      | Invalid -> None
-      | Pte pte -> Some pte
+      | Invalid -> (None, 2)
+      | Pte pte -> (Some pte, 2)
       | Ptd l3 -> (
         match l3.(address mod l2_span / l3_span) with
-        | Invalid | Ptd _ -> None
-        | Pte pte -> Some pte))
+        | Invalid | Ptd _ -> (None, 3)
+        | Pte pte -> (Some pte, 3)))
   end
 
 let permits (perms : Memory.perms) = function
@@ -143,7 +145,7 @@ let permits (perms : Memory.perms) = function
   | Write -> perms.write
   | Execute -> perms.execute
 
-let translate t ~context ~level ~access address =
+let translate_costed t ~context ~level ~access address =
   check_context t context;
   Air_obs.Metrics.incr t.walks;
   let fault reason =
@@ -155,12 +157,19 @@ let translate t ~context ~level ~access address =
       | Permission -> t.fault_permission);
     Error { context; address; access; level; reason }
   in
-  match lookup t ~context address with
-  | None -> fault Unmapped
-  | Some pte ->
-    if level_rank level < level_rank pte.min_level then fault Privilege
-    else if not (permits pte.perms access) then fault Permission
-    else Ok (pte.perms, pte.min_level)
+  let entry, depth = lookup_depth t ~context address in
+  let result =
+    match entry with
+    | None -> fault Unmapped
+    | Some pte ->
+      if level_rank level < level_rank pte.min_level then fault Privilege
+      else if not (permits pte.perms access) then fault Permission
+      else Ok (pte.perms, pte.min_level)
+  in
+  (result, depth)
+
+let translate t ~context ~level ~access address =
+  fst (translate_costed t ~context ~level ~access address)
 
 let entry_count t ~context =
   check_context t context;

@@ -56,6 +56,17 @@ val translate :
 (** Full page-table walk. On success returns the granting PTE's permissions
     and minimum level (the data a TLB caches). *)
 
+val translate_costed :
+  t ->
+  context:int ->
+  level:Memory.exec_level ->
+  access:access_kind ->
+  int ->
+  (Memory.perms * Memory.exec_level, fault) result * int
+(** As {!translate}, additionally reporting the walk depth: the number of
+    table levels consulted (1 for a 16 MiB L1 hit, up to 3 for a 4 KiB
+    page), the per-access cost unit the contention model charges. *)
+
 val entry_count : t -> context:int -> int
 (** Number of valid PTEs installed for the context (any level) — exposed for
     tests and for the E10 experiment's table-size report. *)

@@ -22,7 +22,11 @@ let create ?metrics ?tlb_capacity ?(contexts = 16) maps =
     maps;
   { mmu; tlb = Tlb.create ~metrics:reg ?capacity:tlb_capacity (); maps }
 
-let access t ~partition ~level ~access addr =
+(* Per-access cost unit for the contention model: a TLB hit costs 1, a
+   miss costs 1 plus the number of page-table levels the MMU walk
+   consulted (so 2–4). Faulting accesses are charged too — a denied
+   access still occupied the walk hardware. *)
+let access_costed t ~partition ~level ~access addr =
   let context = context_of partition in
   let vpn = addr / Memory.page_size in
   let check perms min_level =
@@ -47,16 +51,19 @@ let access t ~partition ~level ~access addr =
     else Ok ()
   in
   match Tlb.lookup t.tlb ~context ~vpn with
-  | Some e -> check e.Tlb.perms e.Tlb.min_level
+  | Some e -> (check e.Tlb.perms e.Tlb.min_level, 1)
   | None -> (
-    match Mmu.translate t.mmu ~context ~level ~access addr with
-    | Ok (perms, min_level) ->
+    match Mmu.translate_costed t.mmu ~context ~level ~access addr with
+    | Ok (perms, min_level), depth ->
       Tlb.insert t.tlb { Tlb.context; vpn; perms; min_level };
-      Ok ()
-    | Error f ->
+      (Ok (), 1 + depth)
+    | Error f, depth ->
       (* Cache successful translations only; faults always re-walk, as on
          the LEON3 (no negative caching). *)
-      Error f)
+      (Error f, 1 + depth))
+
+let access t ~partition ~level ~access:kind addr =
+  fst (access_costed t ~partition ~level ~access:kind addr)
 
 let map_of t pid =
   List.find_opt

@@ -31,6 +31,18 @@ val access :
 (** Checks one access by a partition. TLB hit short-circuits the walk; a
     miss walks the tables and fills the TLB on success. *)
 
+val access_costed :
+  t ->
+  partition:Air_model.Ident.Partition_id.t ->
+  level:Memory.exec_level ->
+  access:Mmu.access_kind ->
+  int ->
+  (unit, Mmu.fault) result * int
+(** As {!access}, additionally reporting the access cost in bandwidth
+    units for the contention model: 1 for a TLB hit, [1 + walk depth]
+    (2–4) for a miss. Denied accesses are costed like the walk that
+    denied them. *)
+
 val map_of : t -> Air_model.Ident.Partition_id.t -> Memory.map option
 
 val remap_partition : t -> Memory.map -> unit

@@ -45,7 +45,27 @@ let schedule_name schedules i =
 
 let percent_of_permille permille = (permille + 5) / 10
 
-let render ?(schedules = []) ~partitions frames =
+(* Derived columns are caller-supplied (header, cell) pairs rendered
+   between the builtin counters and the trend sparkline; each column is as
+   wide as its header (at least 6), so callers can graft domain-specific
+   readouts (e.g. interference throttle %) without the dashboard knowing
+   about them. *)
+let derived_width name = Stdlib.max 6 (String.length name)
+
+let derived_headers derived =
+  String.concat ""
+    (List.map
+       (fun (name, _) -> Printf.sprintf " %*s" (derived_width name) name)
+       derived)
+
+let derived_cells derived pf =
+  String.concat ""
+    (List.map
+       (fun (name, cell) ->
+         Printf.sprintf " %*s" (derived_width name) (cell pf))
+       derived)
+
+let render ?(schedules = []) ?(derived = []) ~partitions frames =
   let b = Buffer.create 1024 in
   (match List.rev frames with
   | [] -> Buffer.add_string b "telemetry: no frames closed yet\n"
@@ -66,18 +86,20 @@ let render ?(schedules = []) ~partitions frames =
          f.Telemetry.f_ipc_p99 f.Telemetry.f_ipc_count
          f.Telemetry.f_deadline_misses f.Telemetry.f_hm_errors);
     Buffer.add_string b
-      (Printf.sprintf "  %-16s %5s  %-8s %6s %5s %5s %4s  %s\n" "partition"
-         "util%" "disp" "jit.max" "cu.max" "miss" "hm" "trend");
+      (Printf.sprintf "  %-16s %5s  %-8s %6s %5s %5s %4s%s  %s\n" "partition"
+         "util%" "disp" "jit.max" "cu.max" "miss" "hm"
+         (derived_headers derived) "trend");
     List.iter
       (fun (i, name) ->
         match partition_cell f i with
         | None -> ()
         | Some pf ->
           Buffer.add_string b
-            (Printf.sprintf "  %-16s %4d%%  %-8d %6d %5d %5d %4d  %s\n" name
+            (Printf.sprintf "  %-16s %4d%%  %-8d %6d %5d %5d %4d%s  %s\n" name
                (percent_of_permille (Telemetry.frame_utilization_permille pf))
                pf.Telemetry.pf_dispatches pf.Telemetry.pf_jitter_max
                pf.Telemetry.pf_catch_up_max pf.Telemetry.pf_deadline_misses
-               pf.Telemetry.pf_hm_errors (sparkline frames i)))
+               pf.Telemetry.pf_hm_errors (derived_cells derived pf)
+               (sparkline frames i)))
       partitions);
   Buffer.contents b

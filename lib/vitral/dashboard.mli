@@ -10,10 +10,17 @@
 
 val render :
   ?schedules:(int * string) list ->
+  ?derived:(string * (Air_obs.Telemetry.partition_frame -> string)) list ->
   partitions:(int * string) list ->
   Air_obs.Telemetry.frame list ->
   string
 (** [render ~partitions frames] with [frames] oldest first (as returned by
     [System.telemetry_frames]); [partitions] maps partition index to
     display name (rows render in list order), [schedules] likewise for the
-    header's schedule name. *)
+    header's schedule name.
+
+    [derived] grafts extra per-partition columns onto the table: each
+    [(header, cell)] pair renders between the builtin counters and the
+    trend sparkline, [cell] applied to the partition's latest frame. The
+    runner uses it for the interference throttle percentage when a
+    contention model is configured. *)

@@ -42,9 +42,18 @@ let check_csv path =
   match lines with
   | [] -> fail "%s: empty CSV" path
   | header :: rows ->
-    if not (String.equal header Air_obs.Telemetry.csv_header) then
+    (* Modules carrying a contention model append the interference
+       columns; both shapes are valid. *)
+    let interference_header =
+      Air_obs.Telemetry.csv_header
+      ^ Air_obs.Telemetry.csv_interference_columns
+    in
+    if
+      (not (String.equal header Air_obs.Telemetry.csv_header))
+      && not (String.equal header interference_header)
+    then
       fail "%s: header mismatch:\n  got      %s\n  expected %s" path header
-        Air_obs.Telemetry.csv_header;
+        interference_header;
     if rows = [] then fail "%s: no data rows" path;
     let width = columns header in
     List.iteri

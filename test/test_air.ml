@@ -22,6 +22,7 @@ let () =
       ("arinc", Test_arinc.suite);
       ("cluster", Test_cluster.suite);
       ("fleet", Test_fleet.suite);
+      ("contention", Test_contention.suite);
       ("faults", Test_faults.suite);
       ("exec", Test_exec.suite);
       ("causal", Test_causal.suite) ]
